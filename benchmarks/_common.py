@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and writes
+its rows to ``benchmarks/results/<name>.txt`` (also echoed to stdout) so
+EXPERIMENTS.md can be refreshed from a single run.
+
+Set ``REPRO_BENCH_DESIGNS`` to change how many design points per kernel
+are validated against the simulator (default 12; the paper validates the
+full space, which is also supported by setting it large).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: designs per kernel to validate against System Run
+DESIGNS_PER_KERNEL = int(os.environ.get("REPRO_BENCH_DESIGNS", "12"))
+#: kernels per suite for the big accuracy tables (0 = all)
+KERNELS_LIMIT = int(os.environ.get("REPRO_BENCH_KERNELS", "0"))
+
+
+def write_result(name: str, text: str) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text)
+    print(f"\n{text}\n[written to {path}]")
+    return path
+
+
+def limited(workloads):
+    if KERNELS_LIMIT > 0:
+        return workloads[:KERNELS_LIMIT]
+    return workloads

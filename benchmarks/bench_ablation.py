@@ -1,0 +1,78 @@
+"""E9 — ablation: what each modelled effect buys (DESIGN.md's design
+choices).
+
+Disables one model component at a time — Table 1's pattern
+differentiation, automatic coalescing, and the multi-CU scheduling
+overhead (the three things the paper says the SDAccel estimator gets
+wrong) — and measures the accuracy hit on a mixed kernel set.
+"""
+
+from _common import write_result
+
+from repro.devices import VIRTEX7
+from repro.evaluation import make_analyzer, sample_designs
+from repro.model import FlexCL
+from repro.simulator import SystemRun
+from repro.workloads import get_workload
+
+KERNELS = [
+    ("rodinia", "nn", "nn"),
+    ("rodinia", "kmeans", "center"),
+    ("polybench", "gemm", "gemm"),
+    ("rodinia", "pathfinder", "dynproc"),
+]
+
+VARIANTS = {
+    "full model": {},
+    "no pattern model (flat ΔT)": {"model_patterns": False},
+    "no coalescing": {"model_coalescing": False},
+    "no scheduling overhead": {"model_scheduling_overhead": False},
+}
+
+
+def _run():
+    # Pre-simulate ground truth once per design.
+    ground = []
+    for suite, bench, kernel in KERNELS:
+        workload = get_workload(suite, bench, kernel)
+        analyzer = make_analyzer(workload, VIRTEX7)
+        designs = sample_designs(workload, VIRTEX7, max_designs=10,
+                                 analyzer=analyzer)
+        sim = SystemRun(VIRTEX7)
+        for design in designs:
+            info = analyzer(design.work_group_size)
+            ground.append((info, design, sim.run(info, design).cycles))
+
+    results = {}
+    for name, kwargs in VARIANTS.items():
+        model = FlexCL(VIRTEX7, **kwargs)
+        errors = []
+        for info, design, actual in ground:
+            pred = model.predict(info, design).cycles
+            errors.append(abs(pred - actual) / actual * 100)
+        results[name] = sum(errors) / len(errors)
+    return results
+
+
+def _render(results) -> str:
+    lines = [
+        "Ablation: mean absolute error when one model component is "
+        "disabled",
+        "(mixed 4-kernel, 40-design sample)",
+        "",
+        f"{'variant':<32}{'mean err%':>10}",
+        "-" * 42,
+    ]
+    for name, err in results.items():
+        lines.append(f"{name:<32}{err:>10.1f}")
+    return "\n".join(lines)
+
+
+def test_ablation(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    write_result("ablation", _render(results))
+    full = results["full model"]
+    # Every ablation should hurt (or at least not help much).
+    for name, err in results.items():
+        if name != "full model":
+            assert err >= full - 2.0, name

@@ -1,0 +1,79 @@
+"""E6 — §4.3 design-space exploration.
+
+Paper headlines: FlexCL explores >10,000x faster than System Run,
+lands within 2.1% of the true optimum, and its picks beat the
+unoptimised baseline by 273x on average.
+
+Our exploration speed-up compares measured FlexCL sweep time against
+the measured simulator sweep time *plus* the extrapolated synthesis
+cost the real System Run would pay (the honest analogue of the paper's
+hours-vs-seconds comparison).
+"""
+
+from _common import write_result
+
+from repro.devices import VIRTEX7
+from repro.evaluation import estimate_synthesis_time, run_dse_study
+from repro.workloads import get_workload
+
+DSE_KERNELS = [
+    ("rodinia", "nn", "nn"),
+    ("rodinia", "kmeans", "center"),
+    ("polybench", "gemm", "gemm"),
+    ("polybench", "atax", "atax"),
+    ("rodinia", "streamcluster", "pgain"),
+    ("rodinia", "hotspot", "hotspot"),
+]
+
+
+def _run():
+    studies = []
+    for suite, bench, kernel in DSE_KERNELS:
+        workload = get_workload(suite, bench, kernel)
+        studies.append(run_dse_study(workload, VIRTEX7, max_designs=20))
+    return studies
+
+
+def _render(studies) -> str:
+    lines = [
+        "Design-space exploration (paper §4.3)",
+        "",
+        f"{'kernel':<30}{'gap to opt%':>12}{'speedup/base':>13}"
+        f"{'explore speedup':>17}",
+        "-" * 72,
+    ]
+    gaps, speedups, explore_speedups = [], [], []
+    for study in studies:
+        per_design_hours = estimate_synthesis_time(
+            study.workload, study.n_designs, "system_run")
+        real_flow_seconds = per_design_hours * 3600 \
+            + study.simulate_seconds
+        explore_speedup = real_flow_seconds \
+            / max(study.flexcl_seconds, 1e-9)
+        gaps.append(study.flexcl_gap_pct)
+        speedups.append(study.speedup_over_baseline)
+        explore_speedups.append(explore_speedup)
+        lines.append(
+            f"{study.workload.qualified_name:<30}"
+            f"{study.flexcl_gap_pct:>12.1f}"
+            f"{study.speedup_over_baseline:>12.0f}x"
+            f"{explore_speedup:>16,.0f}x")
+    lines += [
+        "-" * 72,
+        f"mean gap to optimum: {sum(gaps)/len(gaps):.1f}%   "
+        f"(paper: within 2.1%)",
+        f"mean speedup over unoptimised baseline: "
+        f"{sum(speedups)/len(speedups):.0f}x   (paper: 273x)",
+        f"mean exploration speedup vs full synthesis: "
+        f"{sum(explore_speedups)/len(explore_speedups):,.0f}x   "
+        f"(paper: >10,000x)",
+    ]
+    return "\n".join(lines)
+
+
+def test_dse(benchmark):
+    studies = benchmark.pedantic(_run, rounds=1, iterations=1)
+    write_result("dse", _render(studies))
+    gaps = [s.flexcl_gap_pct for s in studies]
+    assert sum(gaps) / len(gaps) < 15.0
+    assert all(s.speedup_over_baseline > 2.0 for s in studies)

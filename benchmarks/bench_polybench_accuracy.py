@@ -1,0 +1,45 @@
+"""E3 — §4.2 PolyBench accuracy: the paper reports an average absolute
+estimation error of 8.7% across the suite."""
+
+from _common import DESIGNS_PER_KERNEL, limited, write_result
+
+from repro.devices import VIRTEX7
+from repro.evaluation import evaluate_accuracy
+from repro.workloads import polybench_workloads
+
+
+def _run():
+    rows = []
+    for workload in limited(polybench_workloads()):
+        acc = evaluate_accuracy(workload, VIRTEX7,
+                                max_designs=DESIGNS_PER_KERNEL)
+        rows.append((workload, acc))
+    return rows
+
+
+def _render(rows) -> str:
+    lines = [
+        "PolyBench accuracy (paper §4.2: average error 8.7%)",
+        "",
+        f"{'benchmark':<15}{'kernel':<14}{'#Designs':>9}"
+        f"{'FlexCL err%':>12}",
+        "-" * 50,
+    ]
+    errors = []
+    for workload, acc in rows:
+        errors.append(acc.flexcl_mean_error)
+        lines.append(f"{workload.benchmark:<15}{workload.kernel:<14}"
+                     f"{acc.n_designs_total:>9}"
+                     f"{acc.flexcl_mean_error:>12.1f}")
+    avg = sum(errors) / max(len(errors), 1)
+    lines += ["-" * 50,
+              f"average FlexCL error: {avg:.1f}%   (paper: 8.7%)"]
+    return "\n".join(lines)
+
+
+def test_polybench_accuracy(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = _render(rows)
+    write_result("polybench_accuracy", text)
+    errors = [acc.flexcl_mean_error for _, acc in rows]
+    assert sum(errors) / len(errors) < 20.0

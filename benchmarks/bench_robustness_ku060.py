@@ -1,0 +1,41 @@
+"""E5 — §4.2 robustness: the same design points evaluated on the
+KU060 UltraScale platform (paper: HotSpot 9.7%, pathfinder 13.6%)."""
+
+from _common import write_result
+
+from repro.devices import KU060
+from repro.evaluation import evaluate_accuracy
+from repro.workloads import get_workload
+
+KERNELS = [("rodinia", "hotspot", "hotspot"),
+           ("rodinia", "pathfinder", "dynproc")]
+
+
+def _run():
+    rows = []
+    for suite, bench, kernel in KERNELS:
+        workload = get_workload(suite, bench, kernel)
+        acc = evaluate_accuracy(workload, KU060, max_designs=16)
+        rows.append((workload, acc))
+    return rows
+
+
+def _render(rows) -> str:
+    lines = [
+        "Robustness on NAS-120A (Xilinx KU060, UltraScale)",
+        "(paper §4.2: HotSpot 9.7%, pathfinder 13.6%)",
+        "",
+        f"{'benchmark':<15}{'kernel':<12}{'FlexCL err%':>12}",
+        "-" * 39,
+    ]
+    for workload, acc in rows:
+        lines.append(f"{workload.benchmark:<15}{workload.kernel:<12}"
+                     f"{acc.flexcl_mean_error:>12.1f}")
+    return "\n".join(lines)
+
+
+def test_robustness_ku060(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    write_result("robustness_ku060", _render(rows))
+    for workload, acc in rows:
+        assert acc.flexcl_mean_error < 30.0, workload.qualified_name

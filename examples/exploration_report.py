@@ -1,0 +1,45 @@
+"""Generate a Markdown design-review report for a kernel.
+
+Sweeps the design space of the kmeans centre-assignment kernel with the
+analytical model and renders the artefact a hardware team would attach
+to a design review: analysis summary, top designs with II/depth/memory
+breakdowns and area, and why the rejected configurations were rejected.
+
+Run:  python examples/exploration_report.py [output.md]
+"""
+
+import sys
+
+from repro.devices import VIRTEX7
+from repro.dse import DesignSpace, explore
+from repro.evaluation import make_analyzer
+from repro.model import FlexCL
+from repro.report import ReportOptions, exploration_report
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    workload = get_workload("rodinia", "kmeans", "center")
+    analyzer = make_analyzer(workload, VIRTEX7)
+    model = FlexCL(VIRTEX7)
+    space = DesignSpace.default_for(workload.global_size)
+
+    result = explore(space, analyzer,
+                     lambda info, d: model.predict(info, d).cycles,
+                     VIRTEX7)
+    report = exploration_report(
+        result, analyzer, model,
+        ReportOptions(top=8,
+                      title=f"Design review: {workload.qualified_name} "
+                            f"on {VIRTEX7.name}"))
+
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], "w") as handle:
+            handle.write(report)
+        print(f"report written to {sys.argv[1]}")
+    else:
+        print(report)
+
+
+if __name__ == "__main__":
+    main()

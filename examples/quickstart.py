@@ -1,0 +1,76 @@
+"""Quickstart: predict the FPGA performance of an OpenCL kernel.
+
+Covers the whole FlexCL flow on a small SAXPY kernel:
+
+1. compile OpenCL C to IR;
+2. run kernel analysis (profiling a few work-groups);
+3. predict cycles for a design point with the analytical model;
+4. cross-check against the cycle-level System Run simulator.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.analysis import analyze_kernel
+from repro.devices import VIRTEX7
+from repro.dse import Design
+from repro.frontend import compile_opencl
+from repro.interp import Buffer, NDRange
+from repro.model import FlexCL
+from repro.simulator import SystemRun
+
+KERNEL = r"""
+__kernel void saxpy(__global const float* x, __global float* y,
+                    float a, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        y[i] = a * x[i] + y[i];
+    }
+}
+"""
+
+
+def main() -> None:
+    # -- 1. compile ------------------------------------------------------
+    module = compile_opencl(KERNEL)
+    kernel = module.get("saxpy")
+    print(f"compiled kernel 'saxpy': {len(kernel.blocks)} basic blocks")
+
+    # -- 2. analyse ------------------------------------------------------
+    n = 4096
+    work_group = 64
+    info = analyze_kernel(
+        kernel,
+        buffers={"x": Buffer("x", np.arange(n, dtype=np.float32)),
+                 "y": Buffer("y", np.ones(n, dtype=np.float32))},
+        scalars={"a": 2.0, "n": n},
+        ndrange=NDRange(n, work_group),
+        device=VIRTEX7,
+    )
+    print(f"analysis: {info.traces.global_reads_per_wi:.0f} global "
+          f"reads + {info.traces.global_writes_per_wi:.0f} writes per "
+          f"work-item, {info.barriers_per_wi} barriers")
+
+    # -- 3. predict ------------------------------------------------------
+    model = FlexCL(VIRTEX7)
+    design = Design(work_group_size=work_group, work_item_pipeline=True,
+                    num_pe=2, num_cu=2, comm_mode="pipeline")
+    prediction = model.predict(info, design)
+    print(f"\ndesign {design}:")
+    print(f"  II_comp^wi = {prediction.pe.ii:.0f} cycles, "
+          f"D_comp^PE = {prediction.pe.depth:.0f} cycles")
+    print(f"  L_mem^wi   = {prediction.memory.latency_per_wi:.1f} cycles")
+    print(f"  predicted  = {prediction.cycles:,.0f} cycles "
+          f"({prediction.seconds*1e6:.1f} us at 200 MHz)")
+    print(f"  bottleneck : {prediction.bottleneck}")
+
+    # -- 4. validate -----------------------------------------------------
+    actual = SystemRun(VIRTEX7).run(info, design)
+    error = abs(prediction.cycles - actual.cycles) / actual.cycles * 100
+    print(f"\nSystem Run measured {actual.cycles:,.0f} cycles "
+          f"-> estimation error {error:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

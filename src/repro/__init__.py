@@ -1,0 +1,15 @@
+"""FlexCL -- an analytical performance model for OpenCL workloads on FPGAs.
+
+Reproduction of Wang, Liang & Zhang, DAC 2017.  The public API:
+
+- :func:`repro.frontend.compile_opencl` -- OpenCL C -> IR.
+- :func:`repro.analysis.analyze_kernel` -- IR -> :class:`KernelInfo`
+  (CDFG, trip counts, memory trace).
+- :class:`repro.model.FlexCL` -- the analytical model: predict cycles for a
+  (kernel, design, device) triple.
+- :class:`repro.simulator.SystemRun` -- cycle-level ground-truth simulator.
+- :mod:`repro.dse` -- design-space definition and exploration.
+- :mod:`repro.workloads` -- Rodinia and PolyBench kernel suites.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,166 @@
+"""Kernel analysis orchestration (paper §3.2, Figure 2's "Kernel
+Analysis" box).
+
+:func:`analyze_kernel` runs the whole front half of FlexCL:
+
+1. profile a few work-groups with the interpreter (dynamic trip counts
+   and memory traces — "the profiling overhead is very small ... because
+   only a few work-groups are profiled in practice");
+2. discover loops and attach trip counts (static counts win);
+3. build the simplified CDFG artefacts: per-block DFGs and the
+   whole-work-item DFG with profiled recurrence edges;
+4. aggregate resource usage (local ports pressure, DSP cost, local
+   memory bytes).
+
+The result, :class:`KernelInfo`, is design-independent for a fixed
+work-group size: the model and baselines schedule it per design point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.analysis.dfg import (
+    DataFlowGraph,
+    build_block_dfg,
+    build_function_dfg,
+)
+from repro.analysis.loops import LoopNest, find_loops
+from repro.analysis.memtrace import TraceAnalysis, analyze_traces
+from repro.interp.executor import Buffer, KernelExecutor, NDRange
+from repro.ir.function import Function
+from repro.ir.instructions import Alloca
+from repro.ir.types import AddressSpace
+from repro.latency.optable import OpLatencyTable
+
+#: work-groups profiled by default (paper: "only a few work-groups").
+#: Four groups let the simulator's address extrapolation find interior
+#: (non-boundary) inter-group deltas even when the active-work-item
+#: shape varies with a short row period (guarded stencils).
+DEFAULT_PROFILE_GROUPS = 4
+
+
+@dataclass
+class KernelInfo:
+    """Frozen product of kernel analysis for one (kernel, wg-size,
+    device) combination."""
+
+    name: str
+    fn: Function
+    ndrange: NDRange
+    device: object
+    table: OpLatencyTable
+    loop_nest: LoopNest = None
+    traces: TraceAnalysis = None
+    function_dfg: DataFlowGraph = None
+    block_dfgs: Dict[str, DataFlowGraph] = field(default_factory=dict)
+    #: per-work-item execution frequency of each block (profiled)
+    block_weights: Dict[str, float] = field(default_factory=dict)
+    #: weighted DSP cost of one work-item's operations
+    dsp_cost_per_wi: float = 0.0
+    #: DSP slices of one PE instance (each static op is a core)
+    dsp_static_cost: float = 0.0
+    #: bytes of __local memory declared by the kernel (per CU)
+    local_mem_bytes: int = 0
+    barriers_per_wi: int = 0
+
+    @property
+    def work_group_size(self) -> int:
+        return self.ndrange.work_group_size
+
+    @property
+    def total_work_items(self) -> int:
+        return self.ndrange.num_work_items
+
+    @property
+    def num_work_groups(self) -> int:
+        return self.ndrange.num_work_groups
+
+    @property
+    def uses_barrier(self) -> bool:
+        return self.barriers_per_wi > 0
+
+    def global_accesses_per_wi(self) -> float:
+        return (self.traces.global_reads_per_wi
+                + self.traces.global_writes_per_wi)
+
+
+def analyze_kernel(fn: Function, buffers: Dict[str, Buffer],
+                   scalars: Dict[str, object], ndrange: NDRange,
+                   device, table: Optional[OpLatencyTable] = None,
+                   profile_groups: int = DEFAULT_PROFILE_GROUPS
+                   ) -> KernelInfo:
+    """Run FlexCL kernel analysis.  *buffers* are consumed (the profiling
+    run mutates them); pass fresh copies if the caller needs the data."""
+    if table is None:
+        table = OpLatencyTable.for_device(device)
+
+    # Stable site ids shared with the executor's trace records.
+    for i, inst in enumerate(fn.instructions()):
+        inst.site_id = i  # type: ignore[attr-defined]
+
+    executor = KernelExecutor(fn, buffers, scalars)
+    launch = executor.run(ndrange, max_groups=max(profile_groups, 1))
+
+    loop_nest = find_loops(fn)
+    items = max(launch.work_items_executed, 1)
+    block_weights = {name: count / items
+                     for name, count in launch.block_counts.items()}
+    # Attach profiled trip counts to loops lacking static ones.
+    for loop in loop_nest.loops:
+        profiled = launch.trip_counts.get(loop.header)
+        if profiled is not None:
+            loop.profiled_trip_count = profiled
+
+    trace_analysis = analyze_traces(launch.traces)
+
+    block_dfgs = {
+        block.name: build_block_dfg(block, table)
+        for block in fn.reachable_blocks()
+    }
+    function_dfg = build_function_dfg(fn, table, weights=block_weights)
+    _add_recurrence_edges(function_dfg, trace_analysis)
+
+    info = KernelInfo(
+        name=fn.name, fn=fn, ndrange=ndrange, device=device, table=table,
+        loop_nest=loop_nest, traces=trace_analysis,
+        function_dfg=function_dfg, block_dfgs=block_dfgs,
+        block_weights=block_weights,
+        dsp_cost_per_wi=_dsp_cost_per_wi(function_dfg, table),
+        dsp_static_cost=float(sum(
+            table.dsp_cost(node.inst) for node in function_dfg.nodes)),
+        local_mem_bytes=_local_mem_bytes(fn),
+        barriers_per_wi=launch.barriers_per_item,
+    )
+    return info
+
+
+def _add_recurrence_edges(graph: DataFlowGraph,
+                          traces: TraceAnalysis) -> None:
+    """Add store -> load edges with inter-work-item distances."""
+    by_site = {}
+    for node in graph.nodes:
+        site = getattr(node.inst, "site_id", None)
+        if site is not None:
+            by_site[site] = node
+    for rec in traces.recurrences:
+        store_node = by_site.get(rec.store_site)
+        load_node = by_site.get(rec.load_site)
+        if store_node is not None and load_node is not None:
+            graph.add_edge(store_node, load_node, distance=rec.distance)
+
+
+def _dsp_cost_per_wi(graph: DataFlowGraph, table: OpLatencyTable) -> float:
+    total = 0.0
+    for node in graph.nodes:
+        total += table.dsp_cost(node.inst) * node.weight
+    return total
+
+
+def _local_mem_bytes(fn: Function) -> int:
+    total = 0
+    for inst in fn.instructions():
+        if isinstance(inst, Alloca) and inst.space == AddressSpace.LOCAL:
+            total += max(inst.allocated.bytes, 1)
+    return total

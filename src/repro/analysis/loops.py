@@ -1,0 +1,166 @@
+"""Dominator and natural-loop analysis over the IR CFG."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.ir.function import BasicBlock, Function
+
+
+def compute_dominators(fn: Function) -> Dict[str, Set[str]]:
+    """Classic iterative dominator analysis; returns dom sets by name."""
+    blocks = fn.reachable_blocks()
+    names = [b.name for b in blocks]
+    all_names = set(names)
+    preds = fn.predecessors()
+    dom: Dict[str, Set[str]] = {n: set(all_names) for n in names}
+    entry = fn.entry.name
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks:
+            if block.name == entry:
+                continue
+            pred_doms = [dom[p.name] for p in preds[block]
+                         if p.name in dom]
+            new = set.intersection(*pred_doms) if pred_doms else set()
+            new.add(block.name)
+            if new != dom[block.name]:
+                dom[block.name] = new
+                changed = True
+    return dom
+
+
+@dataclass
+class LoopInfo:
+    """One natural loop."""
+
+    header: str
+    blocks: Set[str] = field(default_factory=set)
+    parent: Optional["LoopInfo"] = None
+    #: static trip count from the frontend, if recognisable
+    static_trip_count: Optional[int] = None
+    #: profiled average trip count (filled by kernel analysis)
+    profiled_trip_count: Optional[float] = None
+    unroll_factor: Optional[int] = None
+    pipeline: bool = False
+
+    @property
+    def trip_count(self) -> float:
+        """The trip count the model should use: static beats profiled."""
+        if self.static_trip_count is not None:
+            return float(self.static_trip_count)
+        if self.profiled_trip_count is not None:
+            return self.profiled_trip_count
+        return 1.0
+
+    @property
+    def depth(self) -> int:
+        d = 0
+        p = self.parent
+        while p is not None:
+            d += 1
+            p = p.parent
+        return d
+
+    def __repr__(self) -> str:
+        return (f"<Loop {self.header}: {len(self.blocks)} blocks, "
+                f"trip={self.trip_count}>")
+
+
+@dataclass
+class LoopNest:
+    """All loops of a function plus a block -> loops index."""
+
+    loops: List[LoopInfo] = field(default_factory=list)
+    #: block name -> innermost containing loop (or None)
+    innermost: Dict[str, Optional[LoopInfo]] = field(default_factory=dict)
+
+    def containing(self, block_name: str) -> List[LoopInfo]:
+        """All loops containing *block_name*, innermost first."""
+        result = []
+        loop = self.innermost.get(block_name)
+        while loop is not None:
+            result.append(loop)
+            loop = loop.parent
+        return result
+
+    def weight(self, block_name: str) -> float:
+        """Executions of *block_name* per kernel invocation of one
+        work-item: product of enclosing loops' trip counts."""
+        w = 1.0
+        for loop in self.containing(block_name):
+            w *= max(loop.trip_count, 0.0)
+        return w
+
+    def by_header(self, header: str) -> Optional[LoopInfo]:
+        for loop in self.loops:
+            if loop.header == header:
+                return loop
+        return None
+
+
+def find_loops(fn: Function) -> LoopNest:
+    """Find natural loops via back edges and build the nesting forest.
+
+    Loop metadata recorded by the frontend (static trip counts, unroll
+    and pipeline pragmas) is attached by matching header block names.
+    """
+    dom = compute_dominators(fn)
+    blocks = {b.name: b for b in fn.reachable_blocks()}
+
+    # Back edge: tail -> header where header dominates tail.
+    loops: Dict[str, LoopInfo] = {}
+    for block in blocks.values():
+        for succ in block.successors():
+            if succ.name in dom.get(block.name, set()):
+                loop = loops.setdefault(succ.name, LoopInfo(header=succ.name))
+                loop.blocks |= _loop_body(blocks, fn, succ.name, block.name)
+
+    # Nesting: loop A is inside B if A's header is in B's body and A != B.
+    loop_list = sorted(loops.values(), key=lambda l: len(l.blocks))
+    for inner in loop_list:
+        for outer in loop_list:
+            if outer is inner:
+                continue
+            if inner.header in outer.blocks and (
+                    inner.parent is None
+                    or len(outer.blocks) < len(inner.parent.blocks)):
+                inner.parent = outer
+
+    # Attach frontend metadata.
+    for meta in getattr(fn, "loop_meta", []):
+        loop = loops.get(meta.header)
+        if loop is not None:
+            loop.static_trip_count = meta.static_trip_count
+            loop.unroll_factor = meta.unroll_factor
+            loop.pipeline = meta.pipeline
+
+    nest = LoopNest(loops=list(loop_list))
+    for name in blocks:
+        candidates = [l for l in loop_list if name in l.blocks]
+        nest.innermost[name] = (
+            min(candidates, key=lambda l: len(l.blocks))
+            if candidates else None)
+    return nest
+
+
+def _loop_body(blocks: Dict[str, BasicBlock], fn: Function,
+               header: str, tail: str) -> Set[str]:
+    """Blocks of the natural loop (header, tail): header + all blocks that
+    reach the tail without passing through the header."""
+    body = {header, tail}
+    preds = fn.predecessors()
+    stack = [tail]
+    while stack:
+        name = stack.pop()
+        block = blocks.get(name)
+        if block is None:
+            continue
+        for pred in preds[block]:
+            if pred.name not in body:
+                body.add(pred.name)
+                stack.append(pred.name)
+    return body

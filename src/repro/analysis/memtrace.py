@@ -1,0 +1,203 @@
+"""Memory-trace analysis.
+
+Post-processes the per-work-item traces recorded by the profiler into
+what the performance models consume:
+
+- per-site statistics (stride across work-items, coalescibility, counts);
+- inter-work-item recurrences: a load whose address was written by an
+  earlier work-item (paper §3.3.1, the RecMII source — Figure 3's example
+  is exactly such a dependence with distance 1);
+- aggregate per-work-item access counts for local and global memory.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.interp.executor import MemAccess
+
+#: maximum inter-work-item dependence distance we search for
+MAX_RECURRENCE_DISTANCE = 8
+
+
+@dataclass
+class AccessSiteStats:
+    """Aggregate behaviour of one static load/store site."""
+
+    site: int
+    kind: str                     # 'read' | 'write'
+    space: str                    # 'global' | 'local'
+    buffer: str
+    nbytes: int
+    #: average dynamic executions of this site per work-item
+    per_wi_count: float = 0.0
+    #: byte stride between consecutive work-items (None = irregular)
+    wi_stride: Optional[int] = None
+    #: stride between consecutive dynamic accesses within one work-item
+    inner_stride: Optional[int] = None
+
+    @property
+    def coalescible(self) -> bool:
+        """Unit-stride across work-items (or within the work-item):
+        SDAccel merges such consecutive accesses into wide bursts."""
+        return (self.wi_stride == self.nbytes
+                or self.inner_stride == self.nbytes)
+
+
+@dataclass
+class Recurrence:
+    """An inter-work-item dependence through memory."""
+
+    load_site: int
+    store_site: int
+    space: str
+    buffer: str
+    distance: int      # in work-items
+
+
+@dataclass
+class TraceAnalysis:
+    """Everything derived from the profiled traces."""
+
+    sites: Dict[int, AccessSiteStats] = field(default_factory=dict)
+    recurrences: List[Recurrence] = field(default_factory=list)
+    global_reads_per_wi: float = 0.0
+    global_writes_per_wi: float = 0.0
+    local_reads_per_wi: float = 0.0
+    local_writes_per_wi: float = 0.0
+    #: per-work-item global traces (kept for the DRAM pattern model)
+    global_traces: List[List[MemAccess]] = field(default_factory=list)
+
+    def site_stats(self, site: int) -> Optional[AccessSiteStats]:
+        return self.sites.get(site)
+
+
+def analyze_traces(traces: Sequence[List[MemAccess]]) -> TraceAnalysis:
+    """Analyse per-work-item traces (one inner list per work-item,
+    work-items in work-group-linear order)."""
+    result = TraceAnalysis()
+    if not traces:
+        return result
+    n_wi = len(traces)
+
+    # ---- per-site address matrix: site -> [per-WI address lists] -------
+    site_addrs: Dict[int, List[List[int]]] = defaultdict(
+        lambda: [[] for _ in range(n_wi)])
+    site_proto: Dict[int, MemAccess] = {}
+    g_reads = g_writes = l_reads = l_writes = 0
+    for wi, trace in enumerate(traces):
+        for acc in trace:
+            site_addrs[acc.site][wi].append(acc.addr)
+            site_proto.setdefault(acc.site, acc)
+            if acc.space == "global":
+                if acc.kind == "read":
+                    g_reads += 1
+                else:
+                    g_writes += 1
+            else:
+                if acc.kind == "read":
+                    l_reads += 1
+                else:
+                    l_writes += 1
+
+    result.global_reads_per_wi = g_reads / n_wi
+    result.global_writes_per_wi = g_writes / n_wi
+    result.local_reads_per_wi = l_reads / n_wi
+    result.local_writes_per_wi = l_writes / n_wi
+    result.global_traces = [
+        [a for a in trace if a.space == "global"] for trace in traces
+    ]
+
+    # ---- per-site stats -------------------------------------------------
+    for site, per_wi in site_addrs.items():
+        proto = site_proto[site]
+        counts = [len(a) for a in per_wi]
+        stats = AccessSiteStats(
+            site=site, kind=proto.kind, space=proto.space,
+            buffer=proto.buffer, nbytes=proto.nbytes,
+            per_wi_count=sum(counts) / n_wi,
+            wi_stride=_wi_stride(per_wi),
+            inner_stride=_inner_stride(per_wi),
+        )
+        result.sites[site] = stats
+
+    # ---- recurrences -----------------------------------------------------
+    result.recurrences = _find_recurrences(site_addrs, site_proto, n_wi)
+    return result
+
+
+def _wi_stride(per_wi: List[List[int]]) -> Optional[int]:
+    """Byte stride of occurrence j between work-item i and i+1, if it is
+    the same constant for every (i, j) sampled."""
+    strides = set()
+    for i in range(len(per_wi) - 1):
+        a, b = per_wi[i], per_wi[i + 1]
+        if not a or not b:
+            continue
+        for j in range(min(len(a), len(b))):
+            strides.add(b[j] - a[j])
+            if len(strides) > 1:
+                return None
+    if len(strides) == 1:
+        return strides.pop()
+    return None
+
+
+def _inner_stride(per_wi: List[List[int]]) -> Optional[int]:
+    """Stride between consecutive dynamic accesses within a work-item."""
+    strides = set()
+    for addrs in per_wi:
+        for j in range(len(addrs) - 1):
+            strides.add(addrs[j + 1] - addrs[j])
+            if len(strides) > 1:
+                return None
+    if len(strides) == 1:
+        return strides.pop()
+    return None
+
+
+def _find_recurrences(site_addrs, site_proto,
+                      n_wi: int) -> List[Recurrence]:
+    """Find (load site, store site) pairs where work-item i reads what
+    work-item i-d wrote, with a consistent distance d."""
+    recurrences: List[Recurrence] = []
+    loads = {s: a for s, a in site_addrs.items()
+             if site_proto[s].kind == "read"}
+    stores = {s: a for s, a in site_addrs.items()
+              if site_proto[s].kind == "write"}
+    for ls, l_addrs in loads.items():
+        l_proto = site_proto[ls]
+        for ss, s_addrs in stores.items():
+            s_proto = site_proto[ss]
+            if s_proto.buffer != l_proto.buffer \
+                    or s_proto.space != l_proto.space:
+                continue
+            d = _recurrence_distance(l_addrs, s_addrs, n_wi)
+            if d is not None:
+                recurrences.append(Recurrence(
+                    load_site=ls, store_site=ss, space=l_proto.space,
+                    buffer=l_proto.buffer, distance=d))
+    return recurrences
+
+
+def _recurrence_distance(l_addrs: List[List[int]],
+                         s_addrs: List[List[int]],
+                         n_wi: int) -> Optional[int]:
+    for d in range(1, min(MAX_RECURRENCE_DISTANCE, n_wi - 1) + 1):
+        matched = 0
+        failed = False
+        for i in range(d, n_wi):
+            reads = set(l_addrs[i])
+            writes = set(s_addrs[i - d])
+            if not reads or not writes:
+                continue
+            if reads & writes:
+                matched += 1
+            else:
+                failed = True
+                break
+        if not failed and matched >= max(2, (n_wi - d) // 2):
+            return d
+    return None

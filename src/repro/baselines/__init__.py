@@ -1,0 +1,17 @@
+"""Comparator estimators.
+
+- :class:`SDAccelEstimator` — the vendor HLS cycle estimate of Table 2:
+  structurally plausible but with the paper's documented failure modes
+  (underestimated memory latency, conservative control-dependency
+  handling, no multi-CU scheduling overhead, and outright failures on
+  ~42% of design points).
+- :class:`CoarseModel` — the coarse-grained model of Wang et al.
+  (HPCA'16), used with the step-by-step heuristic for the DSE
+  comparison (§4.3): it ignores memory access patterns, coalescing, and
+  pipeline structure.
+"""
+
+from repro.baselines.sdaccel import SDAccelEstimator, SDAccelFailure
+from repro.baselines.coarse import CoarseModel
+
+__all__ = ["CoarseModel", "SDAccelEstimator", "SDAccelFailure"]

@@ -1,0 +1,237 @@
+"""Command-line interface.
+
+::
+
+    python -m repro predict KERNEL.cl --kernel saxpy --global-size 4096
+        [--wg 64 --pe 2 --cu 2 --vector 1 --mode pipeline --no-pipeline]
+        [--device virtex7] [--simulate]
+    python -m repro explore KERNEL.cl --kernel saxpy --global-size 4096
+        [--top 5] [--device virtex7]
+    python -m repro workloads [--suite rodinia]
+    python -m repro patterns [--device virtex7]
+
+``predict`` and ``explore`` need the kernel's buffers: pointer
+arguments are auto-filled with synthetic float/int arrays of
+``--global-size`` elements, and scalar arguments default to
+``--global-size`` for ``n``-like names and 1 otherwise (override with
+``--arg name=value``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+def _build_buffers(fn, global_size: int, overrides: Dict[str, float]):
+    """Synthesise buffers/scalars for a kernel's signature."""
+    from repro.interp import Buffer
+    from repro.interp.memory import dtype_for_type
+    from repro.ir.types import PointerType
+
+    buffers, scalars = {}, {}
+    for arg in fn.args:
+        if isinstance(arg.type, PointerType):
+            dtype = dtype_for_type(arg.type.pointee)
+            rng = np.random.default_rng(hash(arg.name) % (2**32))
+            if np.issubdtype(dtype, np.floating):
+                data = rng.random(global_size).astype(dtype)
+            else:
+                data = rng.integers(
+                    0, max(global_size, 2), global_size).astype(dtype)
+            buffers[arg.name] = Buffer(arg.name, data)
+        else:
+            if arg.name in overrides:
+                value = overrides[arg.name]
+                scalars[arg.name] = (int(value) if arg.type.is_integer
+                                     else float(value))
+            elif arg.type.is_integer:
+                scalars[arg.name] = global_size
+            else:
+                scalars[arg.name] = 1.0
+    return buffers, scalars
+
+
+def _analyze(args, wg: Optional[int] = None):
+    from repro.analysis import analyze_kernel
+    from repro.devices import device_by_name
+    from repro.frontend import compile_opencl
+    from repro.interp import NDRange
+
+    source = Path(args.source).read_text()
+    module = compile_opencl(source)
+    if args.kernel:
+        fn = module.get(args.kernel)
+    else:
+        fn = module.kernels[0]
+    device = device_by_name(args.device)
+    overrides = dict(
+        kv.split("=", 1) for kv in (args.arg or []))
+    overrides = {k: float(v) for k, v in overrides.items()}
+    buffers, scalars = _build_buffers(fn, args.global_size, overrides)
+    info = analyze_kernel(fn, buffers, scalars,
+                          NDRange(args.global_size,
+                                  wg or args.wg), device)
+    return fn, info, device
+
+
+def cmd_predict(args) -> int:
+    """Run the `predict` subcommand: model one design point."""
+    from repro.dse import Design, check_feasibility
+    from repro.model import FlexCL
+    from repro.model.area import estimate_area
+
+    fn, info, device = _analyze(args)
+    design = Design(work_group_size=args.wg,
+                    work_item_pipeline=not args.no_pipeline,
+                    num_pe=args.pe, num_cu=args.cu,
+                    vector_width=args.vector, comm_mode=args.mode)
+    reason = check_feasibility(info, design, device)
+    if reason is not None:
+        print(f"design {design} is infeasible: {reason}")
+        return 1
+    prediction = FlexCL(device).predict(info, design)
+    area = estimate_area(info, design)
+    print(f"kernel   : {fn.name}")
+    print(f"design   : {design}")
+    print(f"device   : {device.name}")
+    print(f"II       : {prediction.pe.ii:.0f} cycles "
+          f"(RecMII {prediction.pe.rec_mii:.0f}, "
+          f"ResMII {prediction.pe.res_mii:.0f})")
+    print(f"depth    : {prediction.pe.depth:.0f} cycles")
+    print(f"L_mem^wi : {prediction.memory.latency_per_wi:.1f} cycles")
+    print(f"cycles   : {prediction.cycles:,.0f} "
+          f"({prediction.seconds*1e3:.3f} ms at {device.clock_mhz:.0f} MHz)")
+    print(f"bottleneck: {prediction.bottleneck}")
+    util = area.utilisation(device)
+    print(f"area     : {area.dsp} DSP ({util['dsp']:.0%}), "
+          f"{area.bram_36k} BRAM ({util['bram']:.0%}), "
+          f"{area.luts:,} LUT ({util['lut']:.0%})")
+    if args.simulate:
+        from repro.simulator import SystemRun
+        actual = SystemRun(device).run(info, design)
+        err = abs(prediction.cycles - actual.cycles) / actual.cycles
+        print(f"simulated: {actual.cycles:,.0f} cycles "
+              f"(model error {err:.1%})")
+    return 0
+
+
+def cmd_explore(args) -> int:
+    """Run the `explore` subcommand: sweep the design space."""
+    from repro.dse import DesignSpace, explore
+    from repro.model import FlexCL
+
+    _, _, device = _analyze(args)   # validates source; device reused
+
+    def analyzer(wg):
+        try:
+            return _analyze(args, wg=wg)[1]
+        except Exception:
+            return None
+
+    model = FlexCL(device)
+    space = DesignSpace.default_for(args.global_size)
+    result = explore(space, analyzer,
+                     lambda info, d: model.predict(info, d).cycles,
+                     device)
+    feasible = sorted(result.feasible, key=lambda e: e.cycles)
+    print(f"explored {len(result.evaluated)} designs "
+          f"({len(feasible)} feasible) in "
+          f"{result.elapsed_seconds:.1f}s")
+    print(f"\ntop {args.top}:")
+    for entry in feasible[:args.top]:
+        print(f"  {entry.design!s:<46} {entry.cycles:>12,.0f} cycles")
+    return 0
+
+
+def cmd_workloads(args) -> int:
+    """Run the `workloads` subcommand: list bundled kernels."""
+    from repro.workloads import polybench_workloads, rodinia_workloads
+    suites = {"rodinia": rodinia_workloads,
+              "polybench": polybench_workloads}
+    names = [args.suite] if args.suite else list(suites)
+    for name in names:
+        workloads = suites[name]()
+        print(f"{name} ({len(workloads)} kernels):")
+        for w in workloads:
+            print(f"  {w.benchmark}/{w.kernel}  "
+                  f"[global={w.global_size}]")
+    return 0
+
+
+def cmd_patterns(args) -> int:
+    """Run the `patterns` subcommand: print Table 1."""
+    from repro.devices import device_by_name
+    from repro.dram import profile_pattern_latencies
+    device = device_by_name(args.device)
+    print(f"Table 1 pattern latencies on {device.name}:")
+    print(profile_pattern_latencies(device))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI definition."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FlexCL: analytical performance model for OpenCL "
+                    "workloads on FPGAs (DAC'17 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_kernel_args(p):
+        p.add_argument("source", help="OpenCL .cl source file")
+        p.add_argument("--kernel", help="kernel name "
+                                        "(default: first kernel)")
+        p.add_argument("--global-size", type=int, required=True)
+        p.add_argument("--wg", type=int, default=64,
+                       help="work-group size")
+        p.add_argument("--device", default="virtex7",
+                       choices=["virtex7", "ku060"])
+        p.add_argument("--arg", action="append", metavar="NAME=VALUE",
+                       help="override a scalar kernel argument")
+
+    p = sub.add_parser("predict", help="predict one design's cycles")
+    add_kernel_args(p)
+    p.add_argument("--pe", type=int, default=1)
+    p.add_argument("--cu", type=int, default=1)
+    p.add_argument("--vector", type=int, default=1)
+    p.add_argument("--mode", default="pipeline",
+                   choices=["pipeline", "barrier"])
+    p.add_argument("--no-pipeline", action="store_true",
+                   help="disable work-item pipelining")
+    p.add_argument("--simulate", action="store_true",
+                   help="also run the System Run simulator")
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("explore", help="sweep the design space")
+    add_kernel_args(p)
+    p.add_argument("--top", type=int, default=5)
+    p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser("workloads", help="list bundled benchmarks")
+    p.add_argument("--suite", choices=["rodinia", "polybench"])
+    p.set_defaults(func=cmd_workloads)
+
+    p = sub.add_parser("patterns", help="print Table 1 ΔT values")
+    p.add_argument("--device", default="virtex7",
+                   choices=["virtex7", "ku060"])
+    p.set_defaults(func=cmd_patterns)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Device and DRAM configuration dataclasses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """DRAM timing parameters, in memory-controller cycles at the kernel
+    clock (the paper profiles pattern latencies empirically; these feed
+    the simulated DRAM the micro-benchmarks run against).
+
+    The classic JEDEC-style parameters are expressed at the FPGA kernel
+    clock (200 MHz → 5 ns per cycle), so every layer of the stack shares
+    one time base.  DDR3-1600 rows open/close in ~14 ns ≈ 3 kernel
+    cycles; the dominant latency component at the kernel is the fixed
+    memory-controller + AXI interconnect pipeline (t_overhead).
+    """
+
+    #: ACTIVATE -> column command (row open)
+    t_rcd: int = 3
+    #: PRECHARGE latency (row close)
+    t_rp: int = 3
+    #: column read latency (CAS)
+    t_cl: int = 3
+    #: column write latency
+    t_cwl: int = 2
+    #: write recovery before a precharge may follow a write
+    t_wr: int = 4
+    #: write-to-read turnaround on the shared bus
+    t_wtr: int = 3
+    #: read-to-write turnaround
+    t_rtw: int = 2
+    #: data burst occupancy of one access on the bank's data bus
+    t_burst: int = 1
+    #: controller + AXI interconnect fixed pipeline delay per request
+    t_overhead: int = 20
+
+
+@dataclass(frozen=True)
+class Device:
+    """One FPGA board configuration."""
+
+    name: str
+    family: str
+    clock_mhz: float = 200.0
+
+    # Fabric resources
+    dsp_total: int = 3600
+    bram_36k_total: int = 1470
+    luts_total: int = 433_200
+
+    #: BRAM banks composing one kernel's local memory and ports per bank.
+    #: Xilinx BRAM is true dual port; SDAccel typically configures one
+    #: read and one write port per bank for local arrays.
+    local_banks: int = 2
+    read_ports_per_bank: int = 1
+    write_ports_per_bank: int = 1
+
+    #: AXI global-memory access unit in bits (coalescing window).
+    mem_access_unit_bits: int = 512
+
+    # Global memory organisation
+    dram_banks: int = 8
+    dram_row_bytes: int = 1024
+    #: byte-interleaving granularity across banks
+    dram_interleave_bytes: int = 64
+    dram: DRAMTiming = field(default_factory=DRAMTiming)
+
+    #: scales every operation latency (UltraScale fabric is faster at the
+    #: same kernel clock because IP cores close timing with fewer stages)
+    op_latency_scale: float = 1.0
+
+    #: maximum compute units the shell supports
+    max_compute_units: int = 8
+    #: per work-group dispatch overhead of the round-robin scheduler, cycles
+    schedule_overhead_cycles: int = 40
+
+    @property
+    def local_read_ports(self) -> int:
+        return self.local_banks * self.read_ports_per_bank
+
+    @property
+    def local_write_ports(self) -> int:
+        return self.local_banks * self.write_ports_per_bank
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / (self.clock_mhz * 1e6)

@@ -1,0 +1,42 @@
+"""Off-chip global memory (DRAM) modelling (paper §3.4).
+
+Global memory is banked DRAM with a row buffer per bank and
+byte-interleaved data mapping.  A request costs one column command on a
+row-buffer hit and three DRAM commands (precharge, activate, column) on
+a miss, and the latency additionally depends on the preceding access
+kind on the same channel — giving the eight patterns of Table 1.
+
+- :mod:`repro.dram.mapping` — byte-interleaved address → (bank, row);
+- :mod:`repro.dram.coalesce` — SDAccel-style automatic coalescing of
+  consecutive reads/writes into wide AXI bursts;
+- :mod:`repro.dram.patterns` — Table 1 pattern classification;
+- :mod:`repro.dram.controller` — the timing controller the simulator
+  executes and the micro-benchmarks profile;
+- :mod:`repro.dram.microbench` — pattern-latency profiling
+  (:class:`PatternLatencyTable` = the eight ΔT values of Table 1).
+"""
+
+from repro.dram.mapping import BankMapping
+from repro.dram.coalesce import CoalescedRequest, coalesce_stream, coalescing_factor
+from repro.dram.patterns import (
+    PATTERNS,
+    AccessPattern,
+    PatternCounts,
+    classify_bank_stream,
+)
+from repro.dram.controller import DRAMController
+from repro.dram.microbench import PatternLatencyTable, profile_pattern_latencies
+
+__all__ = [
+    "AccessPattern",
+    "BankMapping",
+    "CoalescedRequest",
+    "DRAMController",
+    "PATTERNS",
+    "PatternCounts",
+    "PatternLatencyTable",
+    "classify_bank_stream",
+    "coalesce_stream",
+    "coalescing_factor",
+    "profile_pattern_latencies",
+]

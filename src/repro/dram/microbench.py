@@ -1,0 +1,114 @@
+"""Pattern-latency micro-benchmarks (Table 1's ΔT column).
+
+"The access latency of each global memory access pattern is profiled
+using micro-benchmarks" (§3.4).  Each micro-benchmark crafts a request
+sequence that repeatedly provokes one pattern on one bank, runs it
+through the DRAM controller, and averages the observed latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.dram.controller import DRAMController
+from repro.dram.coalesce import CoalescedRequest
+from repro.dram.mapping import BankMapping
+from repro.dram.patterns import PATTERNS, AccessPattern, PatternCounts
+
+
+@dataclass
+class PatternLatencyTable:
+    """ΔT for each of the eight patterns, in cycles."""
+
+    latencies: Dict[AccessPattern, float] = field(default_factory=dict)
+
+    def of(self, pattern: AccessPattern) -> float:
+        return self.latencies[pattern]
+
+    def weighted_latency(self, counts: PatternCounts) -> float:
+        """Σ ΔT_p · N_p — the inner sum of Eq. 9."""
+        return sum(self.latencies[p] * n
+                   for p, n in counts.counts.items())
+
+    def __str__(self) -> str:
+        lines = ["pattern                     ΔT (cycles)"]
+        for p in PATTERNS:
+            lines.append(f"{p.value:<28}{self.latencies[p]:8.1f}")
+        return "\n".join(lines)
+
+
+def _same_bank_rows(mapping: BankMapping, bank: int,
+                    count: int) -> List[int]:
+    """Addresses on *bank* with pairwise-distinct rows (the swizzled
+    mapping means same-bank rows are found by search, exactly as a real
+    micro-benchmark calibrates its address strides)."""
+    addrs: List[int] = []
+    rows = set()
+    addr = 0
+    while len(addrs) < count:
+        if mapping.bank_of(addr) == bank:
+            row = mapping.row_of(addr)
+            if row not in rows:
+                rows.add(row)
+                addrs.append(addr)
+        addr += mapping.interleave_bytes
+        if addr > 1 << 30:
+            raise RuntimeError("could not find same-bank rows")
+    return addrs
+
+
+def _sequence_for(pattern: AccessPattern, mapping: BankMapping,
+                  repeats: int) -> List[CoalescedRequest]:
+    """A request sequence whose steady state exercises *pattern* on one
+    bank.
+
+    Hit benchmarks re-touch an open row; miss benchmarks walk enough
+    distinct same-bank rows to defeat the controller's FR-FCFS row
+    window.  The *previous kind* is controlled by a priming access of
+    the required kind immediately before each measured access.
+    """
+    unit = mapping.interleave_bytes
+    seq: List[CoalescedRequest] = []
+    measured_kind = pattern.kind
+    prev_kind = pattern.previous_kind
+    if pattern.is_hit:
+        base = _same_bank_rows(mapping, 0, 1)[0]
+        for _ in range(repeats):
+            seq.append(CoalescedRequest(prev_kind, base, unit))
+            seq.append(CoalescedRequest(measured_kind, base, unit))
+        return seq
+    # Misses: rotate through more rows than the row window can hold, so
+    # every access opens a closed row.
+    rows = _same_bank_rows(mapping, 0, 6)
+    j = 0
+    for _ in range(repeats):
+        seq.append(CoalescedRequest(prev_kind, rows[j % len(rows)], unit))
+        j += 1
+        seq.append(CoalescedRequest(measured_kind,
+                                    rows[j % len(rows)], unit))
+        j += 1
+    return seq
+
+
+def profile_pattern_latencies(device, repeats: int = 64
+                              ) -> PatternLatencyTable:
+    """Run the eight micro-benchmarks against *device*'s DRAM and return
+    the averaged ΔT table."""
+    mapping = BankMapping.for_device(device)
+    table = PatternLatencyTable()
+    for pattern in PATTERNS:
+        controller = DRAMController(mapping, device.dram)
+        seq = _sequence_for(pattern, mapping, repeats)
+        records = controller.run_stream(seq)
+        # Measure only the even-positioned (second-of-pair) accesses and
+        # skip the cold-start pair.
+        measured = [r for i, r in enumerate(records)
+                    if i % 2 == 1 and i > 1 and r.pattern == pattern]
+        if not measured:
+            # Fall back to every matching record (cold-start only hits
+            # patterns that are unreachable in steady state otherwise).
+            measured = [r for r in records if r.pattern == pattern]
+        table.latencies[pattern] = (
+            sum(r.latency for r in measured) / max(len(measured), 1))
+    return table

@@ -1,0 +1,141 @@
+"""The eight global-memory access patterns of Table 1.
+
+Each DRAM request is classified by (a) its kind and the kind of the
+previous request to the same bank — read-after-read, read-after-write,
+write-after-read, write-after-write — and (b) whether it hits the
+bank's open row buffer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.dram.coalesce import CoalescedRequest
+from repro.dram.mapping import BankMapping
+
+
+class AccessPattern(enum.Enum):
+    """Table 1's eight patterns."""
+
+    RAR_HIT = "read(hit) after read"
+    RAW_HIT = "read(hit) after write"
+    WAR_HIT = "write(hit) after read"
+    WAW_HIT = "write(hit) after write"
+    RAR_MISS = "read(miss) after read"
+    RAW_MISS = "read(miss) after write"
+    WAR_MISS = "write(miss) after read"
+    WAW_MISS = "write(miss) after write"
+
+    @property
+    def is_hit(self) -> bool:
+        return self.name.endswith("HIT")
+
+    @property
+    def kind(self) -> str:
+        return "read" if self.name.startswith("R") else "write"
+
+    @property
+    def previous_kind(self) -> str:
+        return "read" if self.name.split("_")[0].endswith("AR") else "write"
+
+
+PATTERNS: Tuple[AccessPattern, ...] = tuple(AccessPattern)
+
+
+def pattern_for(kind: str, previous_kind: str, hit: bool) -> AccessPattern:
+    """Look up the pattern for one request."""
+    first = "R" if kind == "read" else "W"
+    second = "R" if previous_kind == "read" else "W"
+    suffix = "HIT" if hit else "MISS"
+    return AccessPattern[f"{first}A{second}_{suffix}"]
+
+
+@dataclass
+class PatternCounts:
+    """N_pattern of Table 1: how many requests fell into each pattern."""
+
+    counts: Dict[AccessPattern, int] = field(
+        default_factory=lambda: {p: 0 for p in PATTERNS})
+
+    def add(self, pattern: AccessPattern, n: int = 1) -> None:
+        self.counts[pattern] += n
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def hits(self) -> int:
+        return sum(n for p, n in self.counts.items() if p.is_hit)
+
+    def scaled(self, factor: float) -> "PatternCounts":
+        out = PatternCounts()
+        for p, n in self.counts.items():
+            out.counts[p] = n * factor  # type: ignore[assignment]
+        return out
+
+    def __getitem__(self, pattern: AccessPattern) -> int:
+        return self.counts[pattern]
+
+
+#: rows a bank's controller keeps "warm" — models FR-FCFS row-locality
+#: extraction (the scheduler steers requests to recently-open rows),
+#: which is what keeps two interleaved array streams from ping-ponging
+#: a bank between their rows on every access.
+ROW_WINDOW = 2
+
+
+class _BankState:
+    __slots__ = ("open_rows", "last_kind")
+
+    def __init__(self) -> None:
+        self.open_rows: List[int] = []
+        self.last_kind: str = "read"       # cold banks behave like idle-read
+
+    def is_hit(self, row: int) -> bool:
+        return row in self.open_rows
+
+    def touch(self, row: int) -> None:
+        if row in self.open_rows:
+            self.open_rows.remove(row)
+        self.open_rows.append(row)
+        if len(self.open_rows) > ROW_WINDOW:
+            self.open_rows.pop(0)
+
+
+def classify_bank_stream(requests: Sequence[CoalescedRequest],
+                         mapping: BankMapping) -> PatternCounts:
+    """Classify a coalesced request stream into Table 1 patterns.
+
+    Requests are routed to banks by the byte-interleaved mapping; each
+    bank keeps its open row and last access kind.  A request spanning
+    several interleave blocks touches each covered bank once.
+    """
+    counts = PatternCounts()
+    banks: Dict[int, _BankState] = {}
+    for req in requests:
+        for i, addr in enumerate(_covered_blocks(req, mapping)):
+            bank_id, row = mapping.locate(addr)
+            state = banks.setdefault(bank_id, _BankState())
+            hit = state.is_hit(row)
+            if i == 0:
+                # Table 1's N counts accesses *after coalescing*: one
+                # per request.  Sub-accesses of a boundary-crossing
+                # burst proceed on their banks in parallel, so only the
+                # leading one prices the request...
+                counts.add(pattern_for(req.kind, state.last_kind, hit))
+            # ...but every touched bank's row state still evolves.
+            state.touch(row)
+            state.last_kind = req.kind
+    return counts
+
+
+def _covered_blocks(req: CoalescedRequest,
+                    mapping: BankMapping) -> Iterable[int]:
+    """First byte address of each interleave block the request covers."""
+    start = (req.addr // mapping.interleave_bytes) * mapping.interleave_bytes
+    end = req.addr + max(req.nbytes, 1)
+    addr = start
+    while addr < end:
+        yield addr
+        addr += mapping.interleave_bytes

@@ -1,0 +1,30 @@
+"""Design-space definition and exploration (paper §4.3).
+
+A :class:`Design` captures one point of the OpenCL-to-FPGA optimisation
+space: work-group size, work-item pipelining, PE parallelism (loop
+unrolling / kernel vectorisation), CU replication, and the
+computation/memory communication mode.  :class:`DesignSpace` enumerates
+the points the paper sweeps ("hundreds of design solutions" per kernel);
+the explorers search it exhaustively (FlexCL) or step-by-step
+(the HPCA'16-style heuristic baseline).
+"""
+
+from repro.dse.space import Design, DesignSpace, check_feasibility
+from repro.dse.explorer import (
+    EvaluatedDesign,
+    ExplorationResult,
+    exhaustive_search,
+    explore,
+)
+from repro.dse.heuristic import step_by_step_search
+
+__all__ = [
+    "Design",
+    "DesignSpace",
+    "EvaluatedDesign",
+    "ExplorationResult",
+    "check_feasibility",
+    "exhaustive_search",
+    "explore",
+    "step_by_step_search",
+]

@@ -1,0 +1,86 @@
+"""Design-space exploration drivers.
+
+An *evaluator* is any callable ``(info, design) -> cycles`` — the FlexCL
+model, a baseline estimator, or the ground-truth simulator.  Because the
+work-group size changes the kernel's analysed behaviour, the explorer
+takes an ``analyze`` callable that produces (and caches) a
+:class:`~repro.analysis.KernelInfo` per work-group size.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.dse.space import Design, DesignSpace, check_feasibility
+
+
+@dataclass
+class EvaluatedDesign:
+    """One explored design point."""
+
+    design: Design
+    cycles: float
+    feasible: bool = True
+    reject_reason: Optional[str] = None
+
+
+@dataclass
+class ExplorationResult:
+    """The outcome of sweeping a design space."""
+
+    evaluated: List[EvaluatedDesign] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def feasible(self) -> List[EvaluatedDesign]:
+        return [e for e in self.evaluated if e.feasible]
+
+    @property
+    def best(self) -> Optional[EvaluatedDesign]:
+        candidates = self.feasible
+        if not candidates:
+            return None
+        return min(candidates, key=lambda e: e.cycles)
+
+    def rank(self, design: Design) -> Optional[int]:
+        """1-based rank of *design* among feasible points by cycles."""
+        ordered = sorted(self.feasible, key=lambda e: e.cycles)
+        for i, e in enumerate(ordered):
+            if e.design == design:
+                return i + 1
+        return None
+
+
+def explore(space: DesignSpace, analyze: Callable[[int], object],
+            evaluator: Callable[[object, Design], float],
+            device) -> ExplorationResult:
+    """Exhaustively evaluate every feasible design in *space*."""
+    start = time.perf_counter()
+    result = ExplorationResult()
+    info_cache: Dict[int, object] = {}
+    for design in space:
+        wg = design.work_group_size
+        if wg not in info_cache:
+            info_cache[wg] = analyze(wg)
+        info = info_cache[wg]
+        if info is None:
+            result.evaluated.append(EvaluatedDesign(
+                design, float("inf"), feasible=False,
+                reject_reason="analysis failed for this work-group size"))
+            continue
+        reason = check_feasibility(info, design, device)
+        if reason is not None:
+            result.evaluated.append(EvaluatedDesign(
+                design, float("inf"), feasible=False,
+                reject_reason=reason))
+            continue
+        cycles = evaluator(info, design)
+        result.evaluated.append(EvaluatedDesign(design, cycles))
+    result.elapsed_seconds = time.perf_counter() - start
+    return result
+
+
+#: Back-compat alias: exhaustive search == explore.
+exhaustive_search = explore

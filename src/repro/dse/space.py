@@ -1,0 +1,134 @@
+"""Design points and design-space enumeration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+#: BRAM bytes of one 36Kb block.
+_BRAM36_BYTES = 36 * 1024 // 8
+
+
+@dataclass(frozen=True)
+class Design:
+    """One OpenCL-to-FPGA design configuration (paper §4.1: work-group
+    size, work-item and work-group pipeline, PE and CU parallelism, and
+    data communication mode)."""
+
+    work_group_size: int = 64
+    work_item_pipeline: bool = True
+    num_pe: int = 1         # P — PE replication via loop unrolling
+    num_cu: int = 1         # C — compute-unit replication
+    vector_width: int = 1   # OpenCL vector types, modelled as extra PEs
+    comm_mode: str = "pipeline"   # 'pipeline' | 'barrier'
+    #: overlap successive work-groups in the same CU pipeline (no drain
+    #: between groups) — the paper's "work-group pipeline" optimisation
+    work_group_pipeline: bool = False
+
+    def __post_init__(self) -> None:
+        if self.comm_mode not in ("pipeline", "barrier"):
+            raise ValueError(f"unknown comm mode {self.comm_mode!r}")
+        if self.work_group_size <= 0 or self.num_pe <= 0 \
+                or self.num_cu <= 0 or self.vector_width <= 0:
+            raise ValueError("design parameters must be positive")
+
+    @property
+    def effective_pe_slots(self) -> int:
+        """PE instances including vector lanes (paper footnote 1: an
+        int16 vector PE is modelled as 16 scalar PEs)."""
+        return self.num_pe * self.vector_width
+
+    def signature(self) -> str:
+        wi = "pipe" if self.work_item_pipeline else "nopipe"
+        wg = "-wgpipe" if self.work_group_pipeline else ""
+        return (f"wg{self.work_group_size}-{wi}{wg}-"
+                f"pe{self.num_pe}-cu{self.num_cu}-v{self.vector_width}-"
+                f"{self.comm_mode}")
+
+    def __str__(self) -> str:
+        return self.signature()
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """The swept parameter grid for one kernel."""
+
+    work_group_sizes: Tuple[int, ...] = (16, 32, 64, 128, 256)
+    pipeline_options: Tuple[bool, ...] = (True, False)
+    wg_pipeline_options: Tuple[bool, ...] = (False, True)
+    pe_counts: Tuple[int, ...] = (1, 2, 4, 8)
+    cu_counts: Tuple[int, ...] = (1, 2, 4)
+    vector_widths: Tuple[int, ...] = (1, 2)
+    comm_modes: Tuple[str, ...] = ("pipeline", "barrier")
+
+    def __iter__(self) -> Iterator[Design]:
+        for wg in self.work_group_sizes:
+            for pipe in self.pipeline_options:
+                for wg_pipe in self.wg_pipeline_options:
+                    for pe in self.pe_counts:
+                        for cu in self.cu_counts:
+                            for vw in self.vector_widths:
+                                for mode in self.comm_modes:
+                                    yield Design(
+                                        work_group_size=wg,
+                                        work_item_pipeline=pipe,
+                                        work_group_pipeline=wg_pipe,
+                                        num_pe=pe, num_cu=cu,
+                                        vector_width=vw,
+                                        comm_mode=mode)
+
+    def size(self) -> int:
+        return (len(self.work_group_sizes) * len(self.pipeline_options)
+                * len(self.wg_pipeline_options)
+                * len(self.pe_counts) * len(self.cu_counts)
+                * len(self.vector_widths) * len(self.comm_modes))
+
+    def designs(self) -> List[Design]:
+        return list(self)
+
+    @classmethod
+    def default_for(cls, total_work_items: int,
+                    max_wg: int = 256) -> "DesignSpace":
+        """A space whose work-group sizes divide the kernel's NDRange."""
+        sizes = tuple(s for s in (16, 32, 64, 128, 256)
+                      if s <= max_wg and total_work_items % s == 0)
+        if not sizes:
+            sizes = (min(total_work_items, max_wg),)
+        return cls(work_group_sizes=sizes)
+
+
+def check_feasibility(info, design: Design, device) -> Optional[str]:
+    """Return a rejection reason if *design* cannot be synthesised for
+    the analysed kernel on *device*, else None.
+
+    Checks mirror what makes SDAccel fail or refuse a configuration:
+    local memory per CU replicated across CUs must fit BRAM; statically
+    instantiated DSP cores across all PEs/CUs must fit the device; the
+    work-group size must divide the NDRange.
+    """
+    if info.total_work_items % design.work_group_size != 0:
+        return "work-group size does not divide the NDRange"
+    if design.comm_mode == "pipeline" and not design.work_item_pipeline:
+        return ("streamed (pipeline-mode) transfers require a pipelined "
+                "kernel datapath")
+    if design.work_group_pipeline:
+        if not design.work_item_pipeline:
+            return "work-group pipelining requires a pipelined datapath"
+        if info.uses_barrier or info.local_mem_bytes > 0:
+            return ("work-group pipelining cannot overlap groups that "
+                    "synchronise or share __local memory")
+    if design.work_group_size > 1024:
+        return "work-group size exceeds the 1024 OpenCL limit"
+    bram_bytes = device.bram_36k_total * _BRAM36_BYTES
+    local_total = info.local_mem_bytes * design.num_cu
+    if local_total > bram_bytes // 2:   # shell + FIFOs use the other half
+        return "local memory exceeds available BRAM"
+    dsp_static = getattr(info, "dsp_static_cost", 0.0)
+    dsp_total = dsp_static * design.effective_pe_slots * design.num_cu
+    if dsp_total > device.dsp_total:
+        return "DSP budget exceeded"
+    if design.num_cu > device.max_compute_units:
+        return "compute-unit count exceeds the shell limit"
+    if design.effective_pe_slots > design.work_group_size:
+        return "more PE slots than work-items per group"
+    return None

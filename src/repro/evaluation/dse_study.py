@@ -1,0 +1,147 @@
+"""Design-space-exploration studies (§4.3).
+
+Three headline numbers are reproduced:
+
+- exploration speed-up of FlexCL over System Run (paper: >10,000x);
+- quality of the design FlexCL's exhaustive sweep picks, validated on
+  System Run (paper: within 2.1% of the true optimum; 273x over the
+  unoptimised baseline design);
+- fraction of kernels where the picked design is the true optimum,
+  FlexCL-exhaustive vs the HPCA'16 coarse model + step-by-step
+  heuristic (paper: 96% vs 12% on PolyBench).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.baselines import CoarseModel
+from repro.dse import (
+    Design,
+    DesignSpace,
+    check_feasibility,
+    step_by_step_search,
+)
+from repro.evaluation.harness import make_analyzer, sample_designs
+from repro.model import FlexCL
+from repro.simulator import SystemRun
+from repro.workloads.base import Workload
+
+
+@dataclass
+class DSEStudy:
+    """All §4.3 quantities for one kernel."""
+
+    workload: Workload
+    n_designs: int
+    flexcl_seconds: float              # exhaustive model sweep time
+    simulate_seconds: float            # exhaustive System-Run sweep time
+    best_actual_cycles: float          # true optimum (System Run sweep)
+    flexcl_pick_actual_cycles: float   # System Run of FlexCL's pick
+    heuristic_pick_actual_cycles: Optional[float]
+    baseline_cycles: float             # unoptimised design, System Run
+
+    @property
+    def flexcl_gap_pct(self) -> float:
+        """How far FlexCL's pick is from the true optimum."""
+        return (self.flexcl_pick_actual_cycles - self.best_actual_cycles) \
+            / self.best_actual_cycles * 100.0
+
+    @property
+    def flexcl_pick_is_optimal(self) -> bool:
+        return self.flexcl_pick_actual_cycles \
+            <= self.best_actual_cycles * 1.0 + 1e-9
+
+    @property
+    def heuristic_pick_is_optimal(self) -> Optional[bool]:
+        if self.heuristic_pick_actual_cycles is None:
+            return None
+        return self.heuristic_pick_actual_cycles \
+            <= self.best_actual_cycles + 1e-9
+
+    @property
+    def speedup_over_baseline(self) -> float:
+        return self.baseline_cycles \
+            / max(self.flexcl_pick_actual_cycles, 1e-9)
+
+    @property
+    def exploration_speedup(self) -> float:
+        """Simulated-System-Run sweep time over FlexCL sweep time."""
+        return self.simulate_seconds / max(self.flexcl_seconds, 1e-9)
+
+
+def run_dse_study(workload: Workload, device,
+                  space: Optional[DesignSpace] = None,
+                  max_designs: int = 48) -> DSEStudy:
+    """Exhaustively explore with both FlexCL and System Run, then
+    compare pick quality (and the coarse+heuristic comparator)."""
+    if space is None:
+        space = DesignSpace.default_for(workload.global_size)
+    analyzer = make_analyzer(workload, device)
+    designs = sample_designs(workload, device, space, max_designs,
+                             analyzer)
+    if not designs:
+        raise ValueError(
+            f"{workload.qualified_name}: no feasible designs")
+
+    model = FlexCL(device)
+    simulator = SystemRun(device)
+    coarse = CoarseModel(device)
+
+    # Exhaustive sweeps over the same sampled sub-space.
+    t0 = time.perf_counter()
+    flexcl_cycles: Dict[Design, float] = {}
+    for design in designs:
+        info = analyzer(design.work_group_size)
+        flexcl_cycles[design] = model.predict(info, design).cycles
+    flexcl_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    actual_cycles: Dict[Design, float] = {}
+    for design in designs:
+        info = analyzer(design.work_group_size)
+        actual_cycles[design] = simulator.run(info, design).cycles
+    simulate_seconds = time.perf_counter() - t0
+
+    best_design = min(actual_cycles, key=actual_cycles.get)
+    flexcl_pick = min(flexcl_cycles, key=flexcl_cycles.get)
+
+    # Coarse model + step-by-step heuristic, restricted to the same
+    # sampled sub-space by evaluating non-members as infeasible.
+    member = set(designs)
+
+    def coarse_eval(info, design: Design) -> float:
+        if design not in member:
+            return float("inf")
+        return coarse.estimate(info, design)
+
+    heuristic_pick = step_by_step_search(space, analyzer, coarse_eval,
+                                         device)
+    heuristic_actual = (actual_cycles.get(heuristic_pick)
+                        if heuristic_pick is not None else None)
+    if heuristic_pick is not None and heuristic_actual is None:
+        info = analyzer(heuristic_pick.work_group_size)
+        if info is not None and check_feasibility(
+                info, heuristic_pick, device) is None:
+            heuristic_actual = simulator.run(info, heuristic_pick).cycles
+
+    # Unoptimised baseline: smallest work-group, no pipeline, 1 PE/CU.
+    baseline = Design(
+        work_group_size=designs[0].work_group_size,
+        work_item_pipeline=False, num_pe=1, num_cu=1,
+        vector_width=1, comm_mode="barrier")
+    info = analyzer(baseline.work_group_size)
+    baseline_cycles = simulator.run(info, baseline).cycles
+
+    return DSEStudy(
+        workload=workload,
+        n_designs=len(designs),
+        flexcl_seconds=flexcl_seconds,
+        simulate_seconds=simulate_seconds,
+        best_actual_cycles=actual_cycles[best_design],
+        flexcl_pick_actual_cycles=actual_cycles[flexcl_pick],
+        heuristic_pick_actual_cycles=heuristic_actual,
+        baseline_cycles=baseline_cycles,
+    )

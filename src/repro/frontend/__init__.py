@@ -1,0 +1,28 @@
+"""OpenCL C frontend.
+
+The paper uses Clang 3.4 to lower OpenCL kernels to LLVM IR.  We replace it
+with a self-contained frontend for a practical OpenCL C subset: a lexer,
+a recursive-descent parser producing an AST, and a lowering pass emitting
+the :mod:`repro.ir` representation (Clang -O0 style: locals are allocas).
+
+The top-level entry point is :func:`compile_opencl`.
+"""
+
+from repro.frontend.lexer import Lexer, LexerError, Token
+from repro.frontend.parser import ParseError, Parser, parse
+from repro.frontend.lowering import LoweringError, compile_opencl, lower_translation_unit
+from repro.frontend.builtins import BUILTIN_SIGNATURES, is_builtin
+
+__all__ = [
+    "BUILTIN_SIGNATURES",
+    "Lexer",
+    "LexerError",
+    "LoweringError",
+    "ParseError",
+    "Parser",
+    "Token",
+    "compile_opencl",
+    "is_builtin",
+    "lower_translation_unit",
+    "parse",
+]

@@ -1,0 +1,204 @@
+"""AST node definitions for the OpenCL C subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    """Base class carrying the source location."""
+
+    line: int = field(default=0, compare=False)
+
+
+# -- expressions ----------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class Identifier(Expr):
+    name: str = ""
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str = ""
+    lhs: Expr = None
+    rhs: Expr = None
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str = ""          # '-', '!', '~', '*', '&', '++', '--'
+    operand: Expr = None
+    postfix: bool = False  # for ++/--
+
+
+@dataclass
+class AssignExpr(Expr):
+    op: str = "="         # '=', '+=', '-=', ...
+    target: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class TernaryExpr(Expr):
+    cond: Expr = None
+    then: Expr = None
+    els: Expr = None
+
+
+@dataclass
+class CallExpr(Expr):
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class IndexExpr(Expr):
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class CastExpr(Expr):
+    type_name: str = ""
+    pointer_depth: int = 0
+    operand: Expr = None
+
+
+@dataclass
+class MemberExpr(Expr):
+    """Vector component access such as ``v.x`` or ``v.s3``."""
+
+    base: Expr = None
+    member: str = ""
+
+
+# -- declarations / statements --------------------------------------------
+
+@dataclass
+class Declarator:
+    """One declared name within a declaration statement."""
+
+    name: str = ""
+    array_size: Optional[Expr] = None
+    init: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class DeclStmt(Stmt):
+    type_name: str = ""
+    space: str = "private"   # 'private' | 'local' | 'constant'
+    pointer_depth: int = 0
+    declarators: List[Declarator] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class CompoundStmt(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr = None
+    then: Stmt = None
+    els: Optional[Stmt] = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = None
+    pragmas: List[str] = field(default_factory=list)
+    #: set by transforms (e.g. partial unrolling) when the loop's
+    #: macro-iteration count is known but not syntactically derivable
+    trip_count_hint: Optional[int] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr = None
+    body: Stmt = None
+    pragmas: List[str] = field(default_factory=list)
+
+
+@dataclass
+class DoWhileStmt(Stmt):
+    body: Stmt = None
+    cond: Expr = None
+    pragmas: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+# -- top level -------------------------------------------------------------
+
+@dataclass
+class ParamDecl:
+    """One formal parameter of a kernel or helper function."""
+
+    type_name: str = ""
+    name: str = ""
+    space: str = "private"       # for pointers: 'global' | 'local' | 'constant'
+    pointer_depth: int = 0
+    is_const: bool = False
+    line: int = 0
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str = ""
+    return_type: str = "void"
+    return_pointer_depth: int = 0
+    params: List[ParamDecl] = field(default_factory=list)
+    body: CompoundStmt = None
+    is_kernel: bool = False
+    reqd_work_group_size: Optional[Tuple[int, int, int]] = None
+    pragmas: List[str] = field(default_factory=list)
+
+
+@dataclass
+class TranslationUnit(Node):
+    functions: List[FunctionDef] = field(default_factory=list)

@@ -1,0 +1,141 @@
+"""OpenCL builtin functions and predefined constants.
+
+Each builtin carries a small signature descriptor the lowering pass uses
+to derive the call's result type, plus a *category* that the latency
+table (:mod:`repro.latency`) keys on when assigning FPGA IP-core
+latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.ir.types import FLOAT, INT, UINT, VOID, Type
+
+
+@dataclass(frozen=True)
+class BuiltinSignature:
+    """Describes one OpenCL builtin."""
+
+    name: str
+    arity: int
+    #: 'uint' | 'float' | 'void' | 'generic' (result type follows first arg)
+    result: str
+    #: latency-table category: 'workitem', 'sync', 'fsimple', 'fexpensive',
+    #: 'fdiv', 'isimple', 'atomic'
+    category: str
+
+    def result_type(self, arg_types) -> Type:
+        if self.result == "uint":
+            return UINT
+        if self.result == "int":
+            return INT
+        if self.result == "float":
+            return FLOAT
+        if self.result == "void":
+            return VOID
+        # generic: follow the first argument
+        return arg_types[0] if arg_types else INT
+
+
+def _sig(name: str, arity: int, result: str, category: str) -> BuiltinSignature:
+    return BuiltinSignature(name, arity, result, category)
+
+
+_WORKITEM = [
+    _sig("get_global_id", 1, "uint", "workitem"),
+    _sig("get_local_id", 1, "uint", "workitem"),
+    _sig("get_group_id", 1, "uint", "workitem"),
+    _sig("get_global_size", 1, "uint", "workitem"),
+    _sig("get_local_size", 1, "uint", "workitem"),
+    _sig("get_num_groups", 1, "uint", "workitem"),
+    _sig("get_global_offset", 1, "uint", "workitem"),
+    _sig("get_work_dim", 0, "uint", "workitem"),
+]
+
+_SYNC = [
+    _sig("barrier", 1, "void", "sync"),
+    _sig("mem_fence", 1, "void", "sync"),
+    _sig("read_mem_fence", 1, "void", "sync"),
+    _sig("write_mem_fence", 1, "void", "sync"),
+]
+
+# Cheap float ops that map to a short pipeline on FPGA.
+_FLOAT_SIMPLE = ["fabs", "floor", "ceil", "round", "trunc", "fmin", "fmax",
+                 "fmod", "sign", "mix", "clamp", "mad", "fma", "step"]
+# Expensive float ops implemented as deep CORDIC/poly IP cores.
+_FLOAT_EXPENSIVE = ["sqrt", "rsqrt", "exp", "exp2", "exp10", "log", "log2",
+                    "log10", "sin", "cos", "tan", "asin", "acos", "atan",
+                    "atan2", "sinh", "cosh", "tanh", "pow", "hypot",
+                    "native_exp", "native_log", "native_sqrt", "native_sin",
+                    "native_cos", "native_powr", "native_rsqrt"]
+_FLOAT_DIV = ["native_divide", "native_recip"]
+
+_FLOAT_ARITY = {
+    "fmin": 2, "fmax": 2, "fmod": 2, "pow": 2, "atan2": 2, "hypot": 2,
+    "native_divide": 2, "native_powr": 2, "step": 2,
+    "mad": 3, "fma": 3, "clamp": 3, "mix": 3,
+}
+
+_INT_GENERIC = [
+    _sig("min", 2, "generic", "isimple"),
+    _sig("max", 2, "generic", "isimple"),
+    _sig("abs", 1, "generic", "isimple"),
+    _sig("mul24", 2, "generic", "isimple"),
+    _sig("mad24", 3, "generic", "isimple"),
+]
+
+_ATOMIC = [
+    _sig("atomic_add", 2, "int", "atomic"),
+    _sig("atomic_sub", 2, "int", "atomic"),
+    _sig("atomic_inc", 1, "int", "atomic"),
+    _sig("atomic_dec", 1, "int", "atomic"),
+    _sig("atomic_min", 2, "int", "atomic"),
+    _sig("atomic_max", 2, "int", "atomic"),
+    _sig("atomic_xchg", 2, "int", "atomic"),
+    _sig("atomic_cmpxchg", 3, "int", "atomic"),
+]
+
+BUILTIN_SIGNATURES: Dict[str, BuiltinSignature] = {}
+for group in (_WORKITEM, _SYNC, _INT_GENERIC, _ATOMIC):
+    for sig in group:
+        BUILTIN_SIGNATURES[sig.name] = sig
+for fname in _FLOAT_SIMPLE:
+    BUILTIN_SIGNATURES.setdefault(
+        fname, _sig(fname, _FLOAT_ARITY.get(fname, 1), "generic", "fsimple"))
+for fname in _FLOAT_EXPENSIVE:
+    BUILTIN_SIGNATURES[fname] = _sig(
+        fname, _FLOAT_ARITY.get(fname, 1), "generic", "fexpensive")
+for fname in _FLOAT_DIV:
+    BUILTIN_SIGNATURES[fname] = _sig(
+        fname, _FLOAT_ARITY.get(fname, 1), "generic", "fdiv")
+
+
+def is_builtin(name: str) -> bool:
+    """True for OpenCL builtins, including ``convert_<type>`` conversions."""
+    return name in BUILTIN_SIGNATURES or name.startswith("convert_")
+
+
+def builtin_signature(name: str) -> Optional[BuiltinSignature]:
+    """The signature of a builtin, or None for unknown names."""
+    return BUILTIN_SIGNATURES.get(name)
+
+
+#: Predefined OpenCL constants available as identifiers in kernel source.
+PREDEFINED_CONSTANTS = {
+    "CLK_LOCAL_MEM_FENCE": (INT, 1),
+    "CLK_GLOBAL_MEM_FENCE": (INT, 2),
+    "INT_MAX": (INT, 2**31 - 1),
+    "INT_MIN": (INT, -(2**31)),
+    "UINT_MAX": (UINT, 2**32 - 1),
+    "FLT_MAX": (FLOAT, 3.402823466e38),
+    "FLT_MIN": (FLOAT, 1.175494351e-38),
+    "FLT_EPSILON": (FLOAT, 1.1920929e-7),
+    "M_PI": (FLOAT, 3.14159265358979323846),
+    "M_E": (FLOAT, 2.71828182845904523536),
+    "MAXFLOAT": (FLOAT, 3.402823466e38),
+    "INFINITY": (FLOAT, float("inf")),
+    "true": (INT, 1),
+    "false": (INT, 0),
+}

@@ -1,0 +1,224 @@
+"""Tokenizer for the OpenCL C subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+KEYWORDS = {
+    "__kernel", "kernel", "__global", "global", "__local", "local",
+    "__private", "private", "__constant", "constant", "const",
+    "if", "else", "for", "while", "do", "return", "break", "continue",
+    "void", "unsigned", "signed", "struct", "volatile", "restrict",
+    "__attribute__", "sizeof", "static", "inline",
+}
+
+MULTI_CHAR_OPS = [
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+]
+
+SINGLE_CHAR_OPS = set("+-*/%<>=!&|^~?:;,.(){}[]#")
+
+
+class LexerError(Exception):
+    """Raised for characters or literals the lexer cannot handle."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"lex error at {line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+@dataclass
+class Token:
+    """One lexical token."""
+
+    kind: str       # 'id', 'keyword', 'int', 'float', 'op', 'pragma', 'eof'
+    text: str
+    line: int
+    col: int
+    value: Optional[object] = None  # numeric value for literals
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r} @{self.line}:{self.col})"
+
+
+class Lexer:
+    """Converts OpenCL C source text into a token stream.
+
+    Comments are skipped.  ``#pragma`` lines are emitted as single
+    ``pragma`` tokens so the parser can attach them to loops; other
+    preprocessor lines (``#define`` of plain object-like constants) are
+    expanded textually.
+    """
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+        self.defines = {}
+
+    def tokens(self) -> List[Token]:
+        return list(self._scan())
+
+    # -- internals -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.source[i] if i < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos:self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += count
+        return text
+
+    def _scan(self) -> Iterator[Token]:
+        while self.pos < len(self.source) or self._pending:
+            if self._pending:
+                yield self._pending.pop(0)
+                continue
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+                continue
+            if ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+                continue
+            if ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source) and not (
+                        self._peek() == "*" and self._peek(1) == "/"):
+                    self._advance()
+                if self.pos >= len(self.source):
+                    raise LexerError("unterminated comment", self.line, self.col)
+                self._advance(2)
+                continue
+            if ch == "#":
+                tok = self._scan_preprocessor()
+                if tok is not None:
+                    yield tok
+                continue
+            if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                yield self._scan_number()
+                continue
+            if ch.isalpha() or ch == "_":
+                tok = self._scan_identifier()
+                if tok is not None:
+                    yield tok
+                continue
+            op = self._scan_operator()
+            if op is not None:
+                yield op
+                continue
+            raise LexerError(f"unexpected character {ch!r}", self.line, self.col)
+        yield Token("eof", "", self.line, self.col)
+
+    def _scan_preprocessor(self) -> Optional[Token]:
+        line, col = self.line, self.col
+        start = self.pos
+        while self.pos < len(self.source) and self._peek() != "\n":
+            # Support line continuations in pragmas/defines.
+            if self._peek() == "\\" and self._peek(1) == "\n":
+                self._advance(2)
+                continue
+            self._advance()
+        text = self.source[start:self.pos].strip()
+        if text.startswith("#pragma"):
+            return Token("pragma", text[len("#pragma"):].strip(), line, col)
+        if text.startswith("#define"):
+            parts = text[len("#define"):].strip().split(None, 1)
+            if len(parts) == 2 and "(" not in parts[0]:
+                self.defines[parts[0]] = parts[1]
+            return None
+        # #include / #ifdef etc. are ignored: workloads are self-contained.
+        return None
+
+    def _scan_number(self) -> Token:
+        line, col = self.line, self.col
+        start = self.pos
+        is_float = False
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            text = self.source[start:self.pos]
+            self._skip_int_suffix()
+            return Token("int", text, line, col, value=int(text, 16))
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == ".":
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() and self._peek() in "eE":
+            probe = 1
+            if self._peek(1) and self._peek(1) in "+-":
+                probe = 2
+            if self._peek(probe).isdigit():
+                is_float = True
+                self._advance(probe)
+                while self._peek().isdigit():
+                    self._advance()
+        text = self.source[start:self.pos]
+        if self._peek() and self._peek() in "fF":
+            is_float = True
+            self._advance()
+        else:
+            self._skip_int_suffix()
+        if is_float:
+            return Token("float", text, line, col, value=float(text))
+        return Token("int", text, line, col, value=int(text))
+
+    def _skip_int_suffix(self) -> None:
+        while self._peek() and self._peek() in "uUlL":
+            self._advance()
+
+    def _scan_identifier(self) -> Optional[Token]:
+        line, col = self.line, self.col
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start:self.pos]
+        if text in self.defines:
+            # Textually substitute simple object-like macros by re-lexing.
+            sub = Lexer(self.defines[text])
+            sub.defines = dict(self.defines)
+            sub.defines.pop(text, None)  # guard against self-reference
+            for tok in sub.tokens():
+                if tok.kind != "eof":
+                    self._pending.append(
+                        Token(tok.kind, tok.text, line, col, tok.value))
+            return None
+        kind = "keyword" if text in KEYWORDS else "id"
+        return Token(kind, text, line, col)
+
+    # Pending tokens from macro expansion.  Kept tiny: macros in our
+    # workloads expand to single literals.
+    @property
+    def _pending(self) -> List[Token]:
+        if not hasattr(self, "_pending_list"):
+            self._pending_list: List[Token] = []
+        return self._pending_list
+
+    def _scan_operator(self) -> Optional[Token]:
+        line, col = self.line, self.col
+        for op in MULTI_CHAR_OPS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token("op", op, line, col)
+        ch = self._peek()
+        if ch in SINGLE_CHAR_OPS:
+            self._advance()
+            return Token("op", ch, line, col)
+        return None

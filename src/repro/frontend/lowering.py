@@ -1,0 +1,863 @@
+"""Lowering from the OpenCL C AST to :mod:`repro.ir`.
+
+The style follows Clang at -O0: every variable (including parameters)
+gets a stack slot (:class:`~repro.ir.instructions.Alloca`) and is accessed
+through loads and stores.  ``__local`` arrays become local-space allocas
+shared by the work-group.  Helper (non-kernel) functions are inlined at
+their call sites, since OpenCL-to-FPGA flows flatten the call graph into
+one hardware pipeline.
+
+Loop structure discovered while lowering is recorded as
+:class:`LoopMeta` entries on the function (``fn.loop_meta``) so the
+analysis layer can attach static trip counts and unroll pragmas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.builtins import (
+    PREDEFINED_CONSTANTS,
+    builtin_signature,
+    )
+from repro.frontend.parser import parse
+from repro.ir import (
+    Function,
+    IRBuilder,
+    Module,
+    verify_module,
+)
+from repro.ir.types import (
+    AddressSpace,
+    ArrayType,
+    BOOL,
+    FLOAT,
+    INT,
+    PointerType,
+    ScalarType,
+    Type,
+    VOID,
+    common_type,
+    parse_type_name,
+)
+from repro.ir.values import Constant, Value
+
+
+class LoweringError(Exception):
+    """Raised when the AST uses a feature outside the supported subset."""
+
+
+@dataclass
+class LoopMeta:
+    """Metadata for one source-level loop."""
+
+    header: str                       # name of the condition block
+    body_entry: str                   # first block of the body
+    static_trip_count: Optional[int] = None
+    unroll_factor: Optional[int] = None   # from '#pragma unroll N'
+    pipeline: bool = False                # from '#pragma pipeline' etc.
+    line: int = 0
+
+
+@dataclass
+class VarSlot:
+    """A named variable: where it lives and what it holds."""
+
+    ptr: Value                # pointer to the storage
+    declared: Type            # declared value type (element type for arrays)
+    space: AddressSpace
+    is_array: bool = False
+
+
+_SPACE_MAP = {
+    "private": AddressSpace.PRIVATE,
+    "local": AddressSpace.LOCAL,
+    "global": AddressSpace.GLOBAL,
+    "constant": AddressSpace.CONSTANT,
+}
+
+_COMPARE_MAP = {"==": "eq", "!=": "ne", "<": "lt",
+                "<=": "le", ">": "gt", ">=": "ge"}
+
+_INT_OP_MAP = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+               "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr"}
+_FLOAT_OP_MAP = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv",
+                 "%": "frem"}
+
+
+class _Scope:
+    """A lexical scope chain."""
+
+    def __init__(self, parent: Optional["_Scope"] = None) -> None:
+        self.parent = parent
+        self.vars: Dict[str, VarSlot] = {}
+
+    def lookup(self, name: str) -> Optional[VarSlot]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.vars:
+                return scope.vars[name]
+            scope = scope.parent
+        return None
+
+    def define(self, name: str, slot: VarSlot) -> None:
+        self.vars[name] = slot
+
+
+class _FunctionLowering:
+    """Lowers one kernel (inlining helper calls as it goes)."""
+
+    MAX_INLINE_DEPTH = 16
+
+    def __init__(self, kernel_ast: ast.FunctionDef,
+                 helpers: Dict[str, ast.FunctionDef]) -> None:
+        self.kernel_ast = kernel_ast
+        self.helpers = helpers
+        self.fn: Optional[Function] = None
+        self.builder: Optional[IRBuilder] = None
+        self.scope = _Scope()
+        self.loop_stack: List[Tuple] = []   # (break_target, continue_target)
+        self.inline_stack: List[str] = []
+        self.loop_meta: List[LoopMeta] = []
+        # When inlining, 'return' branches here and stores to result slot.
+        self.return_targets: List[Tuple] = []   # (join_block, result_slot)
+
+    # -- entry -------------------------------------------------------------
+
+    def lower(self) -> Function:
+        kast = self.kernel_ast
+        arg_types: List[Type] = []
+        arg_names: List[str] = []
+        for p in kast.params:
+            arg_types.append(self._param_type(p))
+            arg_names.append(p.name)
+        fn = Function(kast.name, arg_types, arg_names, is_kernel=True)
+        fn.reqd_work_group_size = kast.reqd_work_group_size
+        self.fn = fn
+        self.builder = IRBuilder(fn)
+        entry = fn.new_block("entry")
+        self.builder.set_block(entry)
+
+        # Parameters get private slots, Clang -O0 style.
+        for arg, param in zip(fn.args, kast.params):
+            slot_ptr = self.builder.alloca(arg.type, AddressSpace.PRIVATE,
+                                           name=param.name)
+            self.builder.store(arg, slot_ptr)
+            self.scope.define(param.name, VarSlot(
+                ptr=slot_ptr, declared=arg.type, space=AddressSpace.PRIVATE))
+
+        self._lower_stmt(kast.body)
+        if not self.builder.block.is_terminated:
+            self.builder.ret()
+        # Terminate any empty dangling blocks (e.g. unreachable join blocks).
+        from repro.ir.instructions import Return
+        for block in fn.blocks:
+            if not block.is_terminated:
+                block.append(Return())
+        fn.loop_meta = self.loop_meta  # type: ignore[attr-defined]
+        return fn
+
+    def _param_type(self, p: ast.ParamDecl) -> Type:
+        base = parse_type_name(p.type_name)
+        t: Type = base
+        for _ in range(p.pointer_depth):
+            t = PointerType(t, _SPACE_MAP[p.space])
+        return t
+
+    # -- statements ----------------------------------------------------------
+
+    def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.CompoundStmt):
+            self.scope = _Scope(self.scope)
+            for s in stmt.body:
+                if self.builder.block.is_terminated:
+                    break  # dead code after break/continue/return
+                self._lower_stmt(s)
+            self.scope = self.scope.parent
+        elif isinstance(stmt, ast.DeclStmt):
+            self._lower_decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self._lower_expr(stmt.expr)
+        elif isinstance(stmt, ast.IfStmt):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.ForStmt):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.DoWhileStmt):
+            self._lower_do_while(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            self._lower_return(stmt)
+        elif isinstance(stmt, ast.BreakStmt):
+            if not self.loop_stack:
+                raise LoweringError(f"line {stmt.line}: break outside loop")
+            self.builder.branch(self.loop_stack[-1][0])
+        elif isinstance(stmt, ast.ContinueStmt):
+            if not self.loop_stack:
+                raise LoweringError(f"line {stmt.line}: continue outside loop")
+            self.builder.branch(self.loop_stack[-1][1])
+        else:
+            raise LoweringError(f"unsupported statement {type(stmt).__name__}")
+
+    def _lower_decl(self, stmt: ast.DeclStmt) -> None:
+        base = parse_type_name(stmt.type_name)
+        space = _SPACE_MAP[stmt.space]
+        pointee_space = space
+        if stmt.pointer_depth > 0:
+            # `__global float* p` declares a private variable pointing
+            # into the global space: the qualifier names the pointee.
+            if space == AddressSpace.PRIVATE:
+                pointee_space = AddressSpace.GLOBAL
+            space = AddressSpace.PRIVATE
+        for decl in stmt.declarators:
+            declared: Type = base
+            for _ in range(stmt.pointer_depth):
+                declared = PointerType(declared, pointee_space)
+            if decl.array_size is not None:
+                size = self._const_eval_int(decl.array_size)
+                slot_ptr = self.builder.alloca(
+                    ArrayType(declared, size), space, name=decl.name)
+                self.scope.define(decl.name, VarSlot(
+                    ptr=slot_ptr, declared=declared, space=space,
+                    is_array=True))
+                if decl.init is not None:
+                    raise LoweringError(
+                        f"line {decl.line}: array initialisers unsupported")
+                continue
+            slot_ptr = self.builder.alloca(declared, space, name=decl.name)
+            self.scope.define(decl.name, VarSlot(
+                ptr=slot_ptr, declared=declared, space=space))
+            if decl.init is not None:
+                value, vtype = self._lower_expr(decl.init)
+                value = self._convert(value, vtype, declared)
+                self.builder.store(value, slot_ptr)
+
+    def _const_eval_int(self, expr: ast.Expr) -> int:
+        """Constant-fold an array-size expression."""
+        if isinstance(expr, ast.IntLiteral):
+            return expr.value
+        if isinstance(expr, ast.BinaryExpr):
+            lhs = self._const_eval_int(expr.lhs)
+            rhs = self._const_eval_int(expr.rhs)
+            ops = {"+": lambda a, b: a + b, "-": lambda a, b: a - b,
+                   "*": lambda a, b: a * b, "/": lambda a, b: a // b,
+                   "<<": lambda a, b: a << b, ">>": lambda a, b: a >> b}
+            if expr.op in ops:
+                return ops[expr.op](lhs, rhs)
+        if isinstance(expr, ast.Identifier) and expr.name in PREDEFINED_CONSTANTS:
+            return int(PREDEFINED_CONSTANTS[expr.name][1])
+        raise LoweringError(
+            f"line {expr.line}: array size must be a constant expression")
+
+    def _lower_if(self, stmt: ast.IfStmt) -> None:
+        cond, ctype = self._lower_expr(stmt.cond)
+        cond = self._to_bool(cond, ctype)
+        then_block = self.builder.new_block("if.then")
+        end_block = self.builder.new_block("if.end")
+        else_block = end_block
+        if stmt.els is not None:
+            else_block = self.builder.new_block("if.else")
+        self.builder.cond_branch(cond, then_block, else_block)
+
+        self.builder.set_block(then_block)
+        self._lower_stmt(stmt.then)
+        if not self.builder.block.is_terminated:
+            self.builder.branch(end_block)
+        if stmt.els is not None:
+            self.builder.set_block(else_block)
+            self._lower_stmt(stmt.els)
+            if not self.builder.block.is_terminated:
+                self.builder.branch(end_block)
+        self.builder.set_block(end_block)
+
+    def _loop_pragmas(self, pragmas: List[str]) -> Tuple[Optional[int], bool]:
+        unroll: Optional[int] = None
+        pipeline = False
+        for text in pragmas:
+            words = text.split()
+            if not words:
+                continue
+            if words[0] == "unroll":
+                unroll = int(words[1]) if len(words) > 1 else 0
+            elif words[0].lower() in ("pipeline", "work_item_pipeline",
+                                      "hls", "xcl_pipeline_loop"):
+                pipeline = True
+        return unroll, pipeline
+
+    def _lower_for(self, stmt: ast.ForStmt) -> None:
+        self.scope = _Scope(self.scope)
+        if stmt.init is not None:
+            self._lower_stmt(stmt.init)
+        cond_block = self.builder.new_block("for.cond")
+        body_block = self.builder.new_block("for.body")
+        step_block = self.builder.new_block("for.step")
+        end_block = self.builder.new_block("for.end")
+        self.builder.branch(cond_block)
+
+        self.builder.set_block(cond_block)
+        if stmt.cond is not None:
+            cond, ctype = self._lower_expr(stmt.cond)
+            cond = self._to_bool(cond, ctype)
+            self.builder.cond_branch(cond, body_block, end_block)
+        else:
+            self.builder.branch(body_block)
+
+        unroll, pipeline = self._loop_pragmas(stmt.pragmas)
+        static_trips = (stmt.trip_count_hint
+                        if stmt.trip_count_hint is not None
+                        else self._static_trip_count(stmt))
+        self.loop_meta.append(LoopMeta(
+            header=cond_block.name, body_entry=body_block.name,
+            static_trip_count=static_trips,
+            unroll_factor=unroll, pipeline=pipeline, line=stmt.line))
+
+        self.builder.set_block(body_block)
+        self.loop_stack.append((end_block, step_block))
+        self._lower_stmt(stmt.body)
+        self.loop_stack.pop()
+        if not self.builder.block.is_terminated:
+            self.builder.branch(step_block)
+
+        self.builder.set_block(step_block)
+        if stmt.step is not None:
+            self._lower_expr(stmt.step)
+        self.builder.branch(cond_block)
+        self.builder.set_block(end_block)
+        self.scope = self.scope.parent
+
+    def _static_trip_count(self, stmt: ast.ForStmt) -> Optional[int]:
+        """Recognise ``for (i = c0; i <op> c1; i += c2)`` with constants."""
+        init = stmt.init
+        start = None
+        var = None
+        if isinstance(init, ast.DeclStmt) and len(init.declarators) == 1:
+            d = init.declarators[0]
+            if isinstance(d.init, ast.IntLiteral):
+                start, var = d.init.value, d.name
+        elif (isinstance(init, ast.ExprStmt)
+              and isinstance(init.expr, ast.AssignExpr)
+              and init.expr.op == "="
+              and isinstance(init.expr.target, ast.Identifier)
+              and isinstance(init.expr.value, ast.IntLiteral)):
+            start, var = init.expr.value.value, init.expr.target.name
+        if var is None:
+            return None
+        cond = stmt.cond
+        if not (isinstance(cond, ast.BinaryExpr)
+                and isinstance(cond.lhs, ast.Identifier)
+                and cond.lhs.name == var
+                and isinstance(cond.rhs, ast.IntLiteral)
+                and cond.op in ("<", "<=", ">", ">=", "!=")):
+            return None
+        bound = cond.rhs.value
+        step = self._static_step(stmt.step, var)
+        if step is None or step == 0:
+            return None
+        if cond.op == "<":
+            n = max(0, -(-(bound - start) // step)) if step > 0 else None
+        elif cond.op == "<=":
+            n = max(0, -(-(bound - start + 1) // step)) if step > 0 else None
+        elif cond.op == ">":
+            n = max(0, -(-(start - bound) // -step)) if step < 0 else None
+        elif cond.op == ">=":
+            n = max(0, -(-(start - bound + 1) // -step)) if step < 0 else None
+        else:  # '!='
+            diff = bound - start
+            n = diff // step if diff % step == 0 and diff * step >= 0 else None
+        return n
+
+    @staticmethod
+    def _static_step(step: Optional[ast.Expr], var: str) -> Optional[int]:
+        if step is None:
+            return None
+        if (isinstance(step, ast.UnaryExpr) and step.op in ("++", "--")
+                and isinstance(step.operand, ast.Identifier)
+                and step.operand.name == var):
+            return 1 if step.op == "++" else -1
+        if (isinstance(step, ast.AssignExpr)
+                and isinstance(step.target, ast.Identifier)
+                and step.target.name == var
+                and isinstance(step.value, ast.IntLiteral)):
+            if step.op == "+=":
+                return step.value.value
+            if step.op == "-=":
+                return -step.value.value
+        return None
+
+    def _lower_while(self, stmt: ast.WhileStmt) -> None:
+        cond_block = self.builder.new_block("while.cond")
+        body_block = self.builder.new_block("while.body")
+        end_block = self.builder.new_block("while.end")
+        self.builder.branch(cond_block)
+        self.builder.set_block(cond_block)
+        cond, ctype = self._lower_expr(stmt.cond)
+        cond = self._to_bool(cond, ctype)
+        self.builder.cond_branch(cond, body_block, end_block)
+
+        unroll, pipeline = self._loop_pragmas(stmt.pragmas)
+        self.loop_meta.append(LoopMeta(
+            header=cond_block.name, body_entry=body_block.name,
+            unroll_factor=unroll, pipeline=pipeline, line=stmt.line))
+
+        self.builder.set_block(body_block)
+        self.loop_stack.append((end_block, cond_block))
+        self._lower_stmt(stmt.body)
+        self.loop_stack.pop()
+        if not self.builder.block.is_terminated:
+            self.builder.branch(cond_block)
+        self.builder.set_block(end_block)
+
+    def _lower_do_while(self, stmt: ast.DoWhileStmt) -> None:
+        body_block = self.builder.new_block("do.body")
+        cond_block = self.builder.new_block("do.cond")
+        end_block = self.builder.new_block("do.end")
+        self.builder.branch(body_block)
+
+        unroll, pipeline = self._loop_pragmas(stmt.pragmas)
+        self.loop_meta.append(LoopMeta(
+            header=cond_block.name, body_entry=body_block.name,
+            unroll_factor=unroll, pipeline=pipeline, line=stmt.line))
+
+        self.builder.set_block(body_block)
+        self.loop_stack.append((end_block, cond_block))
+        self._lower_stmt(stmt.body)
+        self.loop_stack.pop()
+        if not self.builder.block.is_terminated:
+            self.builder.branch(cond_block)
+        self.builder.set_block(cond_block)
+        cond, ctype = self._lower_expr(stmt.cond)
+        cond = self._to_bool(cond, ctype)
+        self.builder.cond_branch(cond, body_block, end_block)
+        self.builder.set_block(end_block)
+
+    def _lower_return(self, stmt: ast.ReturnStmt) -> None:
+        if self.return_targets:
+            join, result_slot, result_type = self.return_targets[-1]
+            if stmt.value is not None and result_slot is not None:
+                value, vtype = self._lower_expr(stmt.value)
+                value = self._convert(value, vtype, result_type)
+                self.builder.store(value, result_slot)
+            self.builder.branch(join)
+        else:
+            if stmt.value is not None:
+                self._lower_expr(stmt.value)
+            self.builder.ret()
+
+    # -- expressions ---------------------------------------------------------
+
+    def _lower_expr(self, expr: ast.Expr) -> Tuple[Value, Type]:
+        if isinstance(expr, ast.IntLiteral):
+            return Constant(INT, expr.value), INT
+        if isinstance(expr, ast.FloatLiteral):
+            return Constant(FLOAT, expr.value), FLOAT
+        if isinstance(expr, ast.Identifier):
+            return self._lower_identifier(expr)
+        if isinstance(expr, ast.BinaryExpr):
+            return self._lower_binary(expr)
+        if isinstance(expr, ast.UnaryExpr):
+            return self._lower_unary(expr)
+        if isinstance(expr, ast.AssignExpr):
+            return self._lower_assign(expr)
+        if isinstance(expr, ast.TernaryExpr):
+            return self._lower_ternary(expr)
+        if isinstance(expr, ast.CallExpr):
+            return self._lower_call(expr)
+        if isinstance(expr, ast.IndexExpr):
+            ptr, elem = self._lower_lvalue(expr)
+            return self.builder.load(ptr), elem
+        if isinstance(expr, ast.CastExpr):
+            return self._lower_cast(expr)
+        if isinstance(expr, ast.MemberExpr):
+            raise LoweringError(
+                f"line {expr.line}: vector component access is outside the "
+                f"supported subset (use scalar code; vectorization is a "
+                f"design-space parameter)")
+        raise LoweringError(f"unsupported expression {type(expr).__name__}")
+
+    def _lower_identifier(self, expr: ast.Identifier) -> Tuple[Value, Type]:
+        slot = self.scope.lookup(expr.name)
+        if slot is not None:
+            if slot.is_array:
+                # Array-to-pointer decay.
+                decayed = PointerType(slot.declared, slot.space)
+                return (self.builder.cast("ptrcast", slot.ptr, decayed),
+                        decayed)
+            value = self.builder.load(slot.ptr)
+            return value, slot.declared
+        if expr.name in PREDEFINED_CONSTANTS:
+            type_, val = PREDEFINED_CONSTANTS[expr.name]
+            return Constant(type_, val), type_
+        raise LoweringError(f"line {expr.line}: unknown identifier "
+                            f"{expr.name!r}")
+
+    def _lower_lvalue(self, expr: ast.Expr) -> Tuple[Value, Type]:
+        """Lower to (pointer, element type)."""
+        if isinstance(expr, ast.Identifier):
+            slot = self.scope.lookup(expr.name)
+            if slot is None:
+                raise LoweringError(f"line {expr.line}: unknown identifier "
+                                    f"{expr.name!r}")
+            if slot.is_array:
+                raise LoweringError(f"line {expr.line}: cannot assign to "
+                                    f"array {expr.name!r}")
+            return slot.ptr, slot.declared
+        if isinstance(expr, ast.IndexExpr):
+            base, btype = self._lower_expr(expr.base)
+            if not isinstance(btype, PointerType):
+                raise LoweringError(
+                    f"line {expr.line}: indexing a non-pointer ({btype})")
+            index, itype = self._lower_expr(expr.index)
+            ptr = self.builder.gep(base, index)
+            return ptr, btype.pointee
+        if isinstance(expr, ast.UnaryExpr) and expr.op == "*":
+            base, btype = self._lower_expr(expr.operand)
+            if not isinstance(btype, PointerType):
+                raise LoweringError(
+                    f"line {expr.line}: dereferencing a non-pointer")
+            return base, btype.pointee
+        raise LoweringError(
+            f"line {expr.line}: {type(expr).__name__} is not assignable")
+
+    def _lower_binary(self, expr: ast.BinaryExpr) -> Tuple[Value, Type]:
+        if expr.op == ",":
+            self._lower_expr(expr.lhs)
+            return self._lower_expr(expr.rhs)
+        if expr.op in ("&&", "||"):
+            return self._lower_logical(expr)
+        lhs, ltype = self._lower_expr(expr.lhs)
+        rhs, rtype = self._lower_expr(expr.rhs)
+        if expr.op in _COMPARE_MAP:
+            ctype = common_type(ltype, rtype)
+            lhs = self._convert(lhs, ltype, ctype)
+            rhs = self._convert(rhs, rtype, ctype)
+            return (self.builder.compare(_COMPARE_MAP[expr.op], lhs, rhs,
+                                         BOOL), BOOL)
+        # Pointer arithmetic: ptr +/- int -> gep.
+        if isinstance(ltype, PointerType) and expr.op in ("+", "-"):
+            index = rhs
+            if expr.op == "-":
+                index = self.builder.binop(
+                    "sub", Constant(INT, 0), rhs, rtype)
+            return self.builder.gep(lhs, index), ltype
+        if isinstance(rtype, PointerType) and expr.op == "+":
+            return self.builder.gep(rhs, lhs), rtype
+        result_type = common_type(ltype, rtype)
+        lhs = self._convert(lhs, ltype, result_type)
+        rhs = self._convert(rhs, rtype, result_type)
+        if result_type.is_float:
+            if expr.op not in _FLOAT_OP_MAP:
+                raise LoweringError(
+                    f"line {expr.line}: operator {expr.op!r} on float")
+            op = _FLOAT_OP_MAP[expr.op]
+        else:
+            op = _INT_OP_MAP[expr.op]
+        return self.builder.binop(op, lhs, rhs, result_type), result_type
+
+    def _lower_logical(self, expr: ast.BinaryExpr) -> Tuple[Value, Type]:
+        """Short-circuit && and || via control flow and a result slot."""
+        slot = self.builder.alloca(BOOL, AddressSpace.PRIVATE, name="sc")
+        lhs, ltype = self._lower_expr(expr.lhs)
+        lhs = self._to_bool(lhs, ltype)
+        self.builder.store(lhs, slot)
+        rhs_block = self.builder.new_block("sc.rhs")
+        end_block = self.builder.new_block("sc.end")
+        if expr.op == "&&":
+            self.builder.cond_branch(lhs, rhs_block, end_block)
+        else:
+            self.builder.cond_branch(lhs, end_block, rhs_block)
+        self.builder.set_block(rhs_block)
+        rhs, rtype = self._lower_expr(expr.rhs)
+        rhs = self._to_bool(rhs, rtype)
+        self.builder.store(rhs, slot)
+        self.builder.branch(end_block)
+        self.builder.set_block(end_block)
+        return self.builder.load(slot), BOOL
+
+    def _lower_ternary(self, expr: ast.TernaryExpr) -> Tuple[Value, Type]:
+        cond, ctype = self._lower_expr(expr.cond)
+        cond = self._to_bool(cond, ctype)
+        then_block = self.builder.new_block("sel.then")
+        else_block = self.builder.new_block("sel.else")
+        end_block = self.builder.new_block("sel.end")
+        self.builder.cond_branch(cond, then_block, else_block)
+
+        # Lower both arms to discover the common result type, storing
+        # through a slot typed after the first arm then fixing up.
+        self.builder.set_block(then_block)
+        tval, ttype = self._lower_expr(expr.then)
+        then_exit = self.builder.block
+
+        self.builder.set_block(else_block)
+        eval_, etype = self._lower_expr(expr.els)
+        else_exit = self.builder.block
+
+        result_type = common_type(ttype, etype)
+        slot = self.builder.alloca(result_type, AddressSpace.PRIVATE,
+                                   name="sel")
+        # The alloca must dominate both stores; move it to the entry block.
+        alloca_inst = self.builder.block.instructions.pop()
+        self.fn.entry.instructions.insert(0, alloca_inst)
+
+        self.builder.set_block(then_exit)
+        self.builder.store(self._convert(tval, ttype, result_type), slot)
+        self.builder.branch(end_block)
+        self.builder.set_block(else_exit)
+        self.builder.store(self._convert(eval_, etype, result_type), slot)
+        self.builder.branch(end_block)
+        self.builder.set_block(end_block)
+        return self.builder.load(slot), result_type
+
+    def _lower_unary(self, expr: ast.UnaryExpr) -> Tuple[Value, Type]:
+        if expr.op in ("++", "--"):
+            ptr, vtype = self._lower_lvalue(expr.operand)
+            old = self.builder.load(ptr)
+            one = Constant(FLOAT, 1.0) if vtype.is_float else Constant(INT, 1)
+            if isinstance(vtype, PointerType):
+                delta = Constant(INT, 1 if expr.op == "++" else -1)
+                new = self.builder.gep(old, delta)
+            else:
+                op = ("fadd" if vtype.is_float else "add") \
+                    if expr.op == "++" else ("fsub" if vtype.is_float
+                                             else "sub")
+                new = self.builder.binop(op, old, one, vtype)
+            self.builder.store(new, ptr)
+            return (old if expr.postfix else new), vtype
+        if expr.op == "*":
+            ptr, elem = self._lower_lvalue(expr)
+            return self.builder.load(ptr), elem
+        if expr.op == "&":
+            ptr, elem = self._lower_lvalue(expr.operand)
+            ptype = ptr.type
+            if isinstance(ptype, PointerType) and isinstance(
+                    ptype.pointee, ArrayType):
+                decayed = PointerType(elem, ptype.space)
+                return self.builder.cast("ptrcast", ptr, decayed), decayed
+            return ptr, ptr.type
+        value, vtype = self._lower_expr(expr.operand)
+        if expr.op == "-":
+            zero = Constant(FLOAT, 0.0) if vtype.is_float else Constant(INT, 0)
+            op = "fsub" if vtype.is_float else "sub"
+            return self.builder.binop(op, zero, value, vtype), vtype
+        if expr.op == "!":
+            b = self._to_bool(value, vtype)
+            return (self.builder.binop("xor", b, Constant(BOOL, 1), BOOL),
+                    BOOL)
+        if expr.op == "~":
+            return (self.builder.binop("xor", value, Constant(INT, -1),
+                                       vtype), vtype)
+        raise LoweringError(f"line {expr.line}: unary {expr.op!r} unsupported")
+
+    def _lower_assign(self, expr: ast.AssignExpr) -> Tuple[Value, Type]:
+        ptr, target_type = self._lower_lvalue(expr.target)
+        value, vtype = self._lower_expr(expr.value)
+        if expr.op != "=":
+            binop = expr.op[:-1]  # '+=' -> '+'
+            old = self.builder.load(ptr)
+            if isinstance(target_type, PointerType):
+                if binop not in ("+", "-"):
+                    raise LoweringError(
+                        f"line {expr.line}: {expr.op} on pointer")
+                index = value
+                if binop == "-":
+                    index = self.builder.binop("sub", Constant(INT, 0),
+                                               value, vtype)
+                value = self.builder.gep(old, index)
+                vtype = target_type
+            else:
+                result_type = common_type(target_type, vtype)
+                old_c = self._convert(old, target_type, result_type)
+                val_c = self._convert(value, vtype, result_type)
+                if result_type.is_float:
+                    op = _FLOAT_OP_MAP[binop]
+                else:
+                    op = _INT_OP_MAP[binop]
+                value = self.builder.binop(op, old_c, val_c, result_type)
+                vtype = result_type
+        value = self._convert(value, vtype, target_type)
+        self.builder.store(value, ptr)
+        return value, target_type
+
+    def _lower_cast(self, expr: ast.CastExpr) -> Tuple[Value, Type]:
+        value, vtype = self._lower_expr(expr.operand)
+        target: Type = parse_type_name(expr.type_name)
+        for _ in range(expr.pointer_depth):
+            space = (vtype.space if isinstance(vtype, PointerType)
+                     else AddressSpace.GLOBAL)
+            target = PointerType(target, space)
+        return self._convert(value, vtype, target, explicit=True), target
+
+    def _lower_call(self, expr: ast.CallExpr) -> Tuple[Value, Type]:
+        name = expr.callee
+        if name.startswith("convert_"):
+            target = parse_type_name(name[len("convert_"):].split("_")[0])
+            value, vtype = self._lower_expr(expr.args[0])
+            return self._convert(value, vtype, target, explicit=True), target
+        sig = builtin_signature(name)
+        if sig is not None:
+            return self._lower_builtin_call(expr, sig)
+        if name in self.helpers:
+            return self._inline_helper(expr)
+        raise LoweringError(f"line {expr.line}: unknown function {name!r}")
+
+    def _lower_builtin_call(self, expr: ast.CallExpr,
+                            sig) -> Tuple[Value, Type]:
+        if sig.category == "sync":
+            for arg in expr.args:
+                self._lower_expr(arg)  # evaluate the fence flags
+            self.builder.barrier()
+            return Constant(INT, 0), VOID
+        args: List[Value] = []
+        arg_types: List[Type] = []
+        for arg in expr.args:
+            v, t = self._lower_expr(arg)
+            args.append(v)
+            arg_types.append(t)
+        # Float builtins promote integer args to float.
+        if sig.category in ("fsimple", "fexpensive", "fdiv"):
+            args = [self._convert(v, t, FLOAT) if not t.is_float
+                    and not isinstance(t, PointerType) else v
+                    for v, t in zip(args, arg_types)]
+            arg_types = [FLOAT if not t.is_float
+                         and not isinstance(t, PointerType) else t
+                         for t in arg_types]
+        if sig.category == "isimple" and len(arg_types) >= 2:
+            # min/max on mixed types use the common type.
+            ctype = arg_types[0]
+            for t in arg_types[1:]:
+                ctype = common_type(ctype, t)
+            args = [self._convert(v, t, ctype)
+                    for v, t in zip(args, arg_types)]
+            arg_types = [ctype] * len(args)
+        ret = sig.result_type(arg_types)
+        result = self.builder.call(sig.name, args, ret)
+        if result is None:
+            return Constant(INT, 0), VOID
+        return result, ret
+
+    def _inline_helper(self, expr: ast.CallExpr) -> Tuple[Value, Type]:
+        helper = self.helpers[expr.callee]
+        if expr.callee in self.inline_stack:
+            raise LoweringError(
+                f"line {expr.line}: recursive call to {expr.callee!r} "
+                f"cannot be synthesised to hardware")
+        if len(self.inline_stack) >= self.MAX_INLINE_DEPTH:
+            raise LoweringError(f"line {expr.line}: inline depth exceeded")
+        if len(expr.args) != len(helper.params):
+            raise LoweringError(
+                f"line {expr.line}: {expr.callee!r} expects "
+                f"{len(helper.params)} args, got {len(expr.args)}")
+
+        ret_type: Type = parse_type_name(helper.return_type)
+        for _ in range(helper.return_pointer_depth):
+            ret_type = PointerType(ret_type, AddressSpace.GLOBAL)
+
+        # Evaluate actuals in the caller's scope.
+        actuals = [self._lower_expr(a) for a in expr.args]
+
+        # Fresh scope containing only the formals.
+        saved_scope = self.scope
+        self.scope = _Scope()  # helpers cannot see kernel locals
+        for param, (value, vtype) in zip(helper.params, actuals):
+            ptype = self._param_type(param)
+            slot_ptr = self.builder.alloca(ptype, AddressSpace.PRIVATE,
+                                           name=f"{expr.callee}.{param.name}")
+            self.builder.store(self._convert(value, vtype, ptype), slot_ptr)
+            self.scope.define(param.name, VarSlot(
+                ptr=slot_ptr, declared=ptype, space=AddressSpace.PRIVATE))
+
+        result_slot = None
+        if ret_type != VOID:
+            result_slot = self.builder.alloca(
+                ret_type, AddressSpace.PRIVATE, name=f"{expr.callee}.ret")
+        join = self.builder.new_block(f"{expr.callee}.join")
+        self.return_targets.append((join, result_slot, ret_type))
+        self.inline_stack.append(expr.callee)
+        self._lower_stmt(helper.body)
+        self.inline_stack.pop()
+        self.return_targets.pop()
+        if not self.builder.block.is_terminated:
+            self.builder.branch(join)
+        self.builder.set_block(join)
+        self.scope = saved_scope
+        if result_slot is None:
+            return Constant(INT, 0), VOID
+        return self.builder.load(result_slot), ret_type
+
+    # -- conversions -----------------------------------------------------
+
+    def _to_bool(self, value: Value, vtype: Type) -> Value:
+        if vtype == BOOL:
+            return value
+        if vtype.is_float:
+            return self.builder.compare("ne", value, Constant(FLOAT, 0.0),
+                                        BOOL)
+        return self.builder.compare("ne", value, Constant(INT, 0), BOOL)
+
+    def _convert(self, value: Value, from_type: Type, to_type: Type,
+                 explicit: bool = False) -> Value:
+        if from_type == to_type:
+            return value
+        if isinstance(from_type, PointerType) and isinstance(
+                to_type, PointerType):
+            return self.builder.cast("ptrcast", value, to_type)
+        if isinstance(from_type, PointerType) or isinstance(
+                to_type, PointerType):
+            if explicit:
+                return self.builder.cast("bitcast", value, to_type)
+            raise LoweringError(
+                f"implicit pointer/scalar conversion {from_type} -> {to_type}")
+        if isinstance(value, Constant) and isinstance(to_type, ScalarType):
+            # Fold constant conversions.
+            if to_type.is_float:
+                return Constant(to_type, float(value.value))
+            return Constant(to_type, int(value.value))
+        if from_type.is_float and to_type.is_float:
+            kind = "fpext" if to_type.bits > from_type.bits else "fptrunc"
+        elif from_type.is_float:
+            kind = "fptoui" if not to_type.is_signed else "fptosi"
+        elif to_type.is_float:
+            kind = "uitofp" if not from_type.is_signed else "sitofp"
+        elif to_type.bits > from_type.bits:
+            kind = "sext" if from_type.is_signed else "zext"
+        elif to_type.bits < from_type.bits:
+            kind = "trunc"
+        else:
+            kind = "bitcast"
+        return self.builder.cast(kind, value, to_type)
+
+
+def lower_translation_unit(unit: ast.TranslationUnit,
+                           name: str = "module") -> Module:
+    """Lower a parsed translation unit to an IR module."""
+    module = Module(name)
+    helpers = {f.name: f for f in unit.functions if not f.is_kernel}
+    for fdef in unit.functions:
+        if not fdef.is_kernel:
+            continue
+        lowering = _FunctionLowering(fdef, helpers)
+        module.add(lowering.lower())
+    if not module.kernels:
+        raise LoweringError("translation unit contains no __kernel function")
+    return module
+
+
+def compile_opencl(source: str, name: str = "module",
+                   verify: bool = True,
+                   apply_pragmas: bool = True) -> Module:
+    """Compile OpenCL C *source* to an IR :class:`~repro.ir.Module`.
+
+    This is the frontend entry point: lex, parse, apply ``#pragma
+    unroll`` transformations (disable with *apply_pragmas=False*),
+    lower, and (by default) verify the result.
+    """
+    unit = parse(source)
+    if apply_pragmas:
+        from repro.frontend.unroll import apply_unroll_pragmas
+        apply_unroll_pragmas(unit)
+    module = lower_translation_unit(unit, name)
+    if verify:
+        verify_module(module)
+    return module

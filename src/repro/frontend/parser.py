@@ -1,0 +1,542 @@
+"""Recursive-descent parser for the OpenCL C subset."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lexer import Lexer, Token
+from repro.ir.types import is_type_name
+
+#: Binary operator precedence (higher binds tighter).
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=",
+               "&=", "|=", "^="}
+
+_SPACE_KEYWORDS = {
+    "__global": "global", "global": "global",
+    "__local": "local", "local": "local",
+    "__private": "private", "private": "private",
+    "__constant": "constant", "constant": "constant",
+}
+
+
+class ParseError(Exception):
+    """Raised on a syntax error, with source position."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"parse error at {token.line}:{token.col}: "
+                         f"{message} (got {token.kind} {token.text!r})")
+        self.token = token
+
+
+class Parser:
+    """Parses a token stream into a :class:`~repro.frontend.ast_nodes.TranslationUnit`."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def _next(self) -> Token:
+        tok = self._peek()
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self._peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self._accept(kind, text)
+        if tok is None:
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}", self._peek())
+        return tok
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_translation_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        pending_pragmas: List[str] = []
+        while not self._check("eof"):
+            if self._check("pragma"):
+                pending_pragmas.append(self._next().text)
+                continue
+            fn = self._parse_function()
+            fn.pragmas = pending_pragmas
+            pending_pragmas = []
+            unit.functions.append(fn)
+        return unit
+
+    def _parse_function(self) -> ast.FunctionDef:
+        line = self._peek().line
+        is_kernel = False
+        reqd_wgs = None
+        # Leading qualifiers and attributes, in any order.
+        while True:
+            if self._accept("keyword", "__kernel") or self._accept("keyword", "kernel"):
+                is_kernel = True
+                continue
+            if self._accept("keyword", "static") or self._accept("keyword", "inline"):
+                continue
+            if self._check("keyword", "__attribute__"):
+                reqd = self._parse_attribute()
+                if reqd is not None:
+                    reqd_wgs = reqd
+                continue
+            break
+        ret_type, ret_ptr = self._parse_type_prefix()
+        name = self._expect("id").text
+        self._expect("op", "(")
+        params: List[ast.ParamDecl] = []
+        if not self._check("op", ")"):
+            while True:
+                params.append(self._parse_param())
+                if not self._accept("op", ","):
+                    break
+        self._expect("op", ")")
+        # Trailing attribute position is also legal.
+        if self._check("keyword", "__attribute__"):
+            reqd = self._parse_attribute()
+            if reqd is not None:
+                reqd_wgs = reqd
+        body = self._parse_compound()
+        return ast.FunctionDef(
+            line=line, name=name, return_type=ret_type,
+            return_pointer_depth=ret_ptr, params=params, body=body,
+            is_kernel=is_kernel, reqd_work_group_size=reqd_wgs)
+
+    def _parse_attribute(self):
+        """Parse __attribute__((...)); returns reqd_work_group_size or None."""
+        self._expect("keyword", "__attribute__")
+        self._expect("op", "(")
+        self._expect("op", "(")
+        result = None
+        depth = 0
+        name = self._expect("id").text
+        if self._accept("op", "("):
+            args: List[int] = []
+            while not self._check("op", ")"):
+                tok = self._next()
+                if tok.kind == "int":
+                    args.append(int(tok.value))
+                if self._check("op", "("):
+                    depth += 1
+            self._expect("op", ")")
+            if name == "reqd_work_group_size" and len(args) == 3:
+                result = tuple(args)
+        self._expect("op", ")")
+        self._expect("op", ")")
+        return result
+
+    def _parse_param(self) -> ast.ParamDecl:
+        line = self._peek().line
+        space = "private"
+        is_const = False
+        while True:
+            tok = self._peek()
+            if tok.kind == "keyword" and tok.text in _SPACE_KEYWORDS:
+                space = _SPACE_KEYWORDS[tok.text]
+                self._next()
+                continue
+            if self._accept("keyword", "const"):
+                is_const = True
+                continue
+            if (self._accept("keyword", "volatile")
+                    or self._accept("keyword", "restrict")):
+                continue
+            break
+        type_name = self._parse_type_name()
+        ptr_depth = 0
+        while self._accept("op", "*"):
+            ptr_depth += 1
+            # const/restrict after the star
+            while (self._accept("keyword", "const")
+                   or self._accept("keyword", "restrict")
+                   or self._accept("keyword", "volatile")):
+                pass
+        name = self._expect("id").text
+        if ptr_depth > 0 and space == "private":
+            # An unqualified pointer parameter defaults to global in SDAccel.
+            space = "global"
+        return ast.ParamDecl(type_name=type_name, name=name, space=space,
+                             pointer_depth=ptr_depth, is_const=is_const,
+                             line=line)
+
+    def _parse_type_prefix(self):
+        type_name = self._parse_type_name()
+        ptr = 0
+        while self._accept("op", "*"):
+            ptr += 1
+        return type_name, ptr
+
+    def _parse_type_name(self) -> str:
+        tok = self._peek()
+        if tok.kind == "keyword" and tok.text in ("unsigned", "signed"):
+            self._next()
+            base = "int"
+            nxt = self._peek()
+            if nxt.kind in ("id", "keyword") and is_type_name(nxt.text):
+                base = self._next().text
+            if tok.text == "unsigned":
+                return {"char": "uchar", "short": "ushort", "int": "uint",
+                        "long": "ulong"}.get(base, "uint")
+            return base
+        if tok.kind == "keyword" and tok.text == "void":
+            self._next()
+            return "void"
+        if tok.kind == "id" and tok.text == "size_t":
+            self._next()
+            return "uint"
+        if tok.kind == "id" and is_type_name(tok.text):
+            self._next()
+            return tok.text
+        raise ParseError("expected a type name", tok)
+
+    def _looks_like_type(self, offset: int = 0) -> bool:
+        tok = self._peek(offset)
+        if tok.kind == "keyword" and tok.text in (
+                "unsigned", "signed", "void", "const", "volatile",
+                "__local", "local", "__private", "private",
+                "__constant", "constant", "__global", "global"):
+            return True
+        return tok.kind == "id" and (is_type_name(tok.text)
+                                     or tok.text == "size_t")
+
+    # -- statements ------------------------------------------------------
+
+    def _parse_compound(self) -> ast.CompoundStmt:
+        line = self._expect("op", "{").line
+        body: List[ast.Stmt] = []
+        pending_pragmas: List[str] = []
+        while not self._check("op", "}"):
+            if self._check("pragma"):
+                pending_pragmas.append(self._next().text)
+                continue
+            stmt = self._parse_statement()
+            if pending_pragmas and isinstance(
+                    stmt, (ast.ForStmt, ast.WhileStmt, ast.DoWhileStmt)):
+                stmt.pragmas = pending_pragmas
+            pending_pragmas = []
+            body.append(stmt)
+        self._expect("op", "}")
+        return ast.CompoundStmt(line=line, body=body)
+
+    def _parse_statement(self) -> ast.Stmt:
+        tok = self._peek()
+        if tok.kind == "op" and tok.text == "{":
+            return self._parse_compound()
+        if tok.kind == "op" and tok.text == ";":
+            self._next()
+            return ast.ExprStmt(line=tok.line, expr=None)
+        if tok.kind == "keyword":
+            if tok.text == "if":
+                return self._parse_if()
+            if tok.text == "for":
+                return self._parse_for()
+            if tok.text == "while":
+                return self._parse_while()
+            if tok.text == "do":
+                return self._parse_do_while()
+            if tok.text == "return":
+                self._next()
+                value = None
+                if not self._check("op", ";"):
+                    value = self._parse_expression()
+                self._expect("op", ";")
+                return ast.ReturnStmt(line=tok.line, value=value)
+            if tok.text == "break":
+                self._next()
+                self._expect("op", ";")
+                return ast.BreakStmt(line=tok.line)
+            if tok.text == "continue":
+                self._next()
+                self._expect("op", ";")
+                return ast.ContinueStmt(line=tok.line)
+        if self._starts_declaration():
+            return self._parse_declaration()
+        expr = self._parse_expression()
+        self._expect("op", ";")
+        return ast.ExprStmt(line=tok.line, expr=expr)
+
+    def _starts_declaration(self) -> bool:
+        tok = self._peek()
+        if tok.kind == "keyword" and tok.text in (
+                "__local", "local", "__private", "private", "const",
+                "__constant", "constant", "unsigned", "signed",
+                "volatile", "__global", "global"):
+            return True
+        if tok.kind == "id" and (is_type_name(tok.text) or tok.text == "size_t"):
+            # `float x` vs expression starting with an id: a declaration has
+            # an identifier (or '*') right after the type.
+            nxt = self._peek(1)
+            return (nxt.kind == "id"
+                    or (nxt.kind == "op" and nxt.text == "*"))
+        return False
+
+    def _parse_declaration(self) -> ast.DeclStmt:
+        line = self._peek().line
+        space = "private"
+        while True:
+            tok = self._peek()
+            if tok.kind == "keyword" and tok.text in _SPACE_KEYWORDS:
+                space = _SPACE_KEYWORDS[tok.text]
+                self._next()
+                continue
+            if tok.kind == "keyword" and tok.text in ("const", "volatile"):
+                self._next()
+                continue
+            break
+        type_name = self._parse_type_name()
+        ptr_depth = 0
+        declarators: List[ast.Declarator] = []
+        first = True
+        while True:
+            d_ptr = 0
+            while self._accept("op", "*"):
+                d_ptr += 1
+            if first:
+                ptr_depth = d_ptr
+                first = False
+            name_tok = self._expect("id")
+            array_size = None
+            if self._accept("op", "["):
+                array_size = self._parse_expression()
+                self._expect("op", "]")
+                # Multi-dimensional local arrays are flattened.
+                while self._accept("op", "["):
+                    extra = self._parse_expression()
+                    self._expect("op", "]")
+                    array_size = ast.BinaryExpr(
+                        line=name_tok.line, op="*", lhs=array_size, rhs=extra)
+            init = None
+            if self._accept("op", "="):
+                init = self._parse_assignment()
+            declarators.append(ast.Declarator(
+                name=name_tok.text, array_size=array_size, init=init,
+                line=name_tok.line))
+            if not self._accept("op", ","):
+                break
+        self._expect("op", ";")
+        return ast.DeclStmt(line=line, type_name=type_name, space=space,
+                            pointer_depth=ptr_depth, declarators=declarators)
+
+    def _parse_if(self) -> ast.IfStmt:
+        line = self._expect("keyword", "if").line
+        self._expect("op", "(")
+        cond = self._parse_expression()
+        self._expect("op", ")")
+        then = self._parse_statement()
+        els = None
+        if self._accept("keyword", "else"):
+            els = self._parse_statement()
+        return ast.IfStmt(line=line, cond=cond, then=then, els=els)
+
+    def _parse_for(self) -> ast.ForStmt:
+        line = self._expect("keyword", "for").line
+        self._expect("op", "(")
+        init: Optional[ast.Stmt] = None
+        if not self._check("op", ";"):
+            if self._starts_declaration():
+                init = self._parse_declaration()
+            else:
+                expr = self._parse_expression()
+                self._expect("op", ";")
+                init = ast.ExprStmt(line=line, expr=expr)
+        else:
+            self._next()
+        cond = None
+        if not self._check("op", ";"):
+            cond = self._parse_expression()
+        self._expect("op", ";")
+        step = None
+        if not self._check("op", ")"):
+            step = self._parse_expression()
+        self._expect("op", ")")
+        body = self._parse_statement()
+        return ast.ForStmt(line=line, init=init, cond=cond, step=step,
+                           body=body)
+
+    def _parse_while(self) -> ast.WhileStmt:
+        line = self._expect("keyword", "while").line
+        self._expect("op", "(")
+        cond = self._parse_expression()
+        self._expect("op", ")")
+        body = self._parse_statement()
+        return ast.WhileStmt(line=line, cond=cond, body=body)
+
+    def _parse_do_while(self) -> ast.DoWhileStmt:
+        line = self._expect("keyword", "do").line
+        body = self._parse_statement()
+        self._expect("keyword", "while")
+        self._expect("op", "(")
+        cond = self._parse_expression()
+        self._expect("op", ")")
+        self._expect("op", ";")
+        return ast.DoWhileStmt(line=line, body=body, cond=cond)
+
+    # -- expressions -----------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        expr = self._parse_assignment()
+        # Comma operator: evaluate left, result is right.  Used in for-steps.
+        while self._check("op", ",") and self._comma_is_operator():
+            self._next()
+            rhs = self._parse_assignment()
+            expr = ast.BinaryExpr(line=expr.line, op=",", lhs=expr, rhs=rhs)
+        return expr
+
+    def _comma_is_operator(self) -> bool:
+        # Inside call args / declarations the caller handles ','. We only
+        # parse comma-expressions at statement level, which reaches here.
+        return True
+
+    def _parse_assignment(self) -> ast.Expr:
+        lhs = self._parse_ternary()
+        tok = self._peek()
+        if tok.kind == "op" and tok.text in _ASSIGN_OPS:
+            self._next()
+            rhs = self._parse_assignment()
+            return ast.AssignExpr(line=tok.line, op=tok.text, target=lhs,
+                                  value=rhs)
+        return lhs
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        if self._accept("op", "?"):
+            then = self._parse_assignment()
+            self._expect("op", ":")
+            els = self._parse_assignment()
+            return ast.TernaryExpr(line=cond.line, cond=cond, then=then,
+                                   els=els)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        lhs = self._parse_unary()
+        while True:
+            tok = self._peek()
+            if tok.kind != "op" or tok.text not in _BINARY_PRECEDENCE:
+                return lhs
+            prec = _BINARY_PRECEDENCE[tok.text]
+            if prec < min_prec:
+                return lhs
+            self._next()
+            rhs = self._parse_binary(prec + 1)
+            lhs = ast.BinaryExpr(line=tok.line, op=tok.text, lhs=lhs, rhs=rhs)
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind == "op" and tok.text in ("-", "+", "!", "~", "*", "&"):
+            self._next()
+            operand = self._parse_unary()
+            if tok.text == "+":
+                return operand
+            return ast.UnaryExpr(line=tok.line, op=tok.text, operand=operand)
+        if tok.kind == "op" and tok.text in ("++", "--"):
+            self._next()
+            operand = self._parse_unary()
+            return ast.UnaryExpr(line=tok.line, op=tok.text, operand=operand,
+                                 postfix=False)
+        if tok.kind == "keyword" and tok.text == "sizeof":
+            self._next()
+            self._expect("op", "(")
+            from repro.ir.types import parse_type_name
+            name = self._parse_type_name()
+            self._expect("op", ")")
+            return ast.IntLiteral(line=tok.line,
+                                  value=parse_type_name(name).bytes)
+        # Cast: '(' type ')' unary
+        if tok.kind == "op" and tok.text == "(" and self._looks_like_type(1):
+            # Distinguish a cast from a parenthesized expression: after the
+            # type (and stars) we must see ')'.
+            save = self.pos
+            self._next()
+            try:
+                type_name = self._parse_type_name()
+                ptr = 0
+                while self._accept("op", "*"):
+                    ptr += 1
+                if self._accept("op", ")"):
+                    operand = self._parse_unary()
+                    return ast.CastExpr(line=tok.line, type_name=type_name,
+                                        pointer_depth=ptr, operand=operand)
+            except ParseError:
+                pass
+            self.pos = save
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            tok = self._peek()
+            if tok.kind == "op" and tok.text == "[":
+                self._next()
+                index = self._parse_expression()
+                self._expect("op", "]")
+                expr = ast.IndexExpr(line=tok.line, base=expr, index=index)
+            elif tok.kind == "op" and tok.text == "(":
+                if not isinstance(expr, ast.Identifier):
+                    raise ParseError("can only call named functions", tok)
+                self._next()
+                args: List[ast.Expr] = []
+                if not self._check("op", ")"):
+                    while True:
+                        args.append(self._parse_assignment())
+                        if not self._accept("op", ","):
+                            break
+                self._expect("op", ")")
+                expr = ast.CallExpr(line=tok.line, callee=expr.name, args=args)
+            elif tok.kind == "op" and tok.text in ("++", "--"):
+                self._next()
+                expr = ast.UnaryExpr(line=tok.line, op=tok.text, operand=expr,
+                                     postfix=True)
+            elif tok.kind == "op" and tok.text == ".":
+                self._next()
+                member = self._expect("id").text
+                expr = ast.MemberExpr(line=tok.line, base=expr, member=member)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._next()
+        if tok.kind == "int":
+            return ast.IntLiteral(line=tok.line, value=int(tok.value))
+        if tok.kind == "float":
+            return ast.FloatLiteral(line=tok.line, value=float(tok.value))
+        if tok.kind == "id":
+            return ast.Identifier(line=tok.line, name=tok.text)
+        if tok.kind == "op" and tok.text == "(":
+            expr = self._parse_expression()
+            self._expect("op", ")")
+            return expr
+        raise ParseError("expected an expression", tok)
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Lex and parse OpenCL C *source* into an AST."""
+    tokens = Lexer(source).tokens()
+    return Parser(tokens).parse_translation_unit()

@@ -1,0 +1,144 @@
+"""AST-level loop unrolling for ``#pragma unroll``.
+
+SDAccel honours ``#pragma unroll [N]`` by replicating the loop body,
+which changes everything downstream — more ops per basic block, more
+local-memory accesses per initiation (ResMII pressure), more DSP cores.
+Because the lowering is alloca-based (all loop state lives in memory),
+replicating the *statements* is semantically exact:
+
+- full unroll (``#pragma unroll`` on a loop with a static trip count N,
+  or N <= the requested factor): the loop disappears; ``init`` runs
+  once, then N copies of ``body; step``;
+- partial unroll by F (F divides N): the loop remains with N/F
+  iterations, each macro-iteration executing F copies of ``body; step``.
+
+Loops containing ``break``/``continue``/``return`` are left untouched
+(the replication would change semantics), as are loops whose trip count
+is not statically known — matching what HLS tools do.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List, Optional
+
+from repro.frontend import ast_nodes as ast
+
+
+def apply_unroll_pragmas(unit: ast.TranslationUnit) -> ast.TranslationUnit:
+    """Unroll every ``#pragma unroll`` loop in place; returns *unit*."""
+    for fn in unit.functions:
+        _rewrite_compound(fn.body)
+    return unit
+
+
+def _rewrite_compound(stmt: Optional[ast.Stmt]) -> None:
+    if isinstance(stmt, ast.CompoundStmt):
+        new_body: List[ast.Stmt] = []
+        for child in stmt.body:
+            _rewrite_compound(child)
+            replacement = _maybe_unroll(child)
+            if isinstance(replacement, list):
+                new_body.extend(replacement)
+            else:
+                new_body.append(replacement)
+        stmt.body = new_body
+    elif isinstance(stmt, ast.IfStmt):
+        _rewrite_compound(stmt.then)
+        _rewrite_compound(stmt.els)
+    elif isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.DoWhileStmt)):
+        _rewrite_compound(stmt.body)
+
+
+def _maybe_unroll(stmt: ast.Stmt):
+    if not isinstance(stmt, ast.ForStmt):
+        return stmt
+    factor = _unroll_factor(stmt.pragmas)
+    if factor is None:
+        return stmt
+    trip = _static_trip_count(stmt)
+    if trip is None or trip <= 0:
+        return stmt           # dynamic bounds: leave to the hardware
+    if _has_control_escape(stmt.body):
+        return stmt
+    if factor == 0 or factor >= trip:
+        return _full_unroll(stmt, trip)
+    if trip % factor != 0:
+        return stmt           # HLS refuses non-dividing partial factors
+    return _partial_unroll(stmt, factor)
+
+
+def _unroll_factor(pragmas: List[str]) -> Optional[int]:
+    for text in pragmas:
+        words = text.split()
+        if words and words[0] == "unroll":
+            return int(words[1]) if len(words) > 1 else 0   # 0 == full
+    return None
+
+
+def _full_unroll(stmt: ast.ForStmt, trip: int) -> List[ast.Stmt]:
+    out: List[ast.Stmt] = []
+    if stmt.init is not None:
+        out.append(stmt.init)
+    for _ in range(trip):
+        out.append(copy.deepcopy(stmt.body))
+        if stmt.step is not None:
+            out.append(ast.ExprStmt(line=stmt.line,
+                                    expr=copy.deepcopy(stmt.step)))
+    return out
+
+
+def _partial_unroll(stmt: ast.ForStmt, factor: int) -> ast.ForStmt:
+    macro_body: List[ast.Stmt] = []
+    for i in range(factor):
+        macro_body.append(copy.deepcopy(stmt.body))
+        # the last step stays in the loop's step slot
+        if i < factor - 1 and stmt.step is not None:
+            macro_body.append(ast.ExprStmt(
+                line=stmt.line, expr=copy.deepcopy(stmt.step)))
+    trip = _static_trip_count(stmt)
+    return ast.ForStmt(
+        line=stmt.line, init=stmt.init, cond=stmt.cond, step=stmt.step,
+        body=ast.CompoundStmt(line=stmt.line, body=macro_body),
+        pragmas=[p for p in stmt.pragmas
+                 if not p.split() or p.split()[0] != "unroll"],
+        trip_count_hint=(trip // factor if trip is not None else None))
+
+
+def _has_control_escape(stmt: ast.Stmt) -> bool:
+    """True if the subtree contains break/continue/return that would
+    escape the unrolled loop."""
+    if isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt,
+                         ast.ReturnStmt)):
+        return True
+    if isinstance(stmt, ast.CompoundStmt):
+        return any(_has_control_escape(s) for s in stmt.body)
+    if isinstance(stmt, ast.IfStmt):
+        return (_has_control_escape(stmt.then)
+                or (stmt.els is not None
+                    and _has_control_escape(stmt.els)))
+    # break/continue inside a NESTED loop bind to that loop, not ours.
+    if isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.DoWhileStmt)):
+        return _contains_return(stmt.body)
+    return False
+
+
+def _contains_return(stmt: ast.Stmt) -> bool:
+    if isinstance(stmt, ast.ReturnStmt):
+        return True
+    if isinstance(stmt, ast.CompoundStmt):
+        return any(_contains_return(s) for s in stmt.body)
+    if isinstance(stmt, ast.IfStmt):
+        return (_contains_return(stmt.then)
+                or (stmt.els is not None
+                    and _contains_return(stmt.els)))
+    if isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.DoWhileStmt)):
+        return _contains_return(stmt.body)
+    return False
+
+
+def _static_trip_count(stmt: ast.ForStmt) -> Optional[int]:
+    """Shared with the lowering's recogniser (canonical for-loops)."""
+    from repro.frontend.lowering import _FunctionLowering
+    return _FunctionLowering._static_trip_count(
+        _FunctionLowering.__new__(_FunctionLowering), stmt)

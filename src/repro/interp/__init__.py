@@ -1,0 +1,28 @@
+"""IR interpreter: NDRange execution, functional checks, dynamic profiling.
+
+The paper's kernel analysis executes "a few work-groups" of each kernel to
+collect loop trip counts and the global-memory access trace when static
+analysis fails.  This package provides that executor: it runs kernels on
+host buffers with full OpenCL NDRange / work-group / barrier semantics and
+records per-work-item global access traces and per-loop trip counts.
+"""
+
+from repro.interp.memory import Buffer, GlobalMemory, PointerValue
+from repro.interp.executor import (
+    ExecutionError,
+    KernelExecutor,
+    LaunchResult,
+    MemAccess,
+    NDRange,
+)
+
+__all__ = [
+    "Buffer",
+    "ExecutionError",
+    "GlobalMemory",
+    "KernelExecutor",
+    "LaunchResult",
+    "MemAccess",
+    "NDRange",
+    "PointerValue",
+]

@@ -1,0 +1,643 @@
+"""NDRange kernel executor.
+
+Executes a lowered kernel over an OpenCL NDRange with work-group and
+barrier semantics: within a work-group, every work-item runs until it
+hits a barrier (or finishes); the group proceeds to the next phase only
+when all items have arrived, matching the OpenCL execution model.
+
+While executing it records the artefacts the FlexCL kernel analysis
+needs (paper §3.2): per-loop trip counts and the per-work-item global
+memory access trace.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.interp.memory import (
+    Buffer,
+    FlatSpace,
+    GlobalMemory,
+    PointerValue,
+)
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    Alloca,
+    Barrier,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CompareOp,
+    CondBranch,
+    GetElementPtr,
+    Instruction,
+    Load,
+    Return,
+    Select,
+    Store,
+)
+from repro.ir.types import AddressSpace, ArrayType, PointerType, Type
+from repro.ir.values import Argument, Constant, Register, Value
+
+
+class ExecutionError(Exception):
+    """Raised when a kernel performs an illegal operation at runtime."""
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """One memory access in a work-item's trace."""
+
+    kind: str          # 'read' | 'write'
+    addr: int          # byte address in the flat address space
+    nbytes: int
+    buffer: str        # buffer (argument) name, or '__local'
+    space: str = "global"   # 'global' | 'local'
+    site: int = -1     # static instruction site id within the kernel
+
+
+@dataclass
+class NDRange:
+    """Launch geometry.  Sizes are per dimension, up to 3 dimensions."""
+
+    global_size: Tuple[int, ...]
+    local_size: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if isinstance(self.global_size, int):
+            self.global_size = (self.global_size,)
+        if isinstance(self.local_size, int):
+            self.local_size = (self.local_size,)
+        self.global_size = tuple(self.global_size)
+        self.local_size = tuple(self.local_size)
+        if len(self.global_size) != len(self.local_size):
+            raise ValueError("global/local dimensionality mismatch")
+        for g, l in zip(self.global_size, self.local_size):
+            if l <= 0 or g <= 0 or g % l != 0:
+                raise ValueError(
+                    f"global size {g} not a positive multiple of local {l}")
+
+    @property
+    def dims(self) -> int:
+        return len(self.global_size)
+
+    @property
+    def num_work_items(self) -> int:
+        return int(np.prod(self.global_size))
+
+    @property
+    def work_group_size(self) -> int:
+        return int(np.prod(self.local_size))
+
+    @property
+    def num_groups(self) -> Tuple[int, ...]:
+        return tuple(g // l for g, l in
+                     zip(self.global_size, self.local_size))
+
+    @property
+    def num_work_groups(self) -> int:
+        return int(np.prod(self.num_groups))
+
+    def group_ids(self) -> Iterable[Tuple[int, ...]]:
+        return np.ndindex(*reversed(self.num_groups))
+
+
+@dataclass
+class LaunchResult:
+    """Everything recorded while executing (a subset of) an NDRange."""
+
+    groups_executed: int = 0
+    work_items_executed: int = 0
+    #: block-name -> execution count, aggregated over profiled work-items
+    block_counts: Dict[str, int] = field(default_factory=dict)
+    #: per-work-item global access traces (one list per profiled item)
+    traces: List[List[MemAccess]] = field(default_factory=list)
+    #: name -> average trip count, derived from block counts
+    trip_counts: Dict[str, float] = field(default_factory=dict)
+    #: count of barriers executed by the first profiled work-item
+    barriers_per_item: int = 0
+
+
+class _WorkItemState:
+    """Execution state of one work-item (supports barrier suspension)."""
+
+    __slots__ = ("block", "index", "regs", "private", "done", "barrier_hits")
+
+    def __init__(self, entry: BasicBlock) -> None:
+        self.block = entry
+        self.index = 0
+        self.regs: Dict[int, object] = {}
+        self.private = FlatSpace()
+        self.done = False
+        self.barrier_hits = 0
+
+
+def _mask_int(value: int, bits: int, signed: bool) -> int:
+    if bits <= 0 or bits >= 64:
+        bits = 64
+    value &= (1 << bits) - 1
+    if signed and value >= (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def _c_div(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _c_rem(a: int, b: int) -> int:
+    return a - _c_div(a, b) * b
+
+
+_MATH_1 = {
+    "sqrt": math.sqrt, "native_sqrt": math.sqrt,
+    "rsqrt": lambda x: 1.0 / math.sqrt(x),
+    "native_rsqrt": lambda x: 1.0 / math.sqrt(x),
+    "fabs": abs, "floor": math.floor, "ceil": math.ceil,
+    "round": lambda x: float(round(x)), "trunc": math.trunc,
+    "exp": math.exp, "native_exp": math.exp, "exp2": lambda x: 2.0 ** x,
+    "exp10": lambda x: 10.0 ** x,
+    "log": math.log, "native_log": math.log, "log2": math.log2,
+    "log10": math.log10,
+    "sin": math.sin, "native_sin": math.sin,
+    "cos": math.cos, "native_cos": math.cos, "tan": math.tan,
+    "asin": math.asin, "acos": math.acos, "atan": math.atan,
+    "sinh": math.sinh, "cosh": math.cosh, "tanh": math.tanh,
+    "native_recip": lambda x: 1.0 / x,
+    "sign": lambda x: (x > 0) - (x < 0),
+}
+
+_MATH_2 = {
+    "pow": math.pow, "native_powr": math.pow,
+    "fmin": min, "fmax": max, "fmod": math.fmod,
+    "atan2": math.atan2, "hypot": math.hypot,
+    "native_divide": lambda a, b: a / b,
+    "step": lambda edge, x: 0.0 if x < edge else 1.0,
+}
+
+
+class KernelExecutor:
+    """Executes one kernel function over host buffers.
+
+    Parameters
+    ----------
+    fn:
+        The lowered kernel.
+    buffers:
+        Maps pointer-argument names to :class:`Buffer` objects.
+    scalars:
+        Maps value-argument names to Python numbers.
+    """
+
+    #: default per-work-item instruction budget (guards runaway loops)
+    DEFAULT_MAX_STEPS = 5_000_000
+
+    def __init__(self, fn: Function, buffers: Dict[str, Buffer],
+                 scalars: Dict[str, object],
+                 max_steps: Optional[int] = None) -> None:
+        self.fn = fn
+        self.max_steps = max_steps or self.DEFAULT_MAX_STEPS
+        self.memory = GlobalMemory()
+        self.buffers = buffers
+        self.scalars = scalars
+        self._block_by_name = {b.name: b for b in fn.blocks}
+        for buf in buffers.values():
+            self.memory.bind(buf)
+        self._arg_values: Dict[int, object] = {}
+        for arg in fn.args:
+            if isinstance(arg.type, PointerType):
+                if arg.name not in buffers:
+                    raise ExecutionError(
+                        f"no buffer supplied for pointer argument "
+                        f"{arg.name!r}")
+                self._arg_values[id(arg)] = PointerValue(
+                    arg.type.space, buffers[arg.name].base)
+            else:
+                if arg.name not in scalars:
+                    raise ExecutionError(
+                        f"no value supplied for scalar argument "
+                        f"{arg.name!r}")
+                self._arg_values[id(arg)] = scalars[arg.name]
+        self._addr_to_buffer: List[Tuple[int, int, str]] = [
+            (b.base, b.base + max(b.nbytes, 1), b.name)
+            for b in buffers.values()
+        ]
+        #: stable per-instruction site ids for trace attribution
+        self._site_of: Dict[int, int] = {
+            id(inst): i for i, inst in enumerate(fn.instructions())
+        }
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, ndrange: NDRange, max_groups: Optional[int] = None,
+            record: bool = True) -> LaunchResult:
+        """Execute the NDRange (optionally only the first *max_groups*
+        work-groups, as the paper's profiler does) and collect traces."""
+        result = LaunchResult()
+        group_list = list(ndrange.group_ids())
+        if max_groups is not None:
+            group_list = group_list[:max_groups]
+        for rev_gid in group_list:
+            gid = tuple(reversed(rev_gid))
+            self._run_group(gid, ndrange, result, record)
+            result.groups_executed += 1
+        self._finalize_trip_counts(result)
+        return result
+
+    # -- execution ---------------------------------------------------------
+
+    def _run_group(self, group_id: Tuple[int, ...], ndrange: NDRange,
+                   result: LaunchResult, record: bool) -> None:
+        local_mem = FlatSpace()
+        local_allocas: Dict[int, int] = {}   # alloca inst id -> base addr
+        states: List[_WorkItemState] = []
+        contexts: List[Dict[str, Tuple[int, ...]]] = []
+
+        for rev_lid in np.ndindex(*reversed(ndrange.local_size)):
+            lid = tuple(reversed(rev_lid))
+            states.append(_WorkItemState(self.fn.entry))
+            contexts.append({"local_id": lid, "group_id": group_id})
+
+        traces: List[List[MemAccess]] = [[] for _ in states]
+        block_counts: Dict[str, int] = {}
+
+        # Phase execution: run every item until barrier/finish, repeat.
+        live = list(range(len(states)))
+        guard = 0
+        while live:
+            guard += 1
+            if guard > 10_000:
+                raise ExecutionError("work-group failed to converge "
+                                     "(runaway barrier loop?)")
+            arrived: List[int] = []
+            for i in live:
+                reason = self._run_until_barrier(
+                    states[i], contexts[i], ndrange, local_mem,
+                    local_allocas, traces[i], block_counts)
+                if reason == "barrier":
+                    arrived.append(i)
+            live = arrived
+
+        if record:
+            result.traces.extend(traces)
+            for name, count in block_counts.items():
+                result.block_counts[name] = (
+                    result.block_counts.get(name, 0) + count)
+            result.barriers_per_item = max(
+                result.barriers_per_item, states[0].barrier_hits)
+        result.work_items_executed += len(states)
+
+    def _run_until_barrier(self, state: _WorkItemState, context,
+                           ndrange: NDRange, local_mem: FlatSpace,
+                           local_allocas: Dict[int, int],
+                           trace: List[MemAccess],
+                           block_counts: Dict[str, int]) -> str:
+        if state.done:
+            return "done"
+        steps = 0
+        while True:
+            steps += 1
+            if steps > self.max_steps:
+                raise ExecutionError("work-item exceeded step limit "
+                                     "(infinite loop?)")
+            block = state.block
+            if state.index == 0:
+                block_counts[block.name] = block_counts.get(block.name, 0) + 1
+            if state.index >= len(block.instructions):
+                raise ExecutionError(f"fell off the end of {block.name}")
+            inst = block.instructions[state.index]
+            state.index += 1
+
+            if isinstance(inst, Barrier):
+                state.barrier_hits += 1
+                return "barrier"
+            if isinstance(inst, Return):
+                state.done = True
+                return "done"
+            if isinstance(inst, Branch):
+                state.block = inst.target
+                state.index = 0
+                continue
+            if isinstance(inst, CondBranch):
+                cond = self._value(state, inst.cond)
+                state.block = inst.then_block if cond else inst.else_block
+                state.index = 0
+                continue
+            self._execute(inst, state, context, ndrange, local_mem,
+                          local_allocas, trace)
+
+    # -- instruction semantics ----------------------------------------------
+
+    def _value(self, state: _WorkItemState, v: Value):
+        if isinstance(v, Constant):
+            return v.value
+        if isinstance(v, Argument):
+            return self._arg_values[id(v)]
+        if isinstance(v, Register):
+            if id(v) not in state.regs:
+                raise ExecutionError(f"use of undefined register {v}")
+            return state.regs[id(v)]
+        raise ExecutionError(f"cannot evaluate {v!r}")
+
+    def _execute(self, inst: Instruction, state: _WorkItemState, context,
+                 ndrange: NDRange, local_mem: FlatSpace,
+                 local_allocas: Dict[int, int],
+                 trace: List[MemAccess]) -> None:
+        if isinstance(inst, Alloca):
+            self._exec_alloca(inst, state, local_mem, local_allocas)
+        elif isinstance(inst, BinaryOp):
+            state.regs[id(inst.result)] = self._exec_binop(inst, state)
+        elif isinstance(inst, CompareOp):
+            lhs = self._value(state, inst.lhs)
+            rhs = self._value(state, inst.rhs)
+            state.regs[id(inst.result)] = self._exec_compare(inst.pred,
+                                                             lhs, rhs)
+        elif isinstance(inst, Cast):
+            state.regs[id(inst.result)] = self._exec_cast(inst, state)
+        elif isinstance(inst, Select):
+            cond, a, b = (self._value(state, o) for o in inst.operands)
+            state.regs[id(inst.result)] = a if cond else b
+        elif isinstance(inst, Load):
+            state.regs[id(inst.result)] = self._exec_load(
+                inst, state, local_mem, trace)
+        elif isinstance(inst, Store):
+            self._exec_store(inst, state, local_mem, trace)
+        elif isinstance(inst, GetElementPtr):
+            base = self._value(state, inst.base)
+            index = self._value(state, inst.index)
+            elem: Type = inst.base.type.pointee  # type: ignore[union-attr]
+            if isinstance(elem, ArrayType):
+                elem = elem.element
+            state.regs[id(inst.result)] = base.offset(
+                int(index) * max(elem.bytes, 1))
+        elif isinstance(inst, Call):
+            value = self._exec_call(inst, state, context, ndrange,
+                                    local_mem, trace)
+            if inst.result is not None:
+                state.regs[id(inst.result)] = value
+        else:
+            raise ExecutionError(f"cannot execute {inst!r}")
+
+    def _exec_alloca(self, inst: Alloca, state: _WorkItemState,
+                     local_mem: FlatSpace,
+                     local_allocas: Dict[int, int]) -> None:
+        nbytes = max(inst.allocated.bytes, 1)
+        if inst.space == AddressSpace.LOCAL:
+            # Local allocas are shared: allocate once per work-group.
+            if id(inst) not in local_allocas:
+                local_allocas[id(inst)] = local_mem.allocate(nbytes)
+            addr = local_allocas[id(inst)]
+        else:
+            addr = state.private.allocate(nbytes)
+        state.regs[id(inst.result)] = PointerValue(inst.space, addr)
+
+    def _exec_binop(self, inst: BinaryOp, state: _WorkItemState):
+        a = self._value(state, inst.lhs)
+        b = self._value(state, inst.rhs)
+        op = inst.opcode
+        # Pointer arithmetic only arrives via gep, so operands are numbers.
+        if op == "add":
+            r = a + b
+        elif op == "sub":
+            r = a - b
+        elif op == "mul":
+            r = a * b
+        elif op == "div":
+            if b == 0:
+                raise ExecutionError("integer division by zero")
+            r = _c_div(int(a), int(b))
+        elif op == "rem":
+            if b == 0:
+                raise ExecutionError("integer remainder by zero")
+            r = _c_rem(int(a), int(b))
+        elif op == "and":
+            r = int(a) & int(b)
+        elif op == "or":
+            r = int(a) | int(b)
+        elif op == "xor":
+            r = int(a) ^ int(b)
+        elif op == "shl":
+            r = int(a) << (int(b) & 63)
+        elif op == "shr":
+            if inst.type.is_signed:
+                r = int(a) >> (int(b) & 63)
+            else:
+                bits = inst.type.bits
+                r = (int(a) & ((1 << bits) - 1)) >> (int(b) & 63)
+        elif op == "fadd":
+            r = float(a) + float(b)
+        elif op == "fsub":
+            r = float(a) - float(b)
+        elif op == "fmul":
+            r = float(a) * float(b)
+        elif op == "fdiv":
+            if b == 0.0:
+                r = math.inf if a > 0 else (-math.inf if a < 0 else math.nan)
+            else:
+                r = float(a) / float(b)
+        elif op == "frem":
+            r = math.fmod(float(a), float(b))
+        else:
+            raise ExecutionError(f"unknown binop {op}")
+        t = inst.type
+        if t.is_integer and not isinstance(r, float):
+            r = _mask_int(int(r), t.bits, t.is_signed)
+        return r
+
+    @staticmethod
+    def _exec_compare(pred: str, lhs, rhs) -> int:
+        table = {
+            "eq": lhs == rhs, "ne": lhs != rhs, "lt": lhs < rhs,
+            "le": lhs <= rhs, "gt": lhs > rhs, "ge": lhs >= rhs,
+        }
+        return 1 if table[pred] else 0
+
+    def _exec_cast(self, inst: Cast, state: _WorkItemState):
+        v = self._value(state, inst.value)
+        kind = inst.kind
+        t = inst.type
+        if kind in ("ptrcast",):
+            return v
+        if kind == "bitcast":
+            # Same-width integer reinterpretation (int <-> uint):
+            # re-mask under the target's signedness.  Bit-level float
+            # punning is outside the supported subset.
+            if t.is_integer and not isinstance(v, float):
+                return _mask_int(int(v), t.bits, t.is_signed)
+            return v
+        if kind in ("sitofp", "uitofp"):
+            return float(v)
+        if kind in ("fptosi", "fptoui"):
+            return _mask_int(int(v), t.bits, t.is_signed)
+        if kind in ("fpext", "fptrunc"):
+            if t.bits == 32:
+                return float(np.float32(v))
+            return float(v)
+        if kind in ("trunc", "zext", "sext"):
+            return _mask_int(int(v), t.bits, t.is_signed)
+        raise ExecutionError(f"unknown cast {kind}")
+
+    def _buffer_name(self, addr: int) -> str:
+        for lo, hi, name in self._addr_to_buffer:
+            if lo <= addr < hi:
+                return name
+        return "?"
+
+    def _exec_load(self, inst: Load, state: _WorkItemState,
+                   local_mem: FlatSpace, trace: List[MemAccess]):
+        ptr = self._value(state, inst.pointer)
+        nbytes = max(inst.type.bytes, 1)
+        site = self._site_of.get(id(inst), -1)
+        if ptr.space == AddressSpace.PRIVATE:
+            return state.private.load(ptr.addr)
+        if ptr.space in (AddressSpace.LOCAL, AddressSpace.CONSTANT):
+            trace.append(MemAccess("read", ptr.addr, nbytes, "__local",
+                                   space="local", site=site))
+            return local_mem.load(ptr.addr, default=0)
+        value = self.memory.load(ptr.addr, nbytes)
+        trace.append(MemAccess("read", ptr.addr, nbytes,
+                               self._buffer_name(ptr.addr), site=site))
+        return value
+
+    def _exec_store(self, inst: Store, state: _WorkItemState,
+                    local_mem: FlatSpace, trace: List[MemAccess]) -> None:
+        ptr = self._value(state, inst.pointer)
+        value = self._value(state, inst.value)
+        nbytes = max(inst.value.type.bytes, 1)
+        site = self._site_of.get(id(inst), -1)
+        if ptr.space == AddressSpace.PRIVATE:
+            state.private.store(ptr.addr, value)
+            return
+        if ptr.space in (AddressSpace.LOCAL, AddressSpace.CONSTANT):
+            trace.append(MemAccess("write", ptr.addr, nbytes, "__local",
+                                   space="local", site=site))
+            local_mem.store(ptr.addr, value)
+            return
+        self.memory.store(ptr.addr, nbytes, value)
+        trace.append(MemAccess("write", ptr.addr, nbytes,
+                               self._buffer_name(ptr.addr), site=site))
+
+    def _exec_call(self, inst: Call, state: _WorkItemState, context,
+                   ndrange: NDRange, local_mem: FlatSpace,
+                   trace: List[MemAccess]):
+        name = inst.callee
+        args = [self._value(state, a) for a in inst.operands]
+        lid = context["local_id"]
+        gid = context["group_id"]
+        if name == "get_local_id":
+            d = int(args[0])
+            return lid[d] if d < len(lid) else 0
+        if name == "get_group_id":
+            d = int(args[0])
+            return gid[d] if d < len(gid) else 0
+        if name == "get_global_id":
+            d = int(args[0])
+            if d >= ndrange.dims:
+                return 0
+            return gid[d] * ndrange.local_size[d] + lid[d]
+        if name == "get_global_size":
+            d = int(args[0])
+            return ndrange.global_size[d] if d < ndrange.dims else 1
+        if name == "get_local_size":
+            d = int(args[0])
+            return ndrange.local_size[d] if d < ndrange.dims else 1
+        if name == "get_num_groups":
+            d = int(args[0])
+            return ndrange.num_groups[d] if d < ndrange.dims else 1
+        if name == "get_global_offset":
+            return 0
+        if name == "get_work_dim":
+            return ndrange.dims
+        if name in _MATH_1:
+            return _MATH_1[name](float(args[0]))
+        if name in _MATH_2:
+            return _MATH_2[name](float(args[0]), float(args[1]))
+        if name in ("mad", "fma"):
+            return float(args[0]) * float(args[1]) + float(args[2])
+        if name == "clamp":
+            return min(max(args[0], args[1]), args[2])
+        if name == "mix":
+            return args[0] + (args[1] - args[0]) * args[2]
+        if name == "min":
+            return min(args[0], args[1])
+        if name == "max":
+            return max(args[0], args[1])
+        if name == "abs":
+            return abs(args[0])
+        if name in ("mul24",):
+            return _mask_int(int(args[0]) * int(args[1]), 32, True)
+        if name in ("mad24",):
+            return _mask_int(int(args[0]) * int(args[1]) + int(args[2]),
+                             32, True)
+        if name.startswith("atomic_"):
+            return self._exec_atomic(name, inst, args, local_mem, trace)
+        raise ExecutionError(f"unknown builtin {name!r}")
+
+    def _exec_atomic(self, name: str, inst: Call, args, local_mem: FlatSpace,
+                     trace: List[MemAccess]):
+        ptr: PointerValue = args[0]
+        nbytes = 4
+        site = self._site_of.get(id(inst), -1)
+        if ptr.space == AddressSpace.LOCAL:
+            old = local_mem.load(ptr.addr, default=0)
+        else:
+            old = self.memory.load(ptr.addr, nbytes)
+            trace.append(MemAccess("read", ptr.addr, nbytes,
+                                   self._buffer_name(ptr.addr), site=site))
+        if name == "atomic_add":
+            new = old + args[1]
+        elif name == "atomic_sub":
+            new = old - args[1]
+        elif name == "atomic_inc":
+            new = old + 1
+        elif name == "atomic_dec":
+            new = old - 1
+        elif name == "atomic_min":
+            new = min(old, args[1])
+        elif name == "atomic_max":
+            new = max(old, args[1])
+        elif name == "atomic_xchg":
+            new = args[1]
+        elif name == "atomic_cmpxchg":
+            new = args[2] if old == args[1] else old
+        else:
+            raise ExecutionError(f"unknown atomic {name!r}")
+        if ptr.space == AddressSpace.LOCAL:
+            local_mem.store(ptr.addr, new)
+        else:
+            self.memory.store(ptr.addr, nbytes, new)
+            trace.append(MemAccess("write", ptr.addr, nbytes,
+                                   self._buffer_name(ptr.addr), site=site))
+        return old
+
+    # -- trip counts --------------------------------------------------------
+
+    def _finalize_trip_counts(self, result: LaunchResult) -> None:
+        """Derive average trip counts from block execution counts.
+
+        For a loop with header H and body entry B: per loop entry the
+        header runs (N+1) times and the body N, so
+        ``N = count(B) / (count(H) - count(B))`` averaged over all
+        entries (do-while loops have count(H) == count(B): the body and
+        condition run the same number of times; then N = count(B) /
+        entries is not derivable from these two alone, so we fall back
+        to count(B) / items, a per-item average).
+        """
+        loop_meta = getattr(self.fn, "loop_meta", [])
+        items = max(result.work_items_executed, 1)
+        for meta in loop_meta:
+            header = result.block_counts.get(meta.header, 0)
+            body = result.block_counts.get(meta.body_entry, 0)
+            entries = header - body
+            if entries > 0:
+                result.trip_counts[meta.header] = body / entries
+            elif body > 0:
+                result.trip_counts[meta.header] = body / items
+            else:
+                result.trip_counts[meta.header] = 0.0

@@ -1,0 +1,152 @@
+"""Runtime memory spaces for the interpreter.
+
+Pointers at runtime are :class:`PointerValue` — an address space tag plus
+a byte address.  Global memory is a set of named :class:`Buffer` objects
+backed by numpy arrays and laid out in one flat byte-addressed space, so
+the recorded traces carry realistic addresses for the DRAM model's
+byte-interleaved bank mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.ir.types import AddressSpace, Type
+
+#: Buffers are aligned to this many bytes in the flat global space,
+#: mirroring the 4KB page alignment OpenCL runtimes use.
+BUFFER_ALIGNMENT = 4096
+
+
+@dataclass(frozen=True)
+class PointerValue:
+    """A runtime pointer: (address space, byte address)."""
+
+    space: AddressSpace
+    addr: int
+
+    def offset(self, byte_delta: int) -> "PointerValue":
+        return PointerValue(self.space, self.addr + byte_delta)
+
+    def __repr__(self) -> str:
+        return f"<{self.space}+0x{self.addr:x}>"
+
+
+_DTYPE_FOR = {
+    ("float", 32): np.float32,
+    ("float", 64): np.float64,
+    ("int", 8): np.int8,
+    ("int", 16): np.int16,
+    ("int", 32): np.int32,
+    ("int", 64): np.int64,
+    ("uint", 8): np.uint8,
+    ("uint", 16): np.uint16,
+    ("uint", 32): np.uint32,
+    ("uint", 64): np.uint64,
+}
+
+
+def dtype_for_type(t: Type) -> np.dtype:
+    """The numpy dtype backing an IR scalar type."""
+    kind = "float" if t.is_float else ("int" if t.is_signed else "uint")
+    bits = max(t.bits, 8)
+    return np.dtype(_DTYPE_FOR[(kind, bits)])
+
+
+class Buffer:
+    """A global-memory buffer visible to a kernel argument."""
+
+    def __init__(self, name: str, data: np.ndarray) -> None:
+        self.name = name
+        self.data = np.ascontiguousarray(data)
+        self.base: int = -1          # assigned by GlobalMemory.bind
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    @property
+    def elem_size(self) -> int:
+        return int(self.data.itemsize)
+
+    def __repr__(self) -> str:
+        return (f"<Buffer {self.name} {self.data.dtype}x{self.data.size} "
+                f"@0x{self.base:x}>")
+
+
+class GlobalMemory:
+    """The flat global address space: buffers placed at aligned bases."""
+
+    def __init__(self) -> None:
+        self._buffers: List[Buffer] = []
+        self._next_base = BUFFER_ALIGNMENT  # keep address 0 invalid
+
+    def bind(self, buffer: Buffer) -> Buffer:
+        buffer.base = self._next_base
+        size = max(buffer.nbytes, 1)
+        aligned = -(-size // BUFFER_ALIGNMENT) * BUFFER_ALIGNMENT
+        self._next_base += aligned
+        self._buffers.append(buffer)
+        return buffer
+
+    def find(self, addr: int) -> Tuple[Buffer, int]:
+        """Resolve a byte address to (buffer, byte offset)."""
+        for buf in self._buffers:
+            if buf.base <= addr < buf.base + max(buf.nbytes, 1):
+                return buf, addr - buf.base
+        raise IndexError(f"global address 0x{addr:x} is out of bounds "
+                         f"of every buffer")
+
+    def load(self, addr: int, nbytes: int):
+        buf, off = self.find(addr)
+        if off % buf.elem_size != 0 or off + nbytes > buf.nbytes:
+            raise IndexError(
+                f"misaligned/overrun access at 0x{addr:x} in {buf.name}")
+        value = buf.data.flat[off // buf.elem_size]
+        return value.item()
+
+    def store(self, addr: int, nbytes: int, value) -> None:
+        buf, off = self.find(addr)
+        if off % buf.elem_size != 0 or off + nbytes > buf.nbytes:
+            raise IndexError(
+                f"misaligned/overrun access at 0x{addr:x} in {buf.name}")
+        buf.data.flat[off // buf.elem_size] = value
+
+    @property
+    def buffers(self) -> List[Buffer]:
+        return list(self._buffers)
+
+
+class FlatSpace:
+    """A simple byte-addressed space for local or private storage.
+
+    Values are kept per element address (the lowering only ever reads an
+    address with the same element type it wrote, so no byte packing is
+    needed).
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[int, object] = {}
+        self._next = 64  # keep 0 invalid
+
+    def allocate(self, nbytes: int, align: int = 8) -> int:
+        self._next = -(-self._next // align) * align
+        addr = self._next
+        self._next += max(nbytes, 1)
+        return addr
+
+    def load(self, addr: int, default=None):
+        if addr not in self._values:
+            if default is None:
+                raise IndexError(f"read of uninitialised address 0x{addr:x}")
+            return default
+        return self._values[addr]
+
+    def store(self, addr: int, value) -> None:
+        self._values[addr] = value
+
+    def contains(self, addr: int) -> bool:
+        return addr in self._values

@@ -1,0 +1,104 @@
+"""Typed intermediate representation for OpenCL kernels.
+
+The frontend lowers OpenCL C into this IR; the CDFG, scheduling, profiling
+and performance-model layers all consume it.  The design mirrors a small
+LLVM-like SSA-ish IR: a :class:`~repro.ir.module.Module` holds
+:class:`~repro.ir.function.Function` objects, each a graph of
+:class:`~repro.ir.function.BasicBlock` containing
+:class:`~repro.ir.instructions.Instruction` nodes.
+"""
+
+from repro.ir.types import (
+    AddressSpace,
+    ArrayType,
+    PointerType,
+    ScalarType,
+    Type,
+    VectorType,
+    BOOL,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    SHORT,
+    UCHAR,
+    UINT,
+    ULONG,
+    USHORT,
+    VOID,
+)
+from repro.ir.values import Argument, Constant, Register, Value
+from repro.ir.instructions import (
+    Alloca,
+    Barrier,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CompareOp,
+    CondBranch,
+    GetElementPtr,
+    Instruction,
+    Load,
+    Phi,
+    Return,
+    Select,
+    Store,
+    Terminator,
+)
+from repro.ir.function import BasicBlock, Function
+from repro.ir.module import Module
+from repro.ir.builder import IRBuilder
+from repro.ir.verify import IRVerificationError, verify_function, verify_module
+from repro.ir.printer import print_function, print_module
+
+__all__ = [
+    "AddressSpace",
+    "Alloca",
+    "Argument",
+    "ArrayType",
+    "Barrier",
+    "BasicBlock",
+    "BinaryOp",
+    "Branch",
+    "Call",
+    "Cast",
+    "CompareOp",
+    "CondBranch",
+    "Constant",
+    "Function",
+    "GetElementPtr",
+    "IRBuilder",
+    "IRVerificationError",
+    "Instruction",
+    "Load",
+    "Module",
+    "Phi",
+    "PointerType",
+    "Register",
+    "Return",
+    "ScalarType",
+    "Select",
+    "Store",
+    "Terminator",
+    "Type",
+    "Value",
+    "VectorType",
+    "verify_function",
+    "verify_module",
+    "print_function",
+    "print_module",
+    "BOOL",
+    "CHAR",
+    "DOUBLE",
+    "FLOAT",
+    "INT",
+    "LONG",
+    "SHORT",
+    "UCHAR",
+    "UINT",
+    "ULONG",
+    "USHORT",
+    "VOID",
+]

@@ -1,0 +1,121 @@
+"""Convenience builder used by the frontend's lowering pass."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    Alloca,
+    Barrier,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CompareOp,
+    CondBranch,
+    GetElementPtr,
+    Load,
+    Return,
+    Select,
+    Store,
+)
+from repro.ir.types import AddressSpace, PointerType, Type, VOID
+from repro.ir.values import Register, Value
+
+
+class IRBuilder:
+    """Appends instructions to a current insertion block.
+
+    All ``emit_*`` helpers create the result register, append the
+    instruction, and return the result value (or the instruction for
+    ``void`` operations).
+    """
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.block: Optional[BasicBlock] = None
+
+    def set_block(self, block: BasicBlock) -> BasicBlock:
+        self.block = block
+        return block
+
+    def new_block(self, name: str) -> BasicBlock:
+        return self.function.new_block(name)
+
+    def _append(self, inst):
+        if self.block is None:
+            raise ValueError("no insertion block set")
+        return self.block.append(inst)
+
+    # -- arithmetic ------------------------------------------------------
+
+    def binop(self, op: str, lhs: Value, rhs: Value, type_: Type,
+              name: str = "") -> Register:
+        result = Register(type_, name)
+        self._append(BinaryOp(op, lhs, rhs, result))
+        return result
+
+    def compare(self, pred: str, lhs: Value, rhs: Value, type_: Type,
+                name: str = "") -> Register:
+        result = Register(type_, name)
+        self._append(CompareOp(pred, lhs, rhs, result))
+        return result
+
+    def cast(self, kind: str, value: Value, to_type: Type,
+             name: str = "") -> Register:
+        result = Register(to_type, name)
+        self._append(Cast(kind, value, result))
+        return result
+
+    def select(self, cond: Value, a: Value, b: Value, name: str = "") -> Register:
+        result = Register(a.type, name)
+        self._append(Select(cond, a, b, result))
+        return result
+
+    # -- memory ----------------------------------------------------------
+
+    def alloca(self, allocated: Type, space: AddressSpace,
+               name: str = "") -> Register:
+        result = Register(PointerType(allocated, space), name)
+        self._append(Alloca(allocated, space, result, var_name=name))
+        return result
+
+    def load(self, pointer: Value, name: str = "") -> Register:
+        ptr_type = pointer.type
+        if not isinstance(ptr_type, PointerType):
+            raise TypeError(f"load from non-pointer {pointer}")
+        result = Register(ptr_type.pointee, name)
+        self._append(Load(pointer, result))
+        return result
+
+    def store(self, value: Value, pointer: Value) -> None:
+        self._append(Store(value, pointer))
+
+    def gep(self, base: Value, index: Value, name: str = "") -> Register:
+        result = Register(base.type, name)
+        self._append(GetElementPtr(base, index, result))
+        return result
+
+    # -- calls -----------------------------------------------------------
+
+    def call(self, callee: str, args: Sequence[Value], ret_type: Type,
+             name: str = "") -> Optional[Register]:
+        result = Register(ret_type, name) if ret_type != VOID else None
+        self._append(Call(callee, args, result))
+        return result
+
+    def barrier(self) -> None:
+        self._append(Barrier())
+
+    # -- control flow ----------------------------------------------------
+
+    def branch(self, target: BasicBlock) -> None:
+        self._append(Branch(target))
+
+    def cond_branch(self, cond: Value, then_block: BasicBlock,
+                    else_block: BasicBlock) -> None:
+        self._append(CondBranch(cond, then_block, else_block))
+
+    def ret(self, value: Optional[Value] = None) -> None:
+        self._append(Return(value))

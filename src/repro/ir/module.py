@@ -1,0 +1,44 @@
+"""A module: the unit of compilation (one .cl translation unit)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.ir.function import Function
+
+
+class Module:
+    """A collection of kernel functions produced from one OpenCL source."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self._functions: Dict[str, Function] = {}
+
+    def add(self, fn: Function) -> Function:
+        if fn.name in self._functions:
+            raise ValueError(f"duplicate function {fn.name!r}")
+        self._functions[fn.name] = fn
+        return fn
+
+    def get(self, name: str) -> Function:
+        return self._functions[name]
+
+    def get_optional(self, name: str) -> Optional[Function]:
+        return self._functions.get(name)
+
+    @property
+    def functions(self) -> List[Function]:
+        return list(self._functions.values())
+
+    @property
+    def kernels(self) -> List[Function]:
+        return [f for f in self._functions.values() if f.is_kernel]
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self._functions.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def __repr__(self) -> str:
+        return f"<Module {self.name}: {list(self._functions)}>"

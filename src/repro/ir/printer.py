@@ -1,0 +1,25 @@
+"""Human-readable textual dump of IR, for debugging and doc examples."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+
+def print_function(fn: Function) -> str:
+    """Render *fn* as text resembling LLVM assembly."""
+    lines = []
+    args = ", ".join(f"{a.type} %{a.name}" for a in fn.args)
+    kind = "kernel" if fn.is_kernel else "func"
+    lines.append(f"{kind} @{fn.name}({args}) {{")
+    for block in fn.blocks:
+        lines.append(f"{block.name}:")
+        for inst in block.instructions:
+            lines.append(f"  {inst!r}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Render every function in *module*."""
+    return "\n\n".join(print_function(fn) for fn in module)

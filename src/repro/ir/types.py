@@ -1,0 +1,248 @@
+"""Type system for the OpenCL IR.
+
+OpenCL C scalar types, fixed-width vectors (``int4``, ``float16``...),
+pointers qualified by an address space, and sized arrays (used for
+``__local`` buffers declared inside kernels).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AddressSpace(enum.Enum):
+    """OpenCL address spaces a pointer may live in."""
+
+    GLOBAL = "global"
+    LOCAL = "local"
+    PRIVATE = "private"
+    CONSTANT = "constant"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Type:
+    """Base class for all IR types."""
+
+    @property
+    def bits(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def bytes(self) -> int:
+        return self.bits // 8
+
+    @property
+    def is_float(self) -> bool:
+        return False
+
+    @property
+    def is_integer(self) -> bool:
+        return False
+
+    @property
+    def is_signed(self) -> bool:
+        return False
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_vector(self) -> bool:
+        return isinstance(self, VectorType)
+
+
+_SCALAR_SPECS = {
+    # name: (bits, is_float, is_signed)
+    "void": (0, False, False),
+    "bool": (1, False, False),
+    "char": (8, False, True),
+    "uchar": (8, False, False),
+    "short": (16, False, True),
+    "ushort": (16, False, False),
+    "int": (32, False, True),
+    "uint": (32, False, False),
+    "long": (64, False, True),
+    "ulong": (64, False, False),
+    "float": (32, True, True),
+    "double": (64, True, True),
+}
+
+
+@dataclass(frozen=True)
+class ScalarType(Type):
+    """A scalar OpenCL type such as ``int`` or ``float``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in _SCALAR_SPECS:
+            raise ValueError(f"unknown scalar type: {self.name!r}")
+
+    @property
+    def bits(self) -> int:
+        return _SCALAR_SPECS[self.name][0]
+
+    @property
+    def is_float(self) -> bool:
+        return _SCALAR_SPECS[self.name][1]
+
+    @property
+    def is_integer(self) -> bool:
+        return not self.is_float and self.name not in ("void",)
+
+    @property
+    def is_signed(self) -> bool:
+        return _SCALAR_SPECS[self.name][2]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+VOID = ScalarType("void")
+BOOL = ScalarType("bool")
+CHAR = ScalarType("char")
+UCHAR = ScalarType("uchar")
+SHORT = ScalarType("short")
+USHORT = ScalarType("ushort")
+INT = ScalarType("int")
+UINT = ScalarType("uint")
+LONG = ScalarType("long")
+ULONG = ScalarType("ulong")
+FLOAT = ScalarType("float")
+DOUBLE = ScalarType("double")
+
+#: Scalar types by name, for frontend lookups.
+SCALAR_TYPES = {
+    name: ScalarType(name) for name in _SCALAR_SPECS
+}
+
+#: Legal OpenCL vector widths.
+VECTOR_WIDTHS = (2, 3, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class VectorType(Type):
+    """A fixed-width OpenCL vector such as ``float4``."""
+
+    element: ScalarType
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width not in VECTOR_WIDTHS:
+            raise ValueError(f"illegal vector width: {self.width}")
+
+    @property
+    def bits(self) -> int:
+        return self.element.bits * self.width
+
+    @property
+    def is_float(self) -> bool:
+        return self.element.is_float
+
+    @property
+    def is_integer(self) -> bool:
+        return self.element.is_integer
+
+    @property
+    def is_signed(self) -> bool:
+        return self.element.is_signed
+
+    def __str__(self) -> str:
+        return f"{self.element}{self.width}"
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    """A pointer into one of the OpenCL address spaces."""
+
+    pointee: Type
+    space: AddressSpace
+
+    @property
+    def bits(self) -> int:
+        return 64
+
+    def __str__(self) -> str:
+        return f"{self.pointee} {self.space}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """A statically sized array (e.g. a ``__local float tile[256]``)."""
+
+    element: Type
+    count: int
+
+    @property
+    def bits(self) -> int:
+        return self.element.bits * self.count
+
+    def __str__(self) -> str:
+        return f"{self.element}[{self.count}]"
+
+
+def parse_type_name(name: str) -> Type:
+    """Parse a scalar or vector type name such as ``"uint"`` or ``"float4"``.
+
+    Raises :class:`ValueError` for names that are not OpenCL types.
+    """
+    if name in SCALAR_TYPES:
+        return SCALAR_TYPES[name]
+    for width in sorted(VECTOR_WIDTHS, reverse=True):
+        suffix = str(width)
+        if name.endswith(suffix) and name[: -len(suffix)] in SCALAR_TYPES:
+            return VectorType(SCALAR_TYPES[name[: -len(suffix)]], width)
+    raise ValueError(f"unknown type name: {name!r}")
+
+
+def is_type_name(name: str) -> bool:
+    """Return True if *name* names an OpenCL scalar or vector type."""
+    try:
+        parse_type_name(name)
+    except ValueError:
+        return False
+    return True
+
+
+def common_type(a: Type, b: Type) -> Type:
+    """The usual-arithmetic-conversions result type of *a* and *b*.
+
+    Vector types dominate scalars of their element kind; floats dominate
+    integers; wider dominates narrower; unsigned dominates signed at
+    equal width (C promotion rules, simplified to OpenCL scalars).
+    """
+    if isinstance(a, VectorType) and not isinstance(b, VectorType):
+        return a
+    if isinstance(b, VectorType) and not isinstance(a, VectorType):
+        return b
+    if isinstance(a, VectorType) and isinstance(b, VectorType):
+        if a.width != b.width:
+            raise ValueError(f"vector width mismatch: {a} vs {b}")
+        return VectorType(_scalar_common(a.element, b.element), a.width)
+    if isinstance(a, PointerType):
+        return a
+    if isinstance(b, PointerType):
+        return b
+    return _scalar_common(a, b)
+
+
+def _scalar_common(a: ScalarType, b: ScalarType) -> ScalarType:
+    if a == b:
+        return a
+    if a.is_float or b.is_float:
+        if a.is_float and b.is_float:
+            return a if a.bits >= b.bits else b
+        return a if a.is_float else b
+    # Integer promotion: at least int width.
+    bits = max(a.bits, b.bits, 32)
+    signed = a.is_signed and b.is_signed
+    if a.bits == b.bits and (not a.is_signed or not b.is_signed):
+        signed = False
+    for name, (nbits, is_float, is_signed) in _SCALAR_SPECS.items():
+        if nbits == bits and not is_float and is_signed == signed:
+            return ScalarType(name)
+    return INT

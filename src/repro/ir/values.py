@@ -1,0 +1,65 @@
+"""Values that IR instructions operate on: constants, registers, arguments."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.ir.types import Type
+
+
+class Value:
+    """Anything an instruction may use as an operand."""
+
+    def __init__(self, type_: Type, name: str = "") -> None:
+        self.type = type_
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self}>"
+
+
+class Constant(Value):
+    """An immediate scalar (or splatted vector) constant."""
+
+    def __init__(self, type_: Type, value: Union[int, float, bool]) -> None:
+        super().__init__(type_)
+        self.value = value
+
+    def __str__(self) -> str:
+        return f"{self.type} {self.value}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constant)
+            and other.type == self.type
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))
+
+
+class Register(Value):
+    """A virtual register produced by an instruction."""
+
+    _counter = 0
+
+    def __init__(self, type_: Type, name: str = "") -> None:
+        if not name:
+            Register._counter += 1
+            name = f"t{Register._counter}"
+        super().__init__(type_, name)
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+class Argument(Value):
+    """A formal kernel argument."""
+
+    def __init__(self, type_: Type, name: str, index: int) -> None:
+        super().__init__(type_, name)
+        self.index = index
+
+    def __str__(self) -> str:
+        return f"%arg.{self.name}"

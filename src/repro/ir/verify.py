@@ -1,0 +1,113 @@
+"""Structural verification of IR functions.
+
+Checks the invariants the rest of the pipeline relies on: every block is
+terminated, branch targets belong to the function, operands are defined
+before use on every path, and registers have a unique defining instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.ir.function import Function
+from repro.ir.instructions import Branch, CondBranch, Instruction
+from repro.ir.module import Module
+from repro.ir.values import Argument, Constant, Register
+
+
+class IRVerificationError(Exception):
+    """Raised when a function violates an IR invariant."""
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in *module*."""
+    for fn in module:
+        verify_function(fn)
+
+
+def verify_function(fn: Function) -> None:
+    """Check *fn* against the IR structural invariants."""
+    if not fn.blocks:
+        raise IRVerificationError(f"{fn.name}: no basic blocks")
+
+    block_set = {id(b) for b in fn.blocks}
+    defs: Dict[int, Instruction] = {}
+
+    for block in fn.blocks:
+        if not block.is_terminated:
+            raise IRVerificationError(
+                f"{fn.name}:{block.name}: missing terminator")
+        for i, inst in enumerate(block.instructions):
+            from repro.ir.instructions import Terminator
+            if isinstance(inst, Terminator) and i != len(block.instructions) - 1:
+                raise IRVerificationError(
+                    f"{fn.name}:{block.name}: terminator not last")
+            if inst.result is not None:
+                if id(inst.result) in defs:
+                    raise IRVerificationError(
+                        f"{fn.name}:{block.name}: register "
+                        f"{inst.result} defined twice")
+                defs[id(inst.result)] = inst
+        term = block.terminator
+        if isinstance(term, Branch):
+            targets = [term.target]
+        elif isinstance(term, CondBranch):
+            targets = [term.then_block, term.else_block]
+        else:
+            targets = []
+        for target in targets:
+            if id(target) not in block_set:
+                raise IRVerificationError(
+                    f"{fn.name}:{block.name}: branch to foreign block "
+                    f"{target.name}")
+
+    _check_dominance(fn, defs)
+
+
+def _check_dominance(fn: Function, defs: Dict[int, Instruction]) -> None:
+    """Every use must be reachable from its definition.
+
+    With the alloca-based lowering every register is defined before use
+    within straight-line code or dominating blocks; we approximate full
+    dominance with a forward dataflow of definitely-defined registers.
+    """
+    preds = fn.predecessors()
+    blocks = fn.reachable_blocks()
+    # available[b] = set of register ids defined on *all* paths into b
+    available: Dict[int, Set[int]] = {}
+    arg_ids = {id(a) for a in fn.args}
+
+    changed = True
+    # Initialise optimistically (all defs) except entry.
+    all_defs = set(defs)
+    for b in blocks:
+        available[id(b)] = set() if b is fn.entry else set(all_defs)
+    while changed:
+        changed = False
+        for block in blocks:
+            incoming = [available[id(p)] | _block_defs(p)
+                        for p in preds[block] if id(p) in available]
+            new = set.intersection(*incoming) if incoming else set()
+            if block is fn.entry:
+                new = set()
+            if new != available[id(block)]:
+                available[id(block)] = new
+                changed = True
+
+    for block in blocks:
+        defined = set(available[id(block)])
+        for inst in block.instructions:
+            for op in inst.operands:
+                if isinstance(op, (Constant, Argument)):
+                    continue
+                if isinstance(op, Register) and id(op) not in defined \
+                        and id(op) not in arg_ids:
+                    raise IRVerificationError(
+                        f"{fn.name}:{block.name}: use of {op} before "
+                        f"definition in {inst!r}")
+            if inst.result is not None:
+                defined.add(id(inst.result))
+
+
+def _block_defs(block) -> Set[int]:
+    return {id(i.result) for i in block.instructions if i.result is not None}

@@ -1,0 +1,37 @@
+"""Operation latency modelling.
+
+On FPGAs every IR operation maps to an IP core (paper §3.2).  A given
+operation has *several* hardware implementation choices (LUT-based vs
+DSP-based, different pipeline depths) and the toolchain picks one the
+programmer cannot control; FlexCL therefore uses the *average* latency
+obtained by micro-benchmark profiling (paper §4.2, "Estimation Error
+Analysis").
+
+- :class:`OpLatencyTable` — the averaged per-op table the model uses.
+- :mod:`repro.latency.microbench` — profiles the table by sampling the
+  implementation-variant population (and hands concrete variants to the
+  ground-truth simulator, which is where the model's op-latency error
+  comes from, exactly as in the paper).
+"""
+
+from repro.latency.optable import (
+    DSP_COST,
+    OpClass,
+    OpLatencyTable,
+    classify_instruction,
+)
+from repro.latency.microbench import (
+    ImplementationChoice,
+    MicrobenchProfiler,
+    profile_op_latencies,
+)
+
+__all__ = [
+    "DSP_COST",
+    "ImplementationChoice",
+    "MicrobenchProfiler",
+    "OpClass",
+    "OpLatencyTable",
+    "classify_instruction",
+    "profile_op_latencies",
+]

@@ -1,0 +1,142 @@
+"""Micro-benchmark profiling of operation latencies.
+
+The paper (§4.2) explains FlexCL's main error source: "For the same IR
+operation, SDAccel may have multiple hardware implementation choices with
+different execution latencies.  In the current toolchain, the hardware
+implementation can not be controlled by the programmer.  In FlexCL, we
+address this problem by computing the average latency of an operation
+using micro-benchmarks."
+
+We reproduce that situation structurally:
+
+- each :class:`OpClass` has a small *population* of implementation
+  variants (think: LUT adder vs DSP adder, deep vs shallow float cores);
+- :func:`profile_op_latencies` runs the micro-benchmark: it samples the
+  population many times and returns the averaged
+  :class:`~repro.latency.optable.OpLatencyTable` that FlexCL uses;
+- :class:`ImplementationChoice` deterministically picks one concrete
+  variant per (design, op class) — this is what the ground-truth
+  simulator executes with, so model-vs-actual error has the same source
+  as in the paper.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.latency.optable import NOMINAL_LATENCY, OpClass, OpLatencyTable
+
+#: Relative latency multipliers of the implementation variants available
+#: for each op class, and how often the toolchain picks each (weights).
+#: Classes with a single entry have one canonical implementation.
+VARIANT_POPULATION: Dict[OpClass, List[tuple]] = {
+    OpClass.INT_ALU: [(1.0, 0.9), (2.0, 0.1)],
+    OpClass.INT_MUL: [(0.67, 0.3), (1.0, 0.5), (1.33, 0.2)],
+    OpClass.INT_DIV: [(0.78, 0.25), (1.0, 0.5), (1.33, 0.25)],
+    OpClass.FADD: [(0.8, 0.35), (1.0, 0.4), (1.4, 0.25)],
+    OpClass.FMUL: [(0.75, 0.3), (1.0, 0.45), (1.5, 0.25)],
+    OpClass.FDIV: [(0.71, 0.2), (1.0, 0.5), (1.29, 0.3)],
+    OpClass.FEXPENSIVE: [(0.72, 0.25), (1.0, 0.45), (1.39, 0.3)],
+    OpClass.CAST: [(0.67, 0.3), (1.0, 0.5), (1.67, 0.2)],
+    OpClass.LOCAL_READ: [(1.0, 0.8), (1.5, 0.2)],
+    OpClass.LOCAL_WRITE: [(1.0, 1.0)],
+    OpClass.GLOBAL_ISSUE: [(1.0, 0.7), (1.5, 0.3)],
+    OpClass.ADDR: [(1.0, 0.85), (2.0, 0.15)],
+    OpClass.CONTROL: [(1.0, 1.0)],
+    OpClass.FREE: [(1.0, 1.0)],
+    OpClass.ATOMIC: [(0.75, 0.25), (1.0, 0.5), (1.25, 0.25)],
+}
+
+
+def _population_mean(cls: OpClass) -> float:
+    variants = VARIANT_POPULATION[cls]
+    total_weight = sum(w for _, w in variants)
+    return sum(m * w for m, w in variants) / total_weight
+
+
+def _stable_hash(*parts: object) -> int:
+    text = "|".join(str(p) for p in parts)
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big")
+
+
+@dataclass
+class MicrobenchProfiler:
+    """Runs the latency micro-benchmarks for one device."""
+
+    device_scale: float = 1.0
+    samples: int = 256
+
+    def profile(self) -> OpLatencyTable:
+        """Sample every class's variant population and average.
+
+        The sampling is deterministic (hash-seeded) so the profiled table
+        is reproducible, matching how a real profiling run would be done
+        once per platform and cached.
+        """
+        averaged: Dict[OpClass, float] = {}
+        for cls, nominal in NOMINAL_LATENCY.items():
+            if nominal == 0.0:
+                averaged[cls] = 0.0
+                continue
+            acc = 0.0
+            for i in range(self.samples):
+                mult = self._sample_variant(cls, i)
+                acc += nominal * mult
+            averaged[cls] = acc / self.samples
+        return OpLatencyTable(latencies=averaged, scale=self.device_scale)
+
+    def _sample_variant(self, cls: OpClass, sample_index: int) -> float:
+        variants = VARIANT_POPULATION[cls]
+        total_weight = sum(w for _, w in variants)
+        u = (_stable_hash("microbench", cls.value, sample_index)
+             % 10_000) / 10_000 * total_weight
+        acc = 0.0
+        for mult, weight in variants:
+            acc += weight
+            if u <= acc:
+                return mult
+        return variants[-1][0]
+
+
+def profile_op_latencies(device) -> OpLatencyTable:
+    """Micro-benchmark the op latency table for *device*."""
+    return MicrobenchProfiler(device_scale=device.op_latency_scale).profile()
+
+
+class ImplementationChoice:
+    """The toolchain's concrete implementation pick for one synthesis run.
+
+    Deterministic in (kernel name, design signature): re-synthesising the
+    same design yields the same hardware, but different designs of the
+    same kernel may get different cores — exactly the behaviour that
+    limits analytical-model accuracy in the paper.
+    """
+
+    def __init__(self, kernel_name: str, design_signature: str) -> None:
+        self._key = (kernel_name, design_signature)
+        self._cache: Dict[OpClass, float] = {}
+
+    def multiplier(self, cls: OpClass) -> float:
+        """The latency multiplier of the variant chosen for *cls*."""
+        if cls not in self._cache:
+            variants = VARIANT_POPULATION[cls]
+            total_weight = sum(w for _, w in variants)
+            u = (_stable_hash("impl", *self._key, cls.value)
+                 % 10_000) / 10_000 * total_weight
+            acc = 0.0
+            chosen = variants[-1][0]
+            for mult, weight in variants:
+                acc += weight
+                if u <= acc:
+                    chosen = mult
+                    break
+            self._cache[cls] = chosen
+        return self._cache[cls]
+
+    def table(self, base_scale: float = 1.0) -> OpLatencyTable:
+        """A concrete (non-averaged) latency table for this synthesis."""
+        latencies = {cls: nominal * self.multiplier(cls)
+                     for cls, nominal in NOMINAL_LATENCY.items()}
+        return OpLatencyTable(latencies=latencies, scale=base_scale)

@@ -1,0 +1,187 @@
+"""Per-operation latency classes and the averaged latency table."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.frontend.builtins import builtin_signature
+from repro.ir.instructions import (
+    Alloca,
+    Barrier,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CompareOp,
+    CondBranch,
+    GetElementPtr,
+    Instruction,
+    Load,
+    Phi,
+    Return,
+    Select,
+    Store,
+)
+from repro.ir.types import AddressSpace
+
+
+class OpClass(enum.Enum):
+    """Hardware operation classes; each maps to a family of IP cores."""
+
+    INT_ALU = "int_alu"          # add/sub/logic/shift/compare/select
+    INT_MUL = "int_mul"
+    INT_DIV = "int_div"
+    FADD = "fadd"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FEXPENSIVE = "fexpensive"    # sqrt/exp/log/trig IP cores
+    CAST = "cast"                # int<->float conversion cores
+    LOCAL_READ = "local_read"    # BRAM read
+    LOCAL_WRITE = "local_write"  # BRAM write
+    GLOBAL_ISSUE = "global_issue"  # issue slot of a global access (AXI)
+    ADDR = "addr"                # address generation (gep)
+    CONTROL = "control"          # branches, barriers, returns
+    FREE = "free"                # allocas, private loads/stores, bit casts
+    ATOMIC = "atomic"            # global atomic RMW pipeline
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Nominal (design-manual) latency in cycles at 200 MHz for each class.
+#: The micro-benchmark profiler perturbs these per implementation variant
+#: and averages; the numbers here are the population means.
+NOMINAL_LATENCY: Dict[OpClass, float] = {
+    OpClass.INT_ALU: 1.0,
+    OpClass.INT_MUL: 3.0,
+    OpClass.INT_DIV: 18.0,
+    OpClass.FADD: 5.0,
+    OpClass.FMUL: 4.0,
+    OpClass.FDIV: 14.0,
+    OpClass.FEXPENSIVE: 18.0,
+    OpClass.CAST: 3.0,
+    OpClass.LOCAL_READ: 2.0,
+    OpClass.LOCAL_WRITE: 1.0,
+    OpClass.GLOBAL_ISSUE: 2.0,
+    OpClass.ADDR: 1.0,
+    OpClass.CONTROL: 1.0,
+    OpClass.FREE: 0.0,
+    OpClass.ATOMIC: 8.0,
+}
+
+#: DSP slices consumed by one instance of each class (Xilinx 7-series
+#: figures: float add 2, float mul 3, int32 mul 4, elementary funcs ~6).
+DSP_COST: Dict[OpClass, int] = {
+    OpClass.INT_ALU: 0,
+    OpClass.INT_MUL: 4,
+    OpClass.INT_DIV: 0,
+    OpClass.FADD: 2,
+    OpClass.FMUL: 3,
+    OpClass.FDIV: 0,
+    OpClass.FEXPENSIVE: 6,
+    OpClass.CAST: 0,
+    OpClass.LOCAL_READ: 0,
+    OpClass.LOCAL_WRITE: 0,
+    OpClass.GLOBAL_ISSUE: 0,
+    OpClass.ADDR: 0,
+    OpClass.CONTROL: 0,
+    OpClass.FREE: 0,
+    OpClass.ATOMIC: 0,
+}
+
+_INT_ALU_OPS = {"add", "sub", "and", "or", "xor", "shl", "shr"}
+_FLOAT_MAP = {"fadd": OpClass.FADD, "fsub": OpClass.FADD,
+              "fmul": OpClass.FMUL, "fdiv": OpClass.FDIV,
+              "frem": OpClass.FDIV}
+
+_BUILTIN_CLASS = {
+    "workitem": OpClass.FREE,     # ids are wired constants per PE slot
+    "sync": OpClass.CONTROL,
+    "fsimple": OpClass.FADD,
+    "fexpensive": OpClass.FEXPENSIVE,
+    "fdiv": OpClass.FDIV,
+    "isimple": OpClass.INT_ALU,
+    "atomic": OpClass.ATOMIC,
+}
+
+
+def classify_instruction(inst: Instruction) -> OpClass:
+    """Map an IR instruction to its hardware operation class."""
+    if isinstance(inst, BinaryOp):
+        op = inst.opcode
+        if op in _FLOAT_MAP:
+            return _FLOAT_MAP[op]
+        if op == "mul":
+            return OpClass.INT_MUL
+        if op in ("div", "rem"):
+            return OpClass.INT_DIV
+        return OpClass.INT_ALU
+    if isinstance(inst, CompareOp):
+        if inst.lhs.type.is_float:
+            return OpClass.FADD      # float compare uses the adder core
+        return OpClass.INT_ALU
+    if isinstance(inst, Select):
+        return OpClass.INT_ALU
+    if isinstance(inst, Cast):
+        if inst.kind in ("sitofp", "uitofp", "fptosi", "fptoui",
+                         "fpext", "fptrunc"):
+            return OpClass.CAST
+        return OpClass.FREE          # bit-level casts are wiring
+    if isinstance(inst, Load):
+        space = inst.space
+        if space == AddressSpace.PRIVATE:
+            return OpClass.FREE
+        if space in (AddressSpace.LOCAL, AddressSpace.CONSTANT):
+            return OpClass.LOCAL_READ
+        return OpClass.GLOBAL_ISSUE
+    if isinstance(inst, Store):
+        space = inst.space
+        if space == AddressSpace.PRIVATE:
+            return OpClass.FREE
+        if space in (AddressSpace.LOCAL, AddressSpace.CONSTANT):
+            return OpClass.LOCAL_WRITE
+        return OpClass.GLOBAL_ISSUE
+    if isinstance(inst, GetElementPtr):
+        return OpClass.ADDR
+    if isinstance(inst, Call):
+        sig = builtin_signature(inst.callee)
+        if sig is not None:
+            return _BUILTIN_CLASS.get(sig.category, OpClass.INT_ALU)
+        return OpClass.INT_ALU
+    if isinstance(inst, (Branch, CondBranch, Return, Barrier)):
+        return OpClass.CONTROL
+    if isinstance(inst, (Alloca, Phi)):
+        return OpClass.FREE
+    return OpClass.INT_ALU
+
+
+@dataclass
+class OpLatencyTable:
+    """Average per-class latencies, in cycles.
+
+    Produced either from :data:`NOMINAL_LATENCY` (scaled per device) or by
+    micro-benchmark profiling (:func:`repro.latency.profile_op_latencies`).
+    """
+
+    latencies: Dict[OpClass, float] = field(
+        default_factory=lambda: dict(NOMINAL_LATENCY))
+    scale: float = 1.0
+
+    def latency(self, inst: Instruction) -> float:
+        return self.of_class(classify_instruction(inst))
+
+    def of_class(self, cls: OpClass) -> float:
+        base = self.latencies[cls]
+        if base == 0.0:
+            return 0.0
+        return max(1.0, round(base * self.scale))
+
+    def dsp_cost(self, inst: Instruction) -> int:
+        return DSP_COST[classify_instruction(inst)]
+
+    @classmethod
+    def for_device(cls, device) -> "OpLatencyTable":
+        return cls(latencies=dict(NOMINAL_LATENCY),
+                   scale=device.op_latency_scale)

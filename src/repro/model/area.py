@@ -1,0 +1,99 @@
+"""FPGA area estimation for a design point.
+
+The paper's model enforces resource constraints (DSPs, local-memory
+ports/BRAM) implicitly through Eqs. 3-6 and the design-space filter.
+This module makes the resource side a first-class estimate: given the
+analysed kernel and a design, it reports DSP slices, BRAM blocks, and a
+LUT/FF approximation for the full kernel (all PEs and CUs), so users
+can see *why* a configuration is infeasible and how much headroom a
+feasible one leaves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.kernel_info import KernelInfo
+from repro.dse.space import Design
+from repro.latency.optable import OpClass, classify_instruction
+
+#: approximate LUTs consumed by one instance of each op class
+_LUT_COST = {
+    OpClass.INT_ALU: 32,
+    OpClass.INT_MUL: 80,       # on top of its DSPs
+    OpClass.INT_DIV: 1400,     # LUT-based divider
+    OpClass.FADD: 220,
+    OpClass.FMUL: 130,
+    OpClass.FDIV: 800,
+    OpClass.FEXPENSIVE: 1600,
+    OpClass.CAST: 120,
+    OpClass.LOCAL_READ: 16,
+    OpClass.LOCAL_WRITE: 16,
+    OpClass.GLOBAL_ISSUE: 180,   # AXI datapath share
+    OpClass.ADDR: 48,
+    OpClass.CONTROL: 8,
+    OpClass.FREE: 0,
+    OpClass.ATOMIC: 400,
+}
+
+#: bytes of one 36Kb BRAM block
+_BRAM36_BYTES = 36 * 1024 // 8
+#: fixed LUTs for one CU's control/infrastructure (AXI, dispatcher port)
+_CU_INFRA_LUTS = 6_000
+#: flip-flop to LUT ratio typical of pipelined HLS output
+_FF_PER_LUT = 1.4
+
+
+@dataclass(frozen=True)
+class AreaEstimate:
+    """Resources of a complete kernel implementation."""
+
+    dsp: int
+    bram_36k: int
+    luts: int
+    ffs: int
+
+    def utilisation(self, device) -> dict:
+        """Fractions of the device consumed per resource class."""
+        return {
+            "dsp": self.dsp / max(device.dsp_total, 1),
+            "bram": self.bram_36k / max(device.bram_36k_total, 1),
+            "lut": self.luts / max(device.luts_total, 1),
+        }
+
+    def fits(self, device, headroom: float = 0.85) -> bool:
+        """True when every resource stays below *headroom* of the
+        device (the shell and routing need the rest)."""
+        return all(v <= headroom
+                   for v in self.utilisation(device).values())
+
+
+def estimate_area(info: KernelInfo, design: Design) -> AreaEstimate:
+    """Estimate the full-kernel area of *design*.
+
+    One PE instantiates every static operation of the kernel once
+    (HLS-style spatial implementation); PEs replicate per CU, CUs
+    replicate across the device; local memory is per-CU.
+    """
+    pe_dsp = 0.0
+    pe_luts = 0.0
+    for inst in info.fn.instructions():
+        cls = classify_instruction(inst)
+        pe_dsp += info.table.dsp_cost(inst)
+        pe_luts += _LUT_COST[cls]
+
+    slots = design.effective_pe_slots
+    cus = design.num_cu
+    dsp = int(math.ceil(pe_dsp * slots * cus))
+
+    bram_per_cu = math.ceil(info.local_mem_bytes / _BRAM36_BYTES)
+    # Dual-port banking doubles block count once more than one PE needs
+    # concurrent access.
+    if slots > 1:
+        bram_per_cu *= 2
+    bram = bram_per_cu * cus
+
+    luts = int(pe_luts * slots * cus + _CU_INFRA_LUTS * cus)
+    return AreaEstimate(dsp=dsp, bram_36k=bram, luts=luts,
+                        ffs=int(luts * _FF_PER_LUT))

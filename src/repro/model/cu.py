@@ -1,0 +1,65 @@
+"""Compute-unit model (paper §3.3.2, Eqs. 5–6).
+
+A CU replicates P PEs (loop unrolling / vectorisation).  The *effective*
+PE parallelism N_PE is bounded by the local-memory ports and DSPs the
+PEs share inside the CU (Eq. 6); the CU work-group latency follows
+Eq. 5:
+
+    L_comp^CU = II · ceil((N_wi^wg − N_PE) / N_PE) + D
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.kernel_info import KernelInfo
+from repro.model.pe import PEModelResult
+
+
+@dataclass
+class CUModelResult:
+    """Effective parallelism and latency of one compute unit."""
+
+    n_pe: int               # effective PE parallelism
+    latency_wg: float       # L_comp^CU for one work-group
+    ii: float = 1.0         # the PE II this CU runs at
+    depth: float = 1.0      # the PE pipeline depth
+    initiations: int = 0    # initiations per work-group
+
+
+def effective_pe_parallelism(info: KernelInfo, device, num_pe_slots: int,
+                             num_cu: int, ii: float) -> int:
+    """Eq. 6: N_PE = min(P, port-bound, DSP-bound).
+
+    Each PE consumes N_read local reads and N_write local writes per
+    initiation (one initiation every II cycles) and a fixed set of
+    DSP-mapped cores; ports and DSPs inside the CU are shared by all P
+    PEs.  The port bound is Port · II / N_access (the paper's Eq. 6
+    written with the steady-state per-cycle demand made explicit).
+    """
+    p = max(num_pe_slots, 1)
+    ii = max(ii, 1.0)
+    n_read = info.traces.local_reads_per_wi
+    n_write = info.traces.local_writes_per_wi
+    read_bound = (math.floor(device.local_read_ports * ii / n_read)
+                  if n_read > 0 else p)
+    write_bound = (math.floor(device.local_write_ports * ii / n_write)
+                   if n_write > 0 else p)
+    dsp_per_pe = max(info.dsp_static_cost, 0.0)
+    dsp_bound = (math.floor(device.dsp_total / max(num_cu, 1)
+                            / dsp_per_pe)
+                 if dsp_per_pe > 0 else p)
+    return max(1, min(p, read_bound, write_bound, dsp_bound))
+
+
+def cu_model(info: KernelInfo, device, pe: PEModelResult,
+             num_pe_slots: int, num_cu: int,
+             wg_size: int) -> CUModelResult:
+    """Eq. 5 with Eq. 6's effective parallelism."""
+    n_pe = effective_pe_parallelism(info, device, num_pe_slots, num_cu,
+                                    pe.ii)
+    initiations = math.ceil(max(wg_size - n_pe, 0) / n_pe)
+    latency = pe.ii * initiations + pe.depth
+    return CUModelResult(n_pe=n_pe, latency_wg=latency, ii=pe.ii,
+                         depth=pe.depth, initiations=initiations)

@@ -1,0 +1,124 @@
+"""The top-level FlexCL model: predict cycles for (kernel, design, device).
+
+Usage::
+
+    from repro.model import FlexCL
+    model = FlexCL(device)
+    prediction = model.predict(kernel_info, design)
+    print(prediction.cycles, prediction.seconds)
+
+The model is purely analytical: given the one-time kernel analysis
+(:class:`~repro.analysis.KernelInfo`), each design point evaluates in
+milliseconds — this is what makes design-space exploration "seconds
+instead of hours or days".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.kernel_info import KernelInfo
+from repro.dse.space import Design
+from repro.model.cu import CUModelResult, cu_model
+from repro.model.integrate import IntegrationResult, integrate
+from repro.model.kernel import KernelModelResult, kernel_computation_model
+from repro.model.memory import (
+    MemoryModelResult,
+    memory_model,
+    pattern_table_for,
+)
+from repro.model.pe import PEModelResult, pe_model
+from repro.scheduling import ResourceBudget
+
+
+@dataclass
+class Prediction:
+    """A FlexCL performance estimate with its full breakdown."""
+
+    cycles: float
+    design: Design
+    pe: PEModelResult
+    cu: CUModelResult
+    kernel: KernelModelResult
+    memory: MemoryModelResult
+    integration: IntegrationResult
+    clock_mhz: float
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / (self.clock_mhz * 1e6)
+
+    @property
+    def bottleneck(self) -> str:
+        """A coarse hint at what limits this design (§1: FlexCL "helps
+        to identify the performance bottlenecks")."""
+        if self.integration.mode == "barrier":
+            mem = self.memory.latency_per_wi * self.kernel.num_groups
+            return ("global-memory transfers"
+                    if mem > self.kernel.latency else "computation")
+        if self.memory.latency_per_wi > self.pe.ii:
+            return "global-memory bandwidth (II bound by L_mem^wi)"
+        if self.pe.rec_mii >= self.pe.res_mii \
+                and self.pe.rec_mii > 1.0:
+            return "inter-work-item recurrence (RecMII)"
+        if self.pe.res_mii > 1.0:
+            return "local-memory ports / DSPs (ResMII)"
+        return "pipeline depth / parallelism"
+
+
+class FlexCL:
+    """The analytical model for one device.
+
+    Ablation switches (used by the ablation benchmarks) default to the
+    full model: *model_scheduling_overhead* (Eqs. 7–8's ΔL term),
+    *model_coalescing* (§3.4), *model_patterns* (Table 1; when off, a
+    single average latency prices every request).
+    """
+
+    def __init__(self, device,
+                 model_scheduling_overhead: bool = True,
+                 model_coalescing: bool = True,
+                 model_patterns: bool = True) -> None:
+        self.device = device
+        self.model_scheduling_overhead = model_scheduling_overhead
+        self.model_coalescing = model_coalescing
+        self.model_patterns = model_patterns
+        self._pattern_table = pattern_table_for(device)
+        if not model_patterns:
+            avg = (sum(self._pattern_table.latencies.values())
+                   / len(self._pattern_table.latencies))
+            flat = {p: avg for p in self._pattern_table.latencies}
+            from repro.dram.microbench import PatternLatencyTable
+            self._pattern_table = PatternLatencyTable(latencies=flat)
+
+    def predict(self, info: KernelInfo, design: Design) -> Prediction:
+        """Estimate the cycles of *design* for the analysed kernel."""
+        if design.work_group_size != info.work_group_size:
+            raise ValueError(
+                f"design work-group size {design.work_group_size} does "
+                f"not match the analysed configuration "
+                f"{info.work_group_size}; re-run kernel analysis")
+        device = self.device
+        budget = ResourceBudget.for_pe(
+            device, design.effective_pe_slots, design.num_cu)
+
+        pe = pe_model(info, budget, pipelined=design.work_item_pipeline,
+                      wg_size=design.work_group_size)
+        cu = cu_model(info, device, pe, design.effective_pe_slots,
+                      design.num_cu, design.work_group_size)
+        overhead = (device.schedule_overhead_cycles
+                    if self.model_scheduling_overhead else 1.0)
+        kernel = kernel_computation_model(
+            cu, design.num_cu, info.total_work_items,
+            design.work_group_size, overhead,
+            work_group_pipeline=design.work_group_pipeline)
+        memory = memory_model(
+            info, device, pipelined=design.work_item_pipeline,
+            coalescing=self.model_coalescing, table=self._pattern_table)
+        result = integrate(design.comm_mode, pe, cu, kernel, memory,
+                           info.total_work_items, design.work_group_size,
+                           work_group_pipeline=design.work_group_pipeline,
+                           schedule_overhead=overhead)
+        return Prediction(cycles=result.cycles, design=design, pe=pe,
+                          cu=cu, kernel=kernel, memory=memory,
+                          integration=result, clock_mhz=device.clock_mhz)

@@ -1,0 +1,64 @@
+"""Computation/memory integration (paper §3.5, Eqs. 10–12).
+
+**Barrier mode** — computation and global transfers are separated by
+barriers, so nothing overlaps:
+
+    T_kernel = L_mem^wi · N_wi^kernel + L_comp^kernel      (Eq. 10)
+
+**Pipeline mode** — global transfers stream alongside computation; the
+work-item initiation interval becomes the slower of the compute II and
+the per-work-item memory time:
+
+    II_wi = max(L_mem^wi, II_comp^wi)                      (Eq. 12)
+    T_kernel = (II_wi · ceil((N_wg − N_PE)/N_PE) + D)
+               · ceil(N_kernel / (N_wg · N_CU))            (Eq. 11)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.model.cu import CUModelResult
+from repro.model.kernel import KernelModelResult
+from repro.model.memory import MemoryModelResult
+from repro.model.pe import PEModelResult
+
+
+@dataclass
+class IntegrationResult:
+    """Total kernel cycles plus the mode used."""
+
+    cycles: float
+    mode: str
+    ii_wi: float = 0.0
+
+
+def integrate(mode: str, pe: PEModelResult, cu: CUModelResult,
+              kernel: KernelModelResult, memory: MemoryModelResult,
+              total_work_items: int, wg_size: int,
+              work_group_pipeline: bool = False,
+              schedule_overhead: float = 0.0) -> IntegrationResult:
+    """Combine the computation and memory models per Eqs. 10–12.
+
+    With work-group pipelining the per-round pipeline drain disappears:
+    the depth is paid once at the tail instead of once per round.
+    """
+    if mode == "barrier":
+        cycles = memory.latency_per_wi * total_work_items + kernel.latency
+        return IntegrationResult(cycles=cycles, mode=mode,
+                                 ii_wi=pe.ii)
+    if mode != "pipeline":
+        raise ValueError(f"unknown communication mode {mode!r}")
+    ii_wi = max(memory.latency_per_wi, pe.ii)          # Eq. 12
+    n_pe = max(cu.n_pe, 1)
+    initiations = math.ceil(max(wg_size - n_pe, 0) / n_pe)
+    rounds = math.ceil(total_work_items
+                       / (wg_size * max(kernel.n_cu, 1)))
+    if work_group_pipeline:
+        stream = ii_wi * max(initiations, 1) * rounds
+        dispatch_floor = schedule_overhead * kernel.num_groups
+        cycles = max(stream, dispatch_floor) + pe.depth
+    else:
+        cycles = (ii_wi * initiations + pe.depth) * rounds   # Eq. 11
+    return IntegrationResult(cycles=cycles, mode=mode, ii_wi=ii_wi)

@@ -1,0 +1,51 @@
+"""Kernel computation model (paper §3.3.3, Eqs. 7–8).
+
+Work-groups are dispatched to idle CUs round-robin; dispatch costs
+ΔL_comp^schedule per work-group, which bounds how many CUs can actually
+be kept busy:
+
+    N_CU = min(C, ceil(L_comp^CU / ΔL))                  (Eq. 8)
+    L_comp^kernel = L_CU · ceil(N_wi^kernel / (N_wi^wg · N_CU))
+                    + C · ΔL                              (Eq. 7)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.model.cu import CUModelResult
+
+
+@dataclass
+class KernelModelResult:
+    """Multi-CU computation latency."""
+
+    n_cu: int                  # effective CU parallelism
+    latency: float             # L_comp^kernel
+    num_groups: int
+
+
+def kernel_computation_model(cu: CUModelResult, num_cu: int,
+                             total_work_items: int, wg_size: int,
+                             schedule_overhead: float,
+                             work_group_pipeline: bool = False
+                             ) -> KernelModelResult:
+    """Eqs. 7–8; with work-group pipelining, successive groups stream
+    through the CU without draining the pipeline, so the depth is paid
+    once per CU instead of once per round."""
+    overhead = max(schedule_overhead, 1.0)
+    n_cu = min(num_cu, max(1, math.ceil(cu.latency_wg / overhead)))
+    num_groups = math.ceil(total_work_items / wg_size)
+    rounds = math.ceil(num_groups / n_cu)
+    if work_group_pipeline:
+        # Streaming groups: the pipeline drain is paid once, but the
+        # serial round-robin dispatcher still floors the group rate.
+        stream = cu.ii * max(cu.initiations, 1) * rounds
+        dispatch_floor = overhead * num_groups
+        latency = (max(stream, dispatch_floor) + cu.depth
+                   + num_cu * overhead)
+    else:
+        latency = cu.latency_wg * rounds + num_cu * overhead
+    return KernelModelResult(n_cu=n_cu, latency=latency,
+                             num_groups=num_groups)

@@ -1,0 +1,74 @@
+"""Host↔device transfer estimation (PCIe).
+
+The paper's platform attaches the FPGA over PCIe 3.0 x8 (§4.1) and its
+kernel model starts once data is resident in the device DRAM.  For
+end-to-end decisions a user still needs the transfer side, so this
+module prices host→device and device→host movements and composes them
+with a kernel prediction into a whole-invocation estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class PCIeLink:
+    """A PCIe link's effective characteristics.
+
+    Defaults model PCIe 3.0 x8 as on the ADM-PCIE-7V3: 7.88 GB/s raw,
+    ~6.5 GB/s effective after TLP overheads, with a fixed per-DMA
+    setup cost.
+    """
+
+    effective_bandwidth_gbs: float = 6.5
+    dma_setup_us: float = 12.0
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Time to move *nbytes* in one DMA."""
+        if nbytes <= 0:
+            return 0.0
+        return (self.dma_setup_us * 1e-6
+                + nbytes / (self.effective_bandwidth_gbs * 1e9))
+
+
+DEFAULT_LINK = PCIeLink()
+
+
+@dataclass
+class EndToEndEstimate:
+    """Kernel time plus its surrounding transfers."""
+
+    host_to_device_seconds: float
+    kernel_seconds: float
+    device_to_host_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.host_to_device_seconds + self.kernel_seconds
+                + self.device_to_host_seconds)
+
+    @property
+    def transfer_share(self) -> float:
+        """Fraction of the invocation spent moving data."""
+        total = self.total_seconds
+        if total <= 0:
+            return 0.0
+        return (self.host_to_device_seconds
+                + self.device_to_host_seconds) / total
+
+
+def end_to_end(prediction, input_bytes: int, output_bytes: int,
+               link: PCIeLink = DEFAULT_LINK) -> EndToEndEstimate:
+    """Compose a FlexCL :class:`~repro.model.Prediction` with its
+    transfers into a whole-invocation estimate."""
+    return EndToEndEstimate(
+        host_to_device_seconds=link.transfer_seconds(input_bytes),
+        kernel_seconds=prediction.seconds,
+        device_to_host_seconds=link.transfer_seconds(output_bytes))
+
+
+def buffer_bytes(buffers: Iterable) -> int:
+    """Total bytes of an iterable of :class:`repro.interp.Buffer`."""
+    return sum(b.nbytes for b in buffers)

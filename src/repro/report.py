@@ -1,0 +1,110 @@
+"""Exploration reports.
+
+Turns a design-space exploration into a human-readable Markdown report:
+kernel analysis summary, the top designs with their model breakdowns
+(II/depth/L_mem, bottleneck, area), and the distribution of rejection
+reasons across the infeasible part of the space — the artefact a team
+would attach to a design review.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.analysis.kernel_info import KernelInfo
+from repro.dse.explorer import ExplorationResult
+from repro.model import FlexCL
+from repro.model.area import estimate_area
+
+
+@dataclass
+class ReportOptions:
+    top: int = 10
+    title: str = "FlexCL design-space exploration"
+
+
+def exploration_report(result: ExplorationResult,
+                       analyzer: Callable[[int], Optional[KernelInfo]],
+                       model: FlexCL,
+                       options: Optional[ReportOptions] = None) -> str:
+    """Render *result* (from :func:`repro.dse.explore`) as Markdown."""
+    options = options or ReportOptions()
+    lines: List[str] = [f"# {options.title}", ""]
+
+    feasible = sorted(result.feasible, key=lambda e: e.cycles)
+    rejected = [e for e in result.evaluated if not e.feasible]
+    lines += [
+        f"- evaluated designs: **{len(result.evaluated)}** "
+        f"({len(feasible)} feasible, {len(rejected)} rejected)",
+        f"- exploration time: **{result.elapsed_seconds:.2f} s** "
+        f"({result.elapsed_seconds / max(len(feasible), 1) * 1000:.1f} "
+        f"ms per feasible design)",
+        "",
+    ]
+
+    if feasible:
+        lines += _kernel_summary(analyzer(
+            feasible[0].design.work_group_size))
+        lines += _top_designs(feasible[:options.top], analyzer, model)
+        span = feasible[-1].cycles / feasible[0].cycles
+        lines += ["", f"Best-to-worst span across the feasible space: "
+                      f"**{span:,.0f}x** — the cost of picking blindly.",
+                  ""]
+    if rejected:
+        lines += _rejections(rejected)
+    return "\n".join(lines)
+
+
+def _kernel_summary(info: Optional[KernelInfo]) -> List[str]:
+    if info is None:
+        return []
+    t = info.traces
+    return [
+        "## Kernel analysis",
+        "",
+        f"| metric | value |",
+        f"|---|---|",
+        f"| work-items | {info.total_work_items} |",
+        f"| global reads / writes per work-item "
+        f"| {t.global_reads_per_wi:.1f} / {t.global_writes_per_wi:.1f} |",
+        f"| local reads / writes per work-item "
+        f"| {t.local_reads_per_wi:.1f} / {t.local_writes_per_wi:.1f} |",
+        f"| barriers per work-item | {info.barriers_per_wi} |",
+        f"| local memory | {info.local_mem_bytes} B |",
+        f"| inter-work-item recurrences | {len(t.recurrences)} |",
+        "",
+    ]
+
+
+def _top_designs(entries, analyzer, model: FlexCL) -> List[str]:
+    lines = [
+        "## Top designs",
+        "",
+        "| # | design | cycles | II | depth | L_mem/wi | bottleneck "
+        "| DSP | BRAM |",
+        "|---|---|---|---|---|---|---|---|---|",
+    ]
+    for rank, entry in enumerate(entries, start=1):
+        info = analyzer(entry.design.work_group_size)
+        prediction = model.predict(info, entry.design)
+        area = estimate_area(info, entry.design)
+        lines.append(
+            f"| {rank} | `{entry.design.signature()}` "
+            f"| {prediction.cycles:,.0f} "
+            f"| {prediction.pe.ii:.0f} | {prediction.pe.depth:.0f} "
+            f"| {prediction.memory.latency_per_wi:.1f} "
+            f"| {prediction.bottleneck} "
+            f"| {area.dsp} | {area.bram_36k} |")
+    return lines
+
+
+def _rejections(rejected) -> List[str]:
+    counts = Counter(e.reject_reason or "unknown" for e in rejected)
+    lines = ["## Rejected configurations", "",
+             "| reason | designs |", "|---|---|"]
+    for reason, count in counts.most_common():
+        lines.append(f"| {reason} | {count} |")
+    lines.append("")
+    return lines

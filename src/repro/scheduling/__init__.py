@@ -1,0 +1,27 @@
+"""Operation scheduling algorithms (paper §3.3.1).
+
+- :func:`list_schedule` — resource-aware priority-ordered list scheduling
+  (ASAP) used to estimate basic-block latencies.
+- :func:`compute_mii` — the minimum initiation interval,
+  ``MII = max(RecMII, ResMII)`` (Eqs. 2–4).
+- :func:`swing_modulo_schedule` — Swing Modulo Scheduling, refining the
+  II above MII until every resource constraint is met and producing the
+  pipeline depth.
+"""
+
+from repro.scheduling.resources import ResourceBudget
+from repro.scheduling.list_scheduler import ScheduleResult, list_schedule
+from repro.scheduling.mii import MIIBreakdown, compute_mii, compute_rec_mii, compute_res_mii
+from repro.scheduling.sms import SMSResult, swing_modulo_schedule
+
+__all__ = [
+    "MIIBreakdown",
+    "ResourceBudget",
+    "SMSResult",
+    "ScheduleResult",
+    "compute_mii",
+    "compute_rec_mii",
+    "compute_res_mii",
+    "list_schedule",
+    "swing_modulo_schedule",
+]

@@ -1,0 +1,22 @@
+"""Optional IR-level optimisation passes.
+
+The lowering is deliberately Clang -O0 shaped (every variable in a
+stack slot); HLS frontends run cleanup passes before scheduling.  These
+passes are available for experimentation — they are *off by default* in
+`compile_opencl` so the calibrated model/simulator numbers stay put —
+and each is semantics-preserving (pinned by interpreter-based tests).
+
+- :func:`fold_constants` — evaluate binops/compares/casts/selects whose
+  operands are constants.
+- :func:`eliminate_dead_code` — drop pure instructions whose results
+  are never used.
+- :func:`simplify_function` — run both to a fixed point.
+"""
+
+from repro.transforms.simplify import (
+    eliminate_dead_code,
+    fold_constants,
+    simplify_function,
+)
+
+__all__ = ["eliminate_dead_code", "fold_constants", "simplify_function"]

@@ -1,0 +1,160 @@
+"""Constant folding and dead-code elimination on the IR."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    Barrier,
+    BinaryOp,
+    Call,
+    Cast,
+    CompareOp,
+    GetElementPtr,
+    Instruction,
+    Load,
+    Select,
+    Store,
+    Terminator,
+)
+from repro.ir.values import Constant, Register, Value
+
+_INT_FOLDS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: int(a) & int(b),
+    "or": lambda a, b: int(a) | int(b),
+    "xor": lambda a, b: int(a) ^ int(b),
+    "shl": lambda a, b: int(a) << (int(b) & 63),
+    "shr": lambda a, b: int(a) >> (int(b) & 63),
+}
+_FLOAT_FOLDS = {
+    "fadd": lambda a, b: a + b,
+    "fsub": lambda a, b: a - b,
+    "fmul": lambda a, b: a * b,
+}
+_COMPARES = {
+    "eq": lambda a, b: a == b, "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b, "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b, "ge": lambda a, b: a >= b,
+}
+
+
+def fold_constants(fn: Function) -> int:
+    """Fold instructions with all-constant operands; returns the number
+    of instructions replaced by constants."""
+    replacements: Dict[int, Constant] = {}
+    folded = 0
+    for block in fn.blocks:
+        kept = []
+        for inst in block.instructions:
+            # Rewrite operands through earlier replacements first.
+            inst.operands = [
+                replacements.get(id(op), op) for op in inst.operands
+            ]
+            if isinstance(inst, BinaryOp):
+                _rebind_named_operands(inst)
+            constant = _try_fold(inst)
+            if constant is not None and inst.result is not None:
+                replacements[id(inst.result)] = constant
+                folded += 1
+                continue
+            kept.append(inst)
+        block.instructions = kept
+    # Rewrite any remaining uses (e.g. terminator conditions).
+    if replacements:
+        for inst in fn.instructions():
+            inst.operands = [
+                replacements.get(id(op), op) for op in inst.operands
+            ]
+    return folded
+
+
+def _rebind_named_operands(inst: Instruction) -> None:
+    """BinaryOp caches no named fields; placeholder for future ops."""
+
+
+def _try_fold(inst: Instruction) -> Optional[Constant]:
+    operands = inst.operands
+    if not operands or not all(isinstance(o, Constant) for o in operands):
+        return None
+    if isinstance(inst, BinaryOp):
+        a, b = operands[0].value, operands[1].value
+        op = inst.opcode
+        try:
+            if op in _INT_FOLDS and inst.type.is_integer:
+                return Constant(inst.type, int(_INT_FOLDS[op](a, b)))
+            if op in _FLOAT_FOLDS and inst.type.is_float:
+                return Constant(inst.type, float(_FLOAT_FOLDS[op](a, b)))
+            if op == "div" and b != 0:
+                q = abs(int(a)) // abs(int(b))
+                return Constant(inst.type,
+                                q if (a >= 0) == (b >= 0) else -q)
+            if op == "fdiv" and b != 0:
+                return Constant(inst.type, float(a) / float(b))
+        except (OverflowError, ValueError):
+            return None
+        return None
+    if isinstance(inst, CompareOp):
+        a, b = operands[0].value, operands[1].value
+        return Constant(inst.type, 1 if _COMPARES[inst.pred](a, b) else 0)
+    if isinstance(inst, Select):
+        cond, x, y = operands
+        return Constant(inst.type, x.value if cond.value else y.value)
+    if isinstance(inst, Cast):
+        v = operands[0].value
+        if inst.kind in ("sitofp", "uitofp", "fpext", "fptrunc"):
+            return Constant(inst.type, float(v))
+        if inst.kind in ("fptosi", "fptoui", "trunc", "zext", "sext"):
+            return Constant(inst.type, int(v))
+        return None
+    return None
+
+
+def eliminate_dead_code(fn: Function) -> int:
+    """Remove pure instructions whose results are unused; returns the
+    number of instructions removed."""
+    used = set()
+    for inst in fn.instructions():
+        for op in inst.operands:
+            used.add(id(op))
+    removed = 0
+    for block in fn.blocks:
+        kept = []
+        for inst in block.instructions:
+            if _is_pure(inst) and inst.result is not None \
+                    and id(inst.result) not in used:
+                removed += 1
+                continue
+            kept.append(inst)
+        block.instructions = kept
+    return removed
+
+
+def _is_pure(inst: Instruction) -> bool:
+    if isinstance(inst, (Store, Barrier, Terminator, Alloca)):
+        return False
+    if isinstance(inst, Load):
+        return False          # a racing load's timing is observable
+    if isinstance(inst, Call):
+        from repro.frontend.builtins import builtin_signature
+        sig = builtin_signature(inst.callee)
+        return sig is not None and sig.category in (
+            "workitem", "fsimple", "fexpensive", "fdiv", "isimple")
+    return isinstance(inst, (BinaryOp, CompareOp, Cast, Select,
+                             GetElementPtr))
+
+
+def simplify_function(fn: Function, max_rounds: int = 8) -> int:
+    """Fold + DCE to a fixed point; returns total instructions removed."""
+    total = 0
+    for _ in range(max_rounds):
+        changed = fold_constants(fn) + eliminate_dead_code(fn)
+        total += changed
+        if changed == 0:
+            break
+    return total

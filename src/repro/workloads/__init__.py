@@ -1,0 +1,29 @@
+"""Benchmark workloads: the Rodinia and PolyBench suites (paper §4.1).
+
+Every kernel of Table 2 (45 Rodinia kernels across 19 benchmarks) plus
+the PolyBench suite is provided as OpenCL C source in the supported
+subset, together with its launch geometry, input-buffer factory, and —
+where practical — a numpy reference function for functional checks.
+
+Access points:
+
+- :func:`rodinia_workloads` / :func:`polybench_workloads` — full suites;
+- :func:`get_workload` — one kernel by (suite, benchmark, kernel).
+"""
+
+from repro.workloads.base import Workload, WorkloadRegistry
+from repro.workloads.registry import (
+    all_workloads,
+    get_workload,
+    polybench_workloads,
+    rodinia_workloads,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadRegistry",
+    "all_workloads",
+    "get_workload",
+    "polybench_workloads",
+    "rodinia_workloads",
+]

@@ -1,0 +1,120 @@
+"""Workload description and helpers shared by both suites."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.frontend import compile_opencl
+from repro.interp import Buffer, KernelExecutor, NDRange
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+
+def rng(seed: int) -> np.random.Generator:
+    """Deterministic per-workload random inputs."""
+    return np.random.default_rng(seed)
+
+
+@dataclass
+class Workload:
+    """One benchmark kernel with everything needed to analyse, model,
+    simulate, and functionally check it."""
+
+    suite: str                  # 'rodinia' | 'polybench'
+    benchmark: str              # e.g. 'backprop'
+    kernel: str                 # kernel function name, e.g. 'layer'
+    source: str                 # OpenCL C
+    global_size: int            # 1-D NDRange (FPGA style: flat indexing)
+    default_local_size: int = 64
+    #: () -> fresh argument buffers keyed by parameter name
+    make_buffers: Callable[[], Dict[str, Buffer]] = None
+    scalars: Dict[str, object] = field(default_factory=dict)
+    #: optional numpy reference: (inputs dict of arrays) -> dict of
+    #: expected output arrays, keyed by buffer name
+    reference: Optional[Callable[[Dict[str, np.ndarray]],
+                                 Dict[str, np.ndarray]]] = None
+    _module: Optional[Module] = None
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.suite}/{self.benchmark}/{self.kernel}"
+
+    def module(self) -> Module:
+        if self._module is None:
+            self._module = compile_opencl(
+                self.source, name=f"{self.benchmark}_{self.kernel}")
+        return self._module
+
+    def function(self) -> Function:
+        return self.module().get(self.kernel)
+
+    def ndrange(self, local_size: Optional[int] = None) -> NDRange:
+        local = local_size or self.default_local_size
+        return NDRange(self.global_size, local)
+
+    def valid_work_group_sizes(self,
+                               candidates: Tuple[int, ...] = (16, 32, 64,
+                                                              128, 256)
+                               ) -> Tuple[int, ...]:
+        sizes = tuple(s for s in candidates
+                      if self.global_size % s == 0 and
+                      s <= self.global_size)
+        return sizes or (self.default_local_size,)
+
+    def run_reference_check(self, local_size: Optional[int] = None,
+                            rtol: float = 1e-4,
+                            atol: float = 1e-5) -> bool:
+        """Execute on the interpreter and compare with the reference.
+
+        Raises AssertionError on mismatch; returns True when the
+        workload has no reference (nothing to check) or it passes.
+        """
+        if self.reference is None:
+            return True
+        buffers = self.make_buffers()
+        inputs = {name: buf.data.copy() for name, buf in buffers.items()}
+        executor = KernelExecutor(self.function(), buffers, self.scalars)
+        executor.run(self.ndrange(local_size))
+        expected = self.reference(inputs)
+        for name, exp in expected.items():
+            got = buffers[name].data
+            np.testing.assert_allclose(
+                got, exp, rtol=rtol, atol=atol,
+                err_msg=f"{self.qualified_name}: buffer {name!r} mismatch")
+        return True
+
+
+class WorkloadRegistry:
+    """A named collection of workloads."""
+
+    def __init__(self) -> None:
+        self._workloads: List[Workload] = []
+
+    def add(self, workload: Workload) -> Workload:
+        self._workloads.append(workload)
+        return workload
+
+    def all(self) -> List[Workload]:
+        return list(self._workloads)
+
+    def get(self, benchmark: str, kernel: str) -> Workload:
+        for w in self._workloads:
+            if w.benchmark == benchmark and w.kernel == kernel:
+                return w
+        raise KeyError(f"no workload {benchmark}/{kernel}")
+
+    def benchmarks(self) -> List[str]:
+        seen = []
+        for w in self._workloads:
+            if w.benchmark not in seen:
+                seen.append(w.benchmark)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self._workloads)
+
+    def __iter__(self):
+        return iter(self._workloads)

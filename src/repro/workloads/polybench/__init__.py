@@ -1,0 +1,10 @@
+"""The PolyBench/GPU suite in the supported OpenCL C subset.
+
+"Compared with Rodinia benchmark suite, kernels in Polybench have
+simpler structures and are easy to analyze" (paper §4.2) — regular
+loop nests over dense arrays.
+"""
+
+from repro.workloads.polybench.registry import POLYBENCH
+
+__all__ = ["POLYBENCH"]

@@ -1,0 +1,161 @@
+"""PolyBench data-mining kernels: correlation, covariance, gramschmidt."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, rng
+
+_ROWS = 64           # observations
+_COLS = 32           # variables
+
+CORRELATION_SRC = r"""
+// One column of the correlation matrix per work-item (with the means
+// and standard deviations precomputed host-side, as the benchmark's
+// multi-kernel pipeline does).
+__kernel void correlation(__global const float* data,
+                          __global const float* mean,
+                          __global const float* stddev,
+                          __global float* corr,
+                          int rows, int cols) {
+    int tid = get_global_id(0);
+    if (tid < cols * cols) {
+        int j1 = tid / 32;
+        int j2 = tid % 32;
+        float acc = 0.0f;
+        for (int i = 0; i < 64; i++) {
+            float a = (data[i * 32 + j1] - mean[j1]) / stddev[j1];
+            float b = (data[i * 32 + j2] - mean[j2]) / stddev[j2];
+            acc += a * b;
+        }
+        corr[tid] = acc / 63.0f;
+    }
+}
+"""
+
+COVARIANCE_SRC = r"""
+__kernel void covariance(__global const float* data,
+                         __global const float* mean,
+                         __global float* cov,
+                         int rows, int cols) {
+    int tid = get_global_id(0);
+    if (tid < cols * cols) {
+        int j1 = tid / 32;
+        int j2 = tid % 32;
+        float acc = 0.0f;
+        for (int i = 0; i < 64; i++) {
+            acc += (data[i * 32 + j1] - mean[j1])
+                 * (data[i * 32 + j2] - mean[j2]);
+        }
+        cov[tid] = acc / 63.0f;
+    }
+}
+"""
+
+GRAMSCHMIDT_SRC = r"""
+// One normalisation + projection step of modified Gram-Schmidt for
+// column k: r[k][j] = q_k . a_j and a_j -= r[k][j] * q_k.
+__kernel void gramschmidt(__global float* A,
+                          __global const float* qk,
+                          __global float* Rrow,
+                          int k, int rows, int cols) {
+    int j = get_global_id(0);
+    if (j < cols) {
+        if (j > k) {
+            float r = 0.0f;
+            for (int i = 0; i < 64; i++) {
+                r += qk[i] * A[i * 32 + j];
+            }
+            Rrow[j] = r;
+            for (int i = 0; i < 64; i++) {
+                A[i * 32 + j] -= r * qk[i];
+            }
+        }
+    }
+}
+"""
+
+
+def _data(seed: int):
+    r = rng(seed)
+    return r.standard_normal((_ROWS, _COLS)).astype(np.float32)
+
+
+def _correlation_buffers():
+    d = _data(2301)
+    mean = d.mean(0).astype(np.float32)
+    std = d.std(0, ddof=0).astype(np.float32)
+    return {"data": Buffer("data", d.reshape(-1)),
+            "mean": Buffer("mean", mean),
+            "stddev": Buffer("stddev", std),
+            "corr": Buffer("corr",
+                           np.zeros(_COLS * _COLS, np.float32))}
+
+
+def _correlation_reference(inputs):
+    d = inputs["data"].reshape(_ROWS, _COLS).astype(np.float64)
+    mean = inputs["mean"].astype(np.float64)
+    std = inputs["stddev"].astype(np.float64)
+    z = (d - mean) / std
+    corr = (z.T @ z) / (_ROWS - 1)
+    return {"corr": corr.reshape(-1).astype(np.float32)}
+
+
+def _covariance_buffers():
+    d = _data(2302)
+    return {"data": Buffer("data", d.reshape(-1)),
+            "mean": Buffer("mean", d.mean(0).astype(np.float32)),
+            "cov": Buffer("cov", np.zeros(_COLS * _COLS, np.float32))}
+
+
+def _covariance_reference(inputs):
+    d = inputs["data"].reshape(_ROWS, _COLS).astype(np.float64)
+    c = d - inputs["mean"].astype(np.float64)
+    cov = (c.T @ c) / (_ROWS - 1)
+    return {"cov": cov.reshape(-1).astype(np.float32)}
+
+
+_K = 3
+
+
+def _gramschmidt_buffers():
+    a = _data(2303)
+    qk = a[:, _K] / np.linalg.norm(a[:, _K])
+    return {"A": Buffer("A", a.reshape(-1).copy()),
+            "qk": Buffer("qk", qk.astype(np.float32)),
+            "Rrow": Buffer("Rrow", np.zeros(_COLS, np.float32))}
+
+
+def _gramschmidt_reference(inputs):
+    a = inputs["A"].reshape(_ROWS, _COLS).astype(np.float64).copy()
+    qk = inputs["qk"].astype(np.float64)
+    rrow = inputs["Rrow"].astype(np.float64).copy()
+    for j in range(_K + 1, _COLS):
+        r = qk @ a[:, j]
+        rrow[j] = r
+        a[:, j] -= r * qk
+    return {"A": a.reshape(-1).astype(np.float32),
+            "Rrow": rrow.astype(np.float32)}
+
+
+WORKLOADS = [
+    Workload(suite="polybench", benchmark="correlation",
+             kernel="correlation", source=CORRELATION_SRC,
+             global_size=_COLS * _COLS, default_local_size=64,
+             make_buffers=_correlation_buffers,
+             scalars={"rows": _ROWS, "cols": _COLS},
+             reference=_correlation_reference),
+    Workload(suite="polybench", benchmark="covariance",
+             kernel="covariance", source=COVARIANCE_SRC,
+             global_size=_COLS * _COLS, default_local_size=64,
+             make_buffers=_covariance_buffers,
+             scalars={"rows": _ROWS, "cols": _COLS},
+             reference=_covariance_reference),
+    Workload(suite="polybench", benchmark="gramschmidt",
+             kernel="gramschmidt", source=GRAMSCHMIDT_SRC,
+             global_size=_COLS, default_local_size=32,
+             make_buffers=_gramschmidt_buffers,
+             scalars={"k": _K, "rows": _ROWS, "cols": _COLS},
+             reference=_gramschmidt_reference),
+]

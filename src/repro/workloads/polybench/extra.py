@@ -1,0 +1,331 @@
+"""Additional PolyBench kernels: gemver, trmm, doitgen, symm, lu,
+seidel-2d, adi — rounding out the suite's coverage of BLAS-like and
+solver/stencil shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, rng
+
+_N = 32
+_SIZE = _N * _N
+
+GEMVER_SRC = r"""
+// The main gemver phase: x = y + beta * (A + u1 v1^T + u2 v2^T)^T z.
+__kernel void gemver(__global const float* A,
+                     __global const float* u1, __global const float* v1,
+                     __global const float* u2, __global const float* v2,
+                     __global const float* z,
+                     __global float* x,
+                     float beta, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        float acc = 0.0f;
+        for (int j = 0; j < 32; j++) {
+            float ahat = A[j * 32 + i] + u1[j] * v1[i] + u2[j] * v2[i];
+            acc += ahat * z[j];
+        }
+        x[i] = x[i] + beta * acc;
+    }
+}
+"""
+
+TRMM_SRC = r"""
+// B = alpha * L * B with L unit-lower-triangular (row update form).
+__kernel void trmm(__global const float* L,
+                   __global float* B,
+                   float alpha, int n) {
+    int tid = get_global_id(0);
+    if (tid < n * n) {
+        int i = tid / 32;
+        int j = tid % 32;
+        float acc = B[tid];
+        for (int k = 0; k < 32; k++) {
+            if (k > i) {
+                acc += L[k * 32 + i] * B[k * 32 + j];
+            }
+        }
+        B[tid] = alpha * acc;
+    }
+}
+"""
+
+DOITGEN_SRC = r"""
+// sum[p] = sum_s A[r][q][s] * C4[s][p], one (r, q, p) per work-item.
+__kernel void doitgen(__global const float* A,
+                      __global const float* C4,
+                      __global float* sum,
+                      int nr, int nq, int np) {
+    int tid = get_global_id(0);
+    int total = 8 * 8 * 16;
+    if (tid < total) {
+        int p = tid % 16;
+        int rq = tid / 16;
+        float acc = 0.0f;
+        for (int s = 0; s < 16; s++) {
+            acc += A[rq * 16 + s] * C4[s * 16 + p];
+        }
+        sum[tid] = acc;
+    }
+}
+"""
+
+SYMM_SRC = r"""
+// C = alpha * A * B + beta * C with A symmetric (stored full here).
+__kernel void symm(__global const float* A,
+                   __global const float* B,
+                   __global float* C,
+                   float alpha, float beta, int n) {
+    int tid = get_global_id(0);
+    if (tid < n * n) {
+        int i = tid / 32;
+        int j = tid % 32;
+        float acc = 0.0f;
+        for (int k = 0; k < 32; k++) {
+            acc += A[i * 32 + k] * B[k * 32 + j];
+        }
+        C[tid] = alpha * acc + beta * C[tid];
+    }
+}
+"""
+
+LU_SRC = r"""
+// One elimination step of LU without pivoting: update the trailing
+// submatrix for pivot column k.
+__kernel void lu(__global float* A, int k, int n) {
+    int tid = get_global_id(0);
+    int span = n - k - 1;
+    if (tid < span * span) {
+        int i = tid / span + k + 1;
+        int j = tid % span + k + 1;
+        A[i * 32 + j] -= A[i * 32 + k] / A[k * 32 + k]
+                       * A[k * 32 + j];
+    }
+}
+"""
+
+SEIDEL_SRC = r"""
+// One red/black half-sweep of Seidel-2d: update cells of one colour
+// from the 9-point neighbourhood (the parallelisable formulation).
+__kernel void seidel2d(__global const float* in,
+                       __global float* out,
+                       int colour, int dim) {
+    int tid = get_global_id(0);
+    int n = dim * dim;
+    if (tid < n) {
+        int i = tid / 32;
+        int j = tid % 32;
+        if (i >= 1 && i < 31 && j >= 1 && j < 31
+                && ((i + j) & 1) == colour) {
+            out[tid] = (in[tid - 33] + in[tid - 32] + in[tid - 31]
+                      + in[tid - 1] + in[tid] + in[tid + 1]
+                      + in[tid + 31] + in[tid + 32] + in[tid + 33])
+                     / 9.0f;
+        } else {
+            out[tid] = in[tid];
+        }
+    }
+}
+"""
+
+ADI_SRC = r"""
+// The column-sweep update of ADI (tridiagonal-like relaxation along
+// columns, one column per work-item).
+__kernel void adi(__global float* X,
+                  __global const float* A,
+                  __global const float* B,
+                  int dim) {
+    int j = get_global_id(0);
+    if (j < dim) {
+        for (int i = 1; i < 32; i++) {
+            X[i * 32 + j] = X[i * 32 + j]
+                - X[(i - 1) * 32 + j] * A[i * 32 + j]
+                / B[(i - 1) * 32 + j];
+        }
+    }
+}
+"""
+
+_ALPHA, _BETA = 1.5, 0.5
+
+
+def _gemver_buffers():
+    r = rng(2401)
+    x = r.standard_normal(_N).astype(np.float32)
+    return {
+        "A": Buffer("A", r.standard_normal(_SIZE).astype(np.float32)),
+        "u1": Buffer("u1", r.standard_normal(_N).astype(np.float32)),
+        "v1": Buffer("v1", r.standard_normal(_N).astype(np.float32)),
+        "u2": Buffer("u2", r.standard_normal(_N).astype(np.float32)),
+        "v2": Buffer("v2", r.standard_normal(_N).astype(np.float32)),
+        "z": Buffer("z", r.standard_normal(_N).astype(np.float32)),
+        "x": Buffer("x", x),
+    }
+
+
+def _gemver_reference(inputs):
+    a = inputs["A"].reshape(_N, _N).astype(np.float64)
+    ahat = (a + np.outer(inputs["u1"], inputs["v1"])
+            + np.outer(inputs["u2"], inputs["v2"]))
+    x = inputs["x"] + _BETA * (ahat.T @ inputs["z"].astype(np.float64))
+    return {"x": x.astype(np.float32)}
+
+
+def _trmm_buffers():
+    r = rng(2402)
+    return {
+        "L": Buffer("L", r.standard_normal(_SIZE).astype(np.float32)),
+        "B": Buffer("B", r.standard_normal(_SIZE).astype(np.float32)),
+    }
+
+
+def _trmm_reference(inputs):
+    low = inputs["L"].reshape(_N, _N).astype(np.float64)
+    b = inputs["B"].reshape(_N, _N).astype(np.float64)
+    out = b.copy()
+    for i in range(_N):
+        for j in range(_N):
+            acc = b[i, j]
+            for k in range(i + 1, _N):
+                acc += low[k, i] * b[k, j]
+            out[i, j] = _ALPHA * acc
+    return {"B": out.reshape(-1).astype(np.float32)}
+
+
+_NR, _NQ, _NP = 8, 8, 16
+
+
+def _doitgen_buffers():
+    r = rng(2403)
+    return {
+        "A": Buffer("A", r.standard_normal(_NR * _NQ * _NP)
+                    .astype(np.float32)),
+        "C4": Buffer("C4", r.standard_normal(_NP * _NP)
+                     .astype(np.float32)),
+        "sum": Buffer("sum", np.zeros(_NR * _NQ * _NP, np.float32)),
+    }
+
+
+def _doitgen_reference(inputs):
+    a = inputs["A"].reshape(_NR * _NQ, _NP).astype(np.float64)
+    c4 = inputs["C4"].reshape(_NP, _NP).astype(np.float64)
+    return {"sum": (a @ c4).reshape(-1).astype(np.float32)}
+
+
+def _symm_buffers():
+    r = rng(2404)
+    a = r.standard_normal((_N, _N)).astype(np.float32)
+    a = (a + a.T) / 2
+    return {
+        "A": Buffer("A", a.reshape(-1).copy()),
+        "B": Buffer("B", r.standard_normal(_SIZE).astype(np.float32)),
+        "C": Buffer("C", r.standard_normal(_SIZE).astype(np.float32)),
+    }
+
+
+def _symm_reference(inputs):
+    a = inputs["A"].reshape(_N, _N).astype(np.float64)
+    b = inputs["B"].reshape(_N, _N).astype(np.float64)
+    c = inputs["C"].reshape(_N, _N).astype(np.float64)
+    return {"C": (_ALPHA * (a @ b) + _BETA * c)
+            .reshape(-1).astype(np.float32)}
+
+
+_K = 4
+_LU_SPAN = _N - _K - 1
+_LU_GLOBAL = 736          # next multiple of 32 above span*span (729)
+
+
+def _lu_buffers():
+    r = rng(2405)
+    a = r.standard_normal((_N, _N)).astype(np.float32)
+    np.fill_diagonal(a, a.diagonal() + _N)
+    return {"A": Buffer("A", a.reshape(-1))}
+
+
+def _lu_reference(inputs):
+    a = inputs["A"].reshape(_N, _N).astype(np.float32).copy()
+    piv = a[_K, _K]
+    for i in range(_K + 1, _N):
+        factor = np.float32(a[i, _K] / piv)
+        for j in range(_K + 1, _N):
+            a[i, j] = np.float32(a[i, j]
+                                 - factor * a[_K, j])
+    return {"A": a.reshape(-1)}
+
+
+def _seidel_buffers():
+    r = rng(2406)
+    return {
+        "in": Buffer("in", r.standard_normal(_SIZE).astype(np.float32)),
+        "out": Buffer("out", np.zeros(_SIZE, np.float32)),
+    }
+
+
+def _seidel_reference(inputs):
+    grid = inputs["in"].reshape(_N, _N).astype(np.float64)
+    out = grid.copy()
+    for i in range(1, _N - 1):
+        for j in range(1, _N - 1):
+            if (i + j) % 2 == 0:
+                out[i, j] = grid[i - 1:i + 2, j - 1:j + 2].sum() / 9.0
+    return {"out": out.reshape(-1).astype(np.float32)}
+
+
+def _adi_buffers():
+    r = rng(2407)
+    return {
+        "X": Buffer("X", r.standard_normal(_SIZE).astype(np.float32)),
+        "A": Buffer("A", (r.random(_SIZE) * 0.4 + 0.1)
+                    .astype(np.float32)),
+        "B": Buffer("B", (r.random(_SIZE) + 1.0).astype(np.float32)),
+    }
+
+
+def _adi_reference(inputs):
+    x = inputs["X"].reshape(_N, _N).astype(np.float32).copy()
+    a = inputs["A"].reshape(_N, _N)
+    b = inputs["B"].reshape(_N, _N)
+    for i in range(1, _N):
+        x[i] = (x[i] - x[i - 1] * a[i] / b[i - 1]).astype(np.float32)
+    return {"X": x.reshape(-1)}
+
+
+WORKLOADS = [
+    Workload(suite="polybench", benchmark="gemver", kernel="gemver",
+             source=GEMVER_SRC, global_size=_N, default_local_size=32,
+             make_buffers=_gemver_buffers,
+             scalars={"beta": _BETA, "n": _N},
+             reference=_gemver_reference),
+    Workload(suite="polybench", benchmark="trmm", kernel="trmm",
+             source=TRMM_SRC, global_size=_SIZE, default_local_size=64,
+             make_buffers=_trmm_buffers,
+             scalars={"alpha": _ALPHA, "n": _N},
+             reference=_trmm_reference),
+    Workload(suite="polybench", benchmark="doitgen", kernel="doitgen",
+             source=DOITGEN_SRC, global_size=_NR * _NQ * _NP,
+             default_local_size=64, make_buffers=_doitgen_buffers,
+             scalars={"nr": _NR, "nq": _NQ, "np": _NP},
+             reference=_doitgen_reference),
+    Workload(suite="polybench", benchmark="symm", kernel="symm",
+             source=SYMM_SRC, global_size=_SIZE, default_local_size=64,
+             make_buffers=_symm_buffers,
+             scalars={"alpha": _ALPHA, "beta": _BETA, "n": _N},
+             reference=_symm_reference),
+    Workload(suite="polybench", benchmark="lu", kernel="lu",
+             source=LU_SRC, global_size=_LU_GLOBAL,
+             default_local_size=32, make_buffers=_lu_buffers,
+             scalars={"k": _K, "n": _N},
+             reference=_lu_reference),
+    Workload(suite="polybench", benchmark="seidel-2d", kernel="seidel2d",
+             source=SEIDEL_SRC, global_size=_SIZE,
+             default_local_size=64, make_buffers=_seidel_buffers,
+             scalars={"colour": 0, "dim": _N},
+             reference=_seidel_reference),
+    Workload(suite="polybench", benchmark="adi", kernel="adi",
+             source=ADI_SRC, global_size=_N, default_local_size=16,
+             make_buffers=_adi_buffers, scalars={"dim": _N},
+             reference=_adi_reference),
+]

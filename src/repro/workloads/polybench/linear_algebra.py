@@ -1,0 +1,196 @@
+"""PolyBench dense linear-algebra kernels: gemm, 2mm, 3mm, syrk, syr2k."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, rng
+
+_N = 32              # matrix dimension
+_SIZE = _N * _N
+
+GEMM_SRC = r"""
+// C = alpha * A * B + beta * C, one work-item per C element.
+__kernel void gemm(__global const float* A,
+                   __global const float* B,
+                   __global float* C,
+                   float alpha, float beta, int n) {
+    int tid = get_global_id(0);
+    if (tid < n * n) {
+        int i = tid / 32;
+        int j = tid % 32;
+        float acc = 0.0f;
+        for (int k = 0; k < 32; k++) {
+            acc += A[i * 32 + k] * B[k * 32 + j];
+        }
+        C[tid] = alpha * acc + beta * C[tid];
+    }
+}
+"""
+
+MM2_SRC = r"""
+// 2mm second stage: E = C_tmp * D (C_tmp precomputed by stage one).
+__kernel void mm2(__global const float* tmp,
+                  __global const float* D,
+                  __global float* E, int n) {
+    int tid = get_global_id(0);
+    if (tid < n * n) {
+        int i = tid / 32;
+        int j = tid % 32;
+        float acc = 0.0f;
+        for (int k = 0; k < 32; k++) {
+            acc += tmp[i * 32 + k] * D[k * 32 + j];
+        }
+        E[tid] = acc;
+    }
+}
+"""
+
+MM3_SRC = r"""
+// 3mm final stage: G = (A*B) * (C*D) with both products precomputed.
+__kernel void mm3(__global const float* E,
+                  __global const float* F,
+                  __global float* G, int n) {
+    int tid = get_global_id(0);
+    if (tid < n * n) {
+        int i = tid / 32;
+        int j = tid % 32;
+        float acc = 0.0f;
+        for (int k = 0; k < 32; k++) {
+            acc += E[i * 32 + k] * F[k * 32 + j];
+        }
+        G[tid] = acc;
+    }
+}
+"""
+
+SYRK_SRC = r"""
+// C = alpha * A * A^T + beta * C (symmetric rank-k update).
+__kernel void syrk(__global const float* A,
+                   __global float* C,
+                   float alpha, float beta, int n) {
+    int tid = get_global_id(0);
+    if (tid < n * n) {
+        int i = tid / 32;
+        int j = tid % 32;
+        float acc = 0.0f;
+        for (int k = 0; k < 32; k++) {
+            acc += A[i * 32 + k] * A[j * 32 + k];
+        }
+        C[tid] = alpha * acc + beta * C[tid];
+    }
+}
+"""
+
+SYR2K_SRC = r"""
+// C = alpha * (A*B^T + B*A^T) + beta * C.
+__kernel void syr2k(__global const float* A,
+                    __global const float* B,
+                    __global float* C,
+                    float alpha, float beta, int n) {
+    int tid = get_global_id(0);
+    if (tid < n * n) {
+        int i = tid / 32;
+        int j = tid % 32;
+        float acc = 0.0f;
+        for (int k = 0; k < 32; k++) {
+            acc += A[i * 32 + k] * B[j * 32 + k]
+                 + B[i * 32 + k] * A[j * 32 + k];
+        }
+        C[tid] = alpha * acc + beta * C[tid];
+    }
+}
+"""
+
+
+def _mat(seed: int, count: int = 1):
+    r = rng(seed)
+    mats = [r.standard_normal(_SIZE).astype(np.float32)
+            for _ in range(count)]
+    return mats if count > 1 else mats[0]
+
+_ALPHA, _BETA = 1.5, 0.5
+
+
+def _gemm_buffers():
+    a, b, c = _mat(2001, 3)
+    return {"A": Buffer("A", a), "B": Buffer("B", b),
+            "C": Buffer("C", c)}
+
+
+def _gemm_reference(inputs):
+    a = inputs["A"].reshape(_N, _N)
+    b = inputs["B"].reshape(_N, _N)
+    c = inputs["C"].reshape(_N, _N)
+    return {"C": (_ALPHA * (a @ b) + _BETA * c)
+            .reshape(-1).astype(np.float32)}
+
+
+def _mm2_buffers():
+    t, d = _mat(2002, 2)
+    return {"tmp": Buffer("tmp", t), "D": Buffer("D", d),
+            "E": Buffer("E", np.zeros(_SIZE, np.float32))}
+
+
+def _mm2_reference(inputs):
+    t = inputs["tmp"].reshape(_N, _N)
+    d = inputs["D"].reshape(_N, _N)
+    return {"E": (t @ d).reshape(-1).astype(np.float32)}
+
+
+def _mm3_buffers():
+    e, f = _mat(2003, 2)
+    return {"E": Buffer("E", e), "F": Buffer("F", f),
+            "G": Buffer("G", np.zeros(_SIZE, np.float32))}
+
+
+def _mm3_reference(inputs):
+    e = inputs["E"].reshape(_N, _N)
+    f = inputs["F"].reshape(_N, _N)
+    return {"G": (e @ f).reshape(-1).astype(np.float32)}
+
+
+def _syrk_buffers():
+    a, c = _mat(2004, 2)
+    return {"A": Buffer("A", a), "C": Buffer("C", c)}
+
+
+def _syrk_reference(inputs):
+    a = inputs["A"].reshape(_N, _N)
+    c = inputs["C"].reshape(_N, _N)
+    return {"C": (_ALPHA * (a @ a.T) + _BETA * c)
+            .reshape(-1).astype(np.float32)}
+
+
+def _syr2k_buffers():
+    a, b, c = _mat(2005, 3)
+    return {"A": Buffer("A", a), "B": Buffer("B", b),
+            "C": Buffer("C", c)}
+
+
+def _syr2k_reference(inputs):
+    a = inputs["A"].reshape(_N, _N)
+    b = inputs["B"].reshape(_N, _N)
+    c = inputs["C"].reshape(_N, _N)
+    return {"C": (_ALPHA * (a @ b.T + b @ a.T) + _BETA * c)
+            .reshape(-1).astype(np.float32)}
+
+
+def _wl(bench, kernel, src, buffers, reference, scalars):
+    return Workload(
+        suite="polybench", benchmark=bench, kernel=kernel, source=src,
+        global_size=_SIZE, default_local_size=64,
+        make_buffers=buffers, scalars=scalars, reference=reference)
+
+
+WORKLOADS = [
+    _wl("gemm", "gemm", GEMM_SRC, _gemm_buffers, _gemm_reference,
+        {"alpha": _ALPHA, "beta": _BETA, "n": _N}),
+    _wl("2mm", "mm2", MM2_SRC, _mm2_buffers, _mm2_reference, {"n": _N}),
+    _wl("3mm", "mm3", MM3_SRC, _mm3_buffers, _mm3_reference, {"n": _N}),
+    _wl("syrk", "syrk", SYRK_SRC, _syrk_buffers, _syrk_reference,
+        {"alpha": _ALPHA, "beta": _BETA, "n": _N}),
+    _wl("syr2k", "syr2k", SYR2K_SRC, _syr2k_buffers, _syr2k_reference,
+        {"alpha": _ALPHA, "beta": _BETA, "n": _N}),
+]

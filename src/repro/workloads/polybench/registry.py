@@ -1,0 +1,17 @@
+"""Assemble the PolyBench registry."""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadRegistry
+from repro.workloads.polybench import (
+    datamining,
+    extra,
+    linear_algebra,
+    stencils,
+    vectors,
+)
+
+POLYBENCH = WorkloadRegistry()
+for _module in (linear_algebra, vectors, stencils, datamining, extra):
+    for _workload in _module.WORKLOADS:
+        POLYBENCH.add(_workload)

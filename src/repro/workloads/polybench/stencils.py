@@ -1,0 +1,118 @@
+"""PolyBench stencil kernels: jacobi-1d, jacobi-2d, fdtd-2d."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, rng
+
+_N1 = 4096           # jacobi-1d length
+_DIM = 48            # jacobi-2d / fdtd-2d grid edge
+_N2 = _DIM * _DIM
+
+JACOBI1D_SRC = r"""
+__kernel void jacobi1d(__global const float* A,
+                       __global float* B, int n) {
+    int tid = get_global_id(0);
+    if (tid >= 1 && tid < n - 1) {
+        B[tid] = 0.33333f * (A[tid - 1] + A[tid] + A[tid + 1]);
+    }
+}
+"""
+
+JACOBI2D_SRC = r"""
+__kernel void jacobi2d(__global const float* A,
+                       __global float* B, int dim) {
+    int tid = get_global_id(0);
+    int n = dim * dim;
+    if (tid < n) {
+        int row = tid / 48;
+        int col = tid % 48;
+        if (row >= 1 && row < 47 && col >= 1 && col < 47) {
+            B[tid] = 0.2f * (A[tid] + A[tid - 1] + A[tid + 1]
+                             + A[tid - 48] + A[tid + 48]);
+        }
+    }
+}
+"""
+
+FDTD2D_SRC = r"""
+// One E-field update step of the 2-D FDTD kernel.
+__kernel void fdtd2d(__global float* ex,
+                     __global float* ey,
+                     __global const float* hz, int dim) {
+    int tid = get_global_id(0);
+    int n = dim * dim;
+    if (tid < n) {
+        int row = tid / 48;
+        int col = tid % 48;
+        if (row >= 1) {
+            ey[tid] = ey[tid] - 0.5f * (hz[tid] - hz[tid - 48]);
+        }
+        if (col >= 1) {
+            ex[tid] = ex[tid] - 0.5f * (hz[tid] - hz[tid - 1]);
+        }
+    }
+}
+"""
+
+
+def _jacobi1d_buffers():
+    r = rng(2201)
+    return {"A": Buffer("A", r.standard_normal(_N1).astype(np.float32)),
+            "B": Buffer("B", np.zeros(_N1, np.float32))}
+
+
+def _jacobi1d_reference(inputs):
+    a = inputs["A"].astype(np.float32)
+    b = np.zeros(_N1, np.float32)
+    b[1:-1] = np.float32(0.33333) * (a[:-2] + a[1:-1] + a[2:])
+    return {"B": b}
+
+
+def _jacobi2d_buffers():
+    r = rng(2202)
+    return {"A": Buffer("A", r.standard_normal(_N2).astype(np.float32)),
+            "B": Buffer("B", np.zeros(_N2, np.float32))}
+
+
+def _jacobi2d_reference(inputs):
+    a = inputs["A"].reshape(_DIM, _DIM).astype(np.float64)
+    b = np.zeros((_DIM, _DIM))
+    b[1:-1, 1:-1] = 0.2 * (a[1:-1, 1:-1] + a[1:-1, :-2] + a[1:-1, 2:]
+                           + a[:-2, 1:-1] + a[2:, 1:-1])
+    return {"B": b.reshape(-1).astype(np.float32)}
+
+
+def _fdtd2d_buffers():
+    r = rng(2203)
+    return {"ex": Buffer("ex", r.standard_normal(_N2).astype(np.float32)),
+            "ey": Buffer("ey", r.standard_normal(_N2).astype(np.float32)),
+            "hz": Buffer("hz", r.standard_normal(_N2).astype(np.float32))}
+
+
+def _fdtd2d_reference(inputs):
+    ex = inputs["ex"].reshape(_DIM, _DIM).astype(np.float64)
+    ey = inputs["ey"].reshape(_DIM, _DIM).astype(np.float64)
+    hz = inputs["hz"].reshape(_DIM, _DIM).astype(np.float64)
+    ey[1:] = ey[1:] - 0.5 * (hz[1:] - hz[:-1])
+    ex[:, 1:] = ex[:, 1:] - 0.5 * (hz[:, 1:] - hz[:, :-1])
+    return {"ex": ex.reshape(-1).astype(np.float32),
+            "ey": ey.reshape(-1).astype(np.float32)}
+
+
+WORKLOADS = [
+    Workload(suite="polybench", benchmark="jacobi-1d", kernel="jacobi1d",
+             source=JACOBI1D_SRC, global_size=_N1, default_local_size=64,
+             make_buffers=_jacobi1d_buffers, scalars={"n": _N1},
+             reference=_jacobi1d_reference),
+    Workload(suite="polybench", benchmark="jacobi-2d", kernel="jacobi2d",
+             source=JACOBI2D_SRC, global_size=_N2, default_local_size=64,
+             make_buffers=_jacobi2d_buffers, scalars={"dim": _DIM},
+             reference=_jacobi2d_reference),
+    Workload(suite="polybench", benchmark="fdtd-2d", kernel="fdtd2d",
+             source=FDTD2D_SRC, global_size=_N2, default_local_size=64,
+             make_buffers=_fdtd2d_buffers, scalars={"dim": _DIM},
+             reference=_fdtd2d_reference),
+]

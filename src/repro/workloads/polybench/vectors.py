@@ -1,0 +1,171 @@
+"""PolyBench matrix-vector kernels: atax, bicg, mvt, gesummv."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, rng
+
+_N = 64
+_SIZE = _N * _N
+
+ATAX_SRC = r"""
+// y = A^T (A x): one work-item per output element, two passes fused
+// through a per-item accumulation over the tmp vector.
+__kernel void atax(__global const float* A,
+                   __global const float* x,
+                   __global const float* tmp,
+                   __global float* y, int n) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        float acc = 0.0f;
+        for (int i = 0; i < 64; i++) {
+            acc += A[i * 64 + tid] * tmp[i];
+        }
+        y[tid] = acc;
+    }
+}
+"""
+
+BICG_SRC = r"""
+// BiCG kernel: s = A^T r  and  q = A p  in one pass per work-item.
+__kernel void bicg(__global const float* A,
+                   __global const float* r,
+                   __global const float* p,
+                   __global float* s,
+                   __global float* q, int n) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        float s_acc = 0.0f;
+        float q_acc = 0.0f;
+        for (int i = 0; i < 64; i++) {
+            s_acc += A[i * 64 + tid] * r[i];
+            q_acc += A[tid * 64 + i] * p[i];
+        }
+        s[tid] = s_acc;
+        q[tid] = q_acc;
+    }
+}
+"""
+
+MVT_SRC = r"""
+// x1 += A y1; x2 += A^T y2.
+__kernel void mvt(__global const float* A,
+                  __global float* x1,
+                  __global float* x2,
+                  __global const float* y1,
+                  __global const float* y2, int n) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        float acc1 = 0.0f;
+        float acc2 = 0.0f;
+        for (int j = 0; j < 64; j++) {
+            acc1 += A[tid * 64 + j] * y1[j];
+            acc2 += A[j * 64 + tid] * y2[j];
+        }
+        x1[tid] += acc1;
+        x2[tid] += acc2;
+    }
+}
+"""
+
+GESUMMV_SRC = r"""
+// y = alpha * A x + beta * B x.
+__kernel void gesummv(__global const float* A,
+                      __global const float* B,
+                      __global const float* x,
+                      __global float* y,
+                      float alpha, float beta, int n) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        float a_acc = 0.0f;
+        float b_acc = 0.0f;
+        for (int j = 0; j < 64; j++) {
+            a_acc += A[tid * 64 + j] * x[j];
+            b_acc += B[tid * 64 + j] * x[j];
+        }
+        y[tid] = alpha * a_acc + beta * b_acc;
+    }
+}
+"""
+
+_ALPHA, _BETA = 1.5, 0.5
+
+
+def _atax_buffers():
+    r = rng(2101)
+    a = r.standard_normal(_SIZE).astype(np.float32)
+    x = r.standard_normal(_N).astype(np.float32)
+    tmp = (a.reshape(_N, _N) @ x).astype(np.float32)
+    return {"A": Buffer("A", a), "x": Buffer("x", x),
+            "tmp": Buffer("tmp", tmp),
+            "y": Buffer("y", np.zeros(_N, np.float32))}
+
+
+def _atax_reference(inputs):
+    a = inputs["A"].reshape(_N, _N)
+    return {"y": (a.T @ inputs["tmp"]).astype(np.float32)}
+
+
+def _bicg_buffers():
+    r = rng(2102)
+    return {"A": Buffer("A", r.standard_normal(_SIZE).astype(np.float32)),
+            "r": Buffer("r", r.standard_normal(_N).astype(np.float32)),
+            "p": Buffer("p", r.standard_normal(_N).astype(np.float32)),
+            "s": Buffer("s", np.zeros(_N, np.float32)),
+            "q": Buffer("q", np.zeros(_N, np.float32))}
+
+
+def _bicg_reference(inputs):
+    a = inputs["A"].reshape(_N, _N)
+    return {"s": (a.T @ inputs["r"]).astype(np.float32),
+            "q": (a @ inputs["p"]).astype(np.float32)}
+
+
+def _mvt_buffers():
+    r = rng(2103)
+    return {"A": Buffer("A", r.standard_normal(_SIZE).astype(np.float32)),
+            "x1": Buffer("x1", r.standard_normal(_N).astype(np.float32)),
+            "x2": Buffer("x2", r.standard_normal(_N).astype(np.float32)),
+            "y1": Buffer("y1", r.standard_normal(_N).astype(np.float32)),
+            "y2": Buffer("y2", r.standard_normal(_N).astype(np.float32))}
+
+
+def _mvt_reference(inputs):
+    a = inputs["A"].reshape(_N, _N)
+    return {"x1": (inputs["x1"] + a @ inputs["y1"]).astype(np.float32),
+            "x2": (inputs["x2"] + a.T @ inputs["y2"]).astype(np.float32)}
+
+
+def _gesummv_buffers():
+    r = rng(2104)
+    return {"A": Buffer("A", r.standard_normal(_SIZE).astype(np.float32)),
+            "B": Buffer("B", r.standard_normal(_SIZE).astype(np.float32)),
+            "x": Buffer("x", r.standard_normal(_N).astype(np.float32)),
+            "y": Buffer("y", np.zeros(_N, np.float32))}
+
+
+def _gesummv_reference(inputs):
+    a = inputs["A"].reshape(_N, _N)
+    b = inputs["B"].reshape(_N, _N)
+    x = inputs["x"]
+    return {"y": (_ALPHA * (a @ x) + _BETA * (b @ x)).astype(np.float32)}
+
+
+def _wl(bench, kernel, src, buffers, reference, scalars):
+    return Workload(
+        suite="polybench", benchmark=bench, kernel=kernel, source=src,
+        global_size=_N, default_local_size=32,
+        make_buffers=buffers, scalars=scalars, reference=reference)
+
+
+WORKLOADS = [
+    _wl("atax", "atax", ATAX_SRC, _atax_buffers, _atax_reference,
+        {"n": _N}),
+    _wl("bicg", "bicg", BICG_SRC, _bicg_buffers, _bicg_reference,
+        {"n": _N}),
+    _wl("mvt", "mvt", MVT_SRC, _mvt_buffers, _mvt_reference, {"n": _N}),
+    _wl("gesummv", "gesummv", GESUMMV_SRC, _gesummv_buffers,
+        _gesummv_reference, {"alpha": _ALPHA, "beta": _BETA, "n": _N}),
+]

@@ -1,0 +1,30 @@
+"""Top-level workload access."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import Workload
+from repro.workloads.polybench import POLYBENCH
+from repro.workloads.rodinia import RODINIA
+
+
+def rodinia_workloads() -> List[Workload]:
+    """The 45 Rodinia kernels of the paper's Table 2."""
+    return RODINIA.all()
+
+
+def polybench_workloads() -> List[Workload]:
+    """The PolyBench suite (§4.2's second accuracy experiment)."""
+    return POLYBENCH.all()
+
+
+def all_workloads() -> List[Workload]:
+    """Both suites concatenated: Rodinia then PolyBench."""
+    return rodinia_workloads() + polybench_workloads()
+
+
+def get_workload(suite: str, benchmark: str, kernel: str) -> Workload:
+    """Look one kernel up by (suite, benchmark, kernel name)."""
+    registry = {"rodinia": RODINIA, "polybench": POLYBENCH}[suite]
+    return registry.get(benchmark, kernel)

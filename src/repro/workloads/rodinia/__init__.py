@@ -1,0 +1,8 @@
+"""The Rodinia benchmark suite (Che et al., IISWC'09): all 45 kernels
+of the paper's Table 2, re-written in the supported OpenCL C subset with
+representative loop structure, local-memory usage, and global access
+patterns."""
+
+from repro.workloads.rodinia.registry import RODINIA
+
+__all__ = ["RODINIA"]

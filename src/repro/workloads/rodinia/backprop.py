@@ -1,0 +1,116 @@
+"""backprop: feed-forward layer evaluation and weight adjustment."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, rng
+
+_HID = 16          # hidden units per work-group tile
+_N = 2048          # input units
+
+LAYER_SRC = r"""
+// Forward pass: each work-item accumulates one input unit's
+// contribution into the hidden layer partial sums held in local memory.
+__kernel void layer(__global const float* input_units,
+                    __global const float* weights,
+                    __global float* partial_sums,
+                    int hid, int n_in) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    int lsz = get_local_size(0);
+    __local float tile[256];
+
+    tile[lid] = gid < n_in ? input_units[gid] : 0.0f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+
+    if (gid < n_in) {
+        float unit = tile[lid];
+        for (int h = 0; h < 16; h++) {
+            float w = weights[gid * 16 + h];
+            partial_sums[gid * 16 + h] = unit * w;
+        }
+    }
+}
+"""
+
+ADJUST_SRC = r"""
+// Weight adjustment: w += eta * delta * unit + momentum * old_dw.
+__kernel void adjust(__global float* weights,
+                     __global float* old_dw,
+                     __global const float* deltas,
+                     __global const float* units,
+                     float eta, float momentum, int hid, int n_in) {
+    int gid = get_global_id(0);
+    if (gid < n_in) {
+        float unit = units[gid];
+        for (int h = 0; h < 16; h++) {
+            int idx = gid * 16 + h;
+            float dw = eta * deltas[h] * unit + momentum * old_dw[idx];
+            weights[idx] += dw;
+            old_dw[idx] = dw;
+        }
+    }
+}
+"""
+
+
+def _layer_buffers():
+    r = rng(101)
+    units = r.standard_normal(_N).astype(np.float32)
+    weights = r.standard_normal(_N * _HID).astype(np.float32)
+    return {
+        "input_units": Buffer("input_units", units),
+        "weights": Buffer("weights", weights),
+        "partial_sums": Buffer("partial_sums",
+                               np.zeros(_N * _HID, np.float32)),
+    }
+
+
+def _layer_reference(inputs):
+    units = inputs["input_units"]
+    weights = inputs["weights"].reshape(_N, _HID)
+    return {"partial_sums": (units[:, None] * weights).reshape(-1)}
+
+
+def _adjust_buffers():
+    r = rng(102)
+    return {
+        "weights": Buffer("weights",
+                          r.standard_normal(_N * _HID).astype(np.float32)),
+        "old_dw": Buffer("old_dw",
+                         r.standard_normal(_N * _HID).astype(np.float32)),
+        "deltas": Buffer("deltas",
+                         r.standard_normal(_HID).astype(np.float32)),
+        "units": Buffer("units",
+                        r.standard_normal(_N).astype(np.float32)),
+    }
+
+
+def _adjust_reference(inputs):
+    eta, momentum = 0.3, 0.3
+    weights = inputs["weights"].reshape(_N, _HID).copy()
+    old_dw = inputs["old_dw"].reshape(_N, _HID)
+    dw = (eta * inputs["deltas"][None, :] * inputs["units"][:, None]
+          + momentum * old_dw)
+    return {"weights": (weights + dw).reshape(-1).astype(np.float32),
+            "old_dw": dw.reshape(-1).astype(np.float32)}
+
+
+WORKLOADS = [
+    Workload(
+        suite="rodinia", benchmark="backprop", kernel="layer",
+        source=LAYER_SRC, global_size=_N, default_local_size=64,
+        make_buffers=_layer_buffers,
+        scalars={"hid": _HID, "n_in": _N},
+        reference=_layer_reference,
+    ),
+    Workload(
+        suite="rodinia", benchmark="backprop", kernel="adjust",
+        source=ADJUST_SRC, global_size=_N, default_local_size=64,
+        make_buffers=_adjust_buffers,
+        scalars={"eta": 0.3, "momentum": 0.3, "hid": _HID, "n_in": _N},
+        reference=_adjust_reference,
+    ),
+]

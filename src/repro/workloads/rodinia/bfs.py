@@ -1,0 +1,122 @@
+"""bfs: breadth-first search frontier expansion (two kernels)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, rng
+
+_NODES = 2048
+_DEGREE = 4
+
+
+def _graph(seed: int):
+    r = rng(seed)
+    starts = np.arange(_NODES, dtype=np.int32) * _DEGREE
+    edges = r.integers(0, _NODES, _NODES * _DEGREE).astype(np.int32)
+    return starts, edges
+
+
+BFS1_SRC = r"""
+// Expand the current frontier: every masked node visits its neighbours.
+__kernel void bfs_1(__global const int* starts,
+                    __global const int* edges,
+                    __global const int* mask,
+                    __global int* updating_mask,
+                    __global int* visited,
+                    __global int* cost,
+                    int degree, int n_nodes) {
+    int tid = get_global_id(0);
+    if (tid < n_nodes) {
+        if (mask[tid] != 0) {
+            int my_cost = cost[tid];
+            int first = starts[tid];
+            for (int e = 0; e < 4; e++) {
+                int nb = edges[first + e];
+                if (visited[nb] == 0) {
+                    cost[nb] = my_cost + 1;
+                    updating_mask[nb] = 1;
+                }
+            }
+        }
+    }
+}
+"""
+
+BFS2_SRC = r"""
+// Commit the updating mask into the frontier for the next level.
+__kernel void bfs_2(__global int* mask,
+                    __global int* updating_mask,
+                    __global int* visited,
+                    __global int* over,
+                    int n_nodes) {
+    int tid = get_global_id(0);
+    if (tid < n_nodes) {
+        mask[tid] = 0;
+        if (updating_mask[tid] != 0) {
+            mask[tid] = 1;
+            visited[tid] = 1;
+            updating_mask[tid] = 0;
+            over[0] = 1;
+        }
+    }
+}
+"""
+
+
+def _bfs1_buffers():
+    starts, edges = _graph(201)
+    mask = np.zeros(_NODES, np.int32)
+    mask[:64] = 1
+    visited = np.zeros(_NODES, np.int32)
+    visited[:64] = 1
+    return {
+        "starts": Buffer("starts", starts),
+        "edges": Buffer("edges", edges),
+        "mask": Buffer("mask", mask),
+        "updating_mask": Buffer("updating_mask",
+                                np.zeros(_NODES, np.int32)),
+        "visited": Buffer("visited", visited),
+        "cost": Buffer("cost", np.zeros(_NODES, np.int32)),
+    }
+
+
+def _bfs2_buffers():
+    r = rng(202)
+    updating = (r.random(_NODES) < 0.3).astype(np.int32)
+    return {
+        "mask": Buffer("mask", np.zeros(_NODES, np.int32)),
+        "updating_mask": Buffer("updating_mask", updating),
+        "visited": Buffer("visited", np.zeros(_NODES, np.int32)),
+        "over": Buffer("over", np.zeros(4, np.int32)),
+    }
+
+
+def _bfs2_reference(inputs):
+    updating = inputs["updating_mask"]
+    mask = (updating != 0).astype(np.int32)
+    visited = mask.copy()
+    over = inputs["over"].copy()
+    if mask.any():
+        over[0] = 1
+    return {"mask": mask, "visited": visited,
+            "updating_mask": np.zeros(_NODES, np.int32), "over": over}
+
+
+WORKLOADS = [
+    Workload(
+        suite="rodinia", benchmark="bfs", kernel="bfs_1",
+        source=BFS1_SRC, global_size=_NODES, default_local_size=64,
+        make_buffers=_bfs1_buffers,
+        scalars={"degree": _DEGREE, "n_nodes": _NODES},
+        reference=None,   # scatter order makes a simple reference racy
+    ),
+    Workload(
+        suite="rodinia", benchmark="bfs", kernel="bfs_2",
+        source=BFS2_SRC, global_size=_NODES, default_local_size=64,
+        make_buffers=_bfs2_buffers,
+        scalars={"n_nodes": _NODES},
+        reference=_bfs2_reference,
+    ),
+]

@@ -1,0 +1,136 @@
+"""b+tree: key lookup (findK) and range query (rangeK) over a flattened
+B+ tree laid out level by level."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, rng
+
+_QUERIES = 1024
+_ORDER = 8          # fanout
+_LEVELS = 4
+_NODES = (_ORDER ** _LEVELS - 1) // (_ORDER - 1)     # internal+leaf nodes
+_KEYS = _NODES * _ORDER
+
+
+def _tree(seed: int):
+    """Sorted keys in every node so the traversal is well defined."""
+    r = rng(seed)
+    keys = np.sort(r.integers(0, 1 << 20, (_NODES, _ORDER)),
+                   axis=1).astype(np.int32)
+    values = (keys * 2 + 1).astype(np.int32)
+    return keys.reshape(-1), values.reshape(-1)
+
+
+FINDK_SRC = r"""
+// Descend the tree one level per iteration, then scan the leaf node.
+__kernel void findK(__global const int* keys,
+                    __global const int* values,
+                    __global const int* queries,
+                    __global int* results,
+                    int order, int levels, int n_queries) {
+    int tid = get_global_id(0);
+    if (tid < n_queries) {
+        int q = queries[tid];
+        int node = 0;
+        for (int level = 0; level < 3; level++) {
+            int child = 0;
+            for (int k = 0; k < 8; k++) {
+                if (keys[node * 8 + k] <= q) {
+                    child = k;
+                }
+            }
+            node = node * 8 + child + 1;
+        }
+        int found = -1;
+        for (int k = 0; k < 8; k++) {
+            if (keys[node * 8 + k] == q) {
+                found = values[node * 8 + k];
+            }
+        }
+        results[tid] = found;
+    }
+}
+"""
+
+RANGEK_SRC = r"""
+// Count keys of the query's leaf node inside [lo, lo + span).
+__kernel void rangeK(__global const int* keys,
+                     __global const int* leaf_of_query,
+                     __global const int* lows,
+                     __global int* counts,
+                     int order, int span, int n_queries) {
+    int tid = get_global_id(0);
+    if (tid < n_queries) {
+        int node = leaf_of_query[tid];
+        int lo = lows[tid];
+        int hi = lo + span;
+        int count = 0;
+        for (int k = 0; k < 8; k++) {
+            int key = keys[node * 8 + k];
+            if (key >= lo && key < hi) {
+                count++;
+            }
+        }
+        counts[tid] = count;
+    }
+}
+"""
+
+
+def _findk_buffers():
+    keys, values = _tree(301)
+    r = rng(302)
+    queries = keys[r.integers(0, _KEYS, _QUERIES)].astype(np.int32)
+    return {
+        "keys": Buffer("keys", keys),
+        "values": Buffer("values", values),
+        "queries": Buffer("queries", queries),
+        "results": Buffer("results", np.zeros(_QUERIES, np.int32)),
+    }
+
+
+def _rangek_buffers():
+    keys, _ = _tree(301)
+    r = rng(303)
+    first_leaf = (_ORDER ** (_LEVELS - 1) - 1) // (_ORDER - 1)
+    leaves = r.integers(first_leaf, _NODES, _QUERIES).astype(np.int32)
+    lows = r.integers(0, 1 << 20, _QUERIES).astype(np.int32)
+    return {
+        "keys": Buffer("keys", keys),
+        "leaf_of_query": Buffer("leaf_of_query", leaves),
+        "lows": Buffer("lows", lows),
+        "counts": Buffer("counts", np.zeros(_QUERIES, np.int32)),
+    }
+
+
+def _rangek_reference(inputs):
+    keys = inputs["keys"].reshape(_NODES, _ORDER)
+    leaves = inputs["leaf_of_query"]
+    lows = inputs["lows"]
+    span = 4096
+    node_keys = keys[leaves]
+    counts = ((node_keys >= lows[:, None])
+              & (node_keys < (lows + span)[:, None])).sum(1)
+    return {"counts": counts.astype(np.int32)}
+
+
+WORKLOADS = [
+    Workload(
+        suite="rodinia", benchmark="btree", kernel="findK",
+        source=FINDK_SRC, global_size=_QUERIES, default_local_size=64,
+        make_buffers=_findk_buffers,
+        scalars={"order": _ORDER, "levels": _LEVELS,
+                 "n_queries": _QUERIES},
+        reference=None,   # duplicate keys make the scan tie-break fiddly
+    ),
+    Workload(
+        suite="rodinia", benchmark="btree", kernel="rangeK",
+        source=RANGEK_SRC, global_size=_QUERIES, default_local_size=64,
+        make_buffers=_rangek_buffers,
+        scalars={"order": _ORDER, "span": 4096, "n_queries": _QUERIES},
+        reference=_rangek_reference,
+    ),
+]

@@ -1,0 +1,175 @@
+"""dwt2d: 2-D discrete wavelet transform pipeline kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, rng
+
+_W = 64
+_H = 32
+_PIXELS = _W * _H
+
+
+COMPUTE_SRC = r"""
+// Colour-space compute: RGB -> luminance-style weighted combination.
+__kernel void compute(__global const float* r,
+                      __global const float* g,
+                      __global const float* b,
+                      __global float* out, int n) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        out[tid] = 0.299f * r[tid] + 0.587f * g[tid] + 0.114f * b[tid];
+    }
+}
+"""
+
+COMPONENTS_SRC = r"""
+// De-interleave packed RGB into planar components.
+__kernel void components(__global const float* packed,
+                         __global float* r,
+                         __global float* g,
+                         __global float* b, int n) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        r[tid] = packed[tid * 3];
+        g[tid] = packed[tid * 3 + 1];
+        b[tid] = packed[tid * 3 + 2];
+    }
+}
+"""
+
+COMPONENT_SRC = r"""
+// Single-component copy with level shift (the bmp -> component kernel).
+__kernel void component(__global const float* src,
+                        __global float* dst, int n) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        dst[tid] = src[tid] - 128.0f;
+    }
+}
+"""
+
+FDWT_SRC = r"""
+// Forward 5/3 lifting step along rows: predict + update via local tile.
+__kernel void fdwt(__global const float* src,
+                   __global float* low,
+                   __global float* high,
+                   int width, int n_rows) {
+    int row = get_global_id(0);
+    int half = width / 2;
+    if (row < n_rows) {
+        for (int i = 0; i < 32; i++) {
+            float even = src[row * 64 + 2 * i];
+            float odd = src[row * 64 + 2 * i + 1];
+            float next = 0.0f;
+            if (i < 31) {
+                next = src[row * 64 + 2 * i + 2];
+            } else {
+                next = even;
+            }
+            float d = odd - 0.5f * (even + next);
+            float s = even + 0.25f * d;
+            low[row * 32 + i] = s;
+            high[row * 32 + i] = d;
+        }
+    }
+}
+"""
+
+
+def _compute_buffers():
+    r = rng(501)
+    return {
+        "r": Buffer("r", r.random(_PIXELS).astype(np.float32)),
+        "g": Buffer("g", r.random(_PIXELS).astype(np.float32)),
+        "b": Buffer("b", r.random(_PIXELS).astype(np.float32)),
+        "out": Buffer("out", np.zeros(_PIXELS, np.float32)),
+    }
+
+
+def _compute_reference(inputs):
+    out = (0.299 * inputs["r"] + 0.587 * inputs["g"]
+           + 0.114 * inputs["b"])
+    return {"out": out.astype(np.float32)}
+
+
+def _components_buffers():
+    r = rng(502)
+    return {
+        "packed": Buffer("packed",
+                         r.random(_PIXELS * 3).astype(np.float32)),
+        "r": Buffer("r", np.zeros(_PIXELS, np.float32)),
+        "g": Buffer("g", np.zeros(_PIXELS, np.float32)),
+        "b": Buffer("b", np.zeros(_PIXELS, np.float32)),
+    }
+
+
+def _components_reference(inputs):
+    packed = inputs["packed"].reshape(_PIXELS, 3)
+    return {"r": packed[:, 0].copy(), "g": packed[:, 1].copy(),
+            "b": packed[:, 2].copy()}
+
+
+def _component_buffers():
+    r = rng(503)
+    return {
+        "src": Buffer("src",
+                      (r.random(_PIXELS) * 255).astype(np.float32)),
+        "dst": Buffer("dst", np.zeros(_PIXELS, np.float32)),
+    }
+
+
+def _component_reference(inputs):
+    return {"dst": (inputs["src"] - 128.0).astype(np.float32)}
+
+
+def _fdwt_buffers():
+    r = rng(504)
+    return {
+        "src": Buffer("src",
+                      r.standard_normal(_H * _W).astype(np.float32)),
+        "low": Buffer("low", np.zeros(_H * _W // 2, np.float32)),
+        "high": Buffer("high", np.zeros(_H * _W // 2, np.float32)),
+    }
+
+
+def _fdwt_reference(inputs):
+    src = inputs["src"].reshape(_H, _W)
+    even = src[:, 0::2]
+    odd = src[:, 1::2]
+    nxt = np.concatenate([even[:, 1:], even[:, -1:]], axis=1)
+    d = odd - 0.5 * (even + nxt)
+    s = even + 0.25 * d
+    return {"low": s.reshape(-1).astype(np.float32),
+            "high": d.reshape(-1).astype(np.float32)}
+
+
+WORKLOADS = [
+    Workload(
+        suite="rodinia", benchmark="dwt2d", kernel="compute",
+        source=COMPUTE_SRC, global_size=_PIXELS, default_local_size=64,
+        make_buffers=_compute_buffers, scalars={"n": _PIXELS},
+        reference=_compute_reference,
+    ),
+    Workload(
+        suite="rodinia", benchmark="dwt2d", kernel="components",
+        source=COMPONENTS_SRC, global_size=_PIXELS, default_local_size=64,
+        make_buffers=_components_buffers, scalars={"n": _PIXELS},
+        reference=_components_reference,
+    ),
+    Workload(
+        suite="rodinia", benchmark="dwt2d", kernel="component",
+        source=COMPONENT_SRC, global_size=_PIXELS, default_local_size=64,
+        make_buffers=_component_buffers, scalars={"n": _PIXELS},
+        reference=_component_reference,
+    ),
+    Workload(
+        suite="rodinia", benchmark="dwt2d", kernel="fdwt",
+        source=FDWT_SRC, global_size=_H * 2, default_local_size=16,
+        make_buffers=_fdwt_buffers,
+        scalars={"width": _W, "n_rows": _H},
+        reference=_fdwt_reference,
+    ),
+]

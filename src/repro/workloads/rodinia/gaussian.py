@@ -1,0 +1,111 @@
+"""gaussian: Gaussian elimination step kernels (fan1 computes the
+multiplier column, fan2 updates the trailing submatrix)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, rng
+
+_N = 64              # matrix dimension
+_T = 5               # eliminated column
+
+
+def _matrix(seed: int) -> np.ndarray:
+    r = rng(seed)
+    a = r.standard_normal((_N, _N)).astype(np.float32)
+    np.fill_diagonal(a, a.diagonal() + _N)    # diagonally dominant
+    return a
+
+
+FAN1_SRC = r"""
+// m[i][t] = a[i][t] / a[t][t] for rows below the pivot.
+__kernel void fan1(__global const float* a,
+                   __global float* m,
+                   int size, int t) {
+    int tid = get_global_id(0);
+    if (tid < size - 1 - t) {
+        int row = tid + t + 1;
+        m[row * 64 + t] = a[row * 64 + t] / a[t * 64 + t];
+    }
+}
+"""
+
+FAN2_SRC = r"""
+// a[i][j] -= m[i][t] * a[t][j] over the trailing submatrix (flattened).
+__kernel void fan2(__global float* a,
+                   __global float* b,
+                   __global const float* m,
+                   int size, int t) {
+    int tid = get_global_id(0);
+    int span = size - 1 - t;
+    if (tid < span * span) {
+        int i = tid / span + t + 1;
+        int j = tid % span + t;
+        float mult = m[i * 64 + t];
+        a[i * 64 + j] -= mult * a[t * 64 + j];
+        if (j == t) {
+            b[i] -= mult * b[t];
+        }
+    }
+}
+"""
+
+
+def _fan1_buffers():
+    return {
+        "a": Buffer("a", _matrix(601).reshape(-1)),
+        "m": Buffer("m", np.zeros(_N * _N, np.float32)),
+    }
+
+
+def _fan1_reference(inputs):
+    a = inputs["a"].reshape(_N, _N)
+    m = np.zeros((_N, _N), np.float32)
+    m[_T + 1:, _T] = a[_T + 1:, _T] / a[_T, _T]
+    return {"m": m.reshape(-1)}
+
+
+def _fan2_buffers():
+    a = _matrix(601)
+    m = np.zeros((_N, _N), np.float32)
+    m[_T + 1:, _T] = a[_T + 1:, _T] / a[_T, _T]
+    r = rng(602)
+    return {
+        "a": Buffer("a", a.reshape(-1)),
+        "b": Buffer("b", r.standard_normal(_N).astype(np.float32)),
+        "m": Buffer("m", m.reshape(-1)),
+    }
+
+
+def _fan2_reference(inputs):
+    a = inputs["a"].reshape(_N, _N).copy()
+    b = inputs["b"].copy()
+    m = inputs["m"].reshape(_N, _N)
+    span = _N - 1 - _T
+    for i in range(_T + 1, _N):
+        mult = np.float32(m[i, _T])
+        a[i, _T:_T + span] = (a[i, _T:_T + span].astype(np.float32)
+                              - mult * a[_T, _T:_T + span])
+        b[i] -= mult * b[_T]
+    return {"a": a.reshape(-1), "b": b}
+
+
+_SPAN = _N - 1 - _T
+_FAN2_GLOBAL = 3584          # next multiple of 64 above span*span (3481)
+
+WORKLOADS = [
+    Workload(
+        suite="rodinia", benchmark="gaussian", kernel="fan1",
+        source=FAN1_SRC, global_size=_N, default_local_size=16,
+        make_buffers=_fan1_buffers, scalars={"size": _N, "t": _T},
+        reference=_fan1_reference,
+    ),
+    Workload(
+        suite="rodinia", benchmark="gaussian", kernel="fan2",
+        source=FAN2_SRC, global_size=_FAN2_GLOBAL, default_local_size=64,
+        make_buffers=_fan2_buffers, scalars={"size": _N, "t": _T},
+        reference=_fan2_reference,
+    ),
+]

@@ -1,0 +1,75 @@
+"""hotspot: 2-D thermal simulation stencil (one time step)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, rng
+
+_DIM = 64
+_N = _DIM * _DIM
+
+HOTSPOT_SRC = r"""
+// One Jacobi-style step of the thermal grid: each work-item owns one
+// cell; neighbours come straight from global memory (FPGA flows would
+// line-buffer this — the naive form is what the OpenCL benchmark ships).
+__kernel void hotspot(__global const float* temp_in,
+                      __global const float* power,
+                      __global float* temp_out,
+                      int dim, float cap, float rx, float ry, float rz,
+                      float amb) {
+    int tid = get_global_id(0);
+    int n = dim * dim;
+    if (tid < n) {
+        int row = tid / dim;
+        int col = tid % dim;
+        float center = temp_in[tid];
+        float north = row > 0 ? temp_in[tid - dim] : center;
+        float south = row < dim - 1 ? temp_in[tid + dim] : center;
+        float west = col > 0 ? temp_in[tid - 1] : center;
+        float east = col < dim - 1 ? temp_in[tid + 1] : center;
+        float delta = (power[tid]
+                       + (north + south - 2.0f * center) / ry
+                       + (east + west - 2.0f * center) / rx
+                       + (amb - center) / rz) / cap;
+        temp_out[tid] = center + delta;
+    }
+}
+"""
+
+
+def _buffers():
+    r = rng(701)
+    return {
+        "temp_in": Buffer("temp_in",
+                          (320.0 + r.random(_N) * 20).astype(np.float32)),
+        "power": Buffer("power", r.random(_N).astype(np.float32)),
+        "temp_out": Buffer("temp_out", np.zeros(_N, np.float32)),
+    }
+
+
+_PARAMS = {"dim": _DIM, "cap": 0.5, "rx": 1.0, "ry": 1.0,
+           "rz": 4.0, "amb": 80.0}
+
+
+def _reference(inputs):
+    t = inputs["temp_in"].reshape(_DIM, _DIM).astype(np.float64)
+    p = inputs["power"].reshape(_DIM, _DIM).astype(np.float64)
+    north = np.vstack([t[:1], t[:-1]])
+    south = np.vstack([t[1:], t[-1:]])
+    west = np.hstack([t[:, :1], t[:, :-1]])
+    east = np.hstack([t[:, 1:], t[:, -1:]])
+    delta = (p + (north + south - 2 * t) / _PARAMS["ry"]
+             + (east + west - 2 * t) / _PARAMS["rx"]
+             + (_PARAMS["amb"] - t) / _PARAMS["rz"]) / _PARAMS["cap"]
+    return {"temp_out": (t + delta).reshape(-1).astype(np.float32)}
+
+
+WORKLOADS = [
+    Workload(
+        suite="rodinia", benchmark="hotspot", kernel="hotspot",
+        source=HOTSPOT_SRC, global_size=_N, default_local_size=64,
+        make_buffers=_buffers, scalars=_PARAMS, reference=_reference,
+    ),
+]

@@ -1,0 +1,91 @@
+"""hotspot3D: 3-D thermal stencil (one time step)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, rng
+
+_NX = 16
+_NY = 16
+_NZ = 8
+_N = _NX * _NY * _NZ
+
+HOTSPOT3D_SRC = r"""
+// 7-point 3-D stencil, flattened z-major.
+__kernel void hotspot3D(__global const float* tIn,
+                        __global const float* pIn,
+                        __global float* tOut,
+                        int nx, int ny, int nz,
+                        float cc, float cn, float cs, float ce,
+                        float cw, float ct, float cb, float amb) {
+    int tid = get_global_id(0);
+    int n = nx * ny * nz;
+    if (tid < n) {
+        int plane = nx * ny;
+        int z = tid / plane;
+        int rem = tid % plane;
+        int y = rem / nx;
+        int x = rem % nx;
+        float center = tIn[tid];
+        float west = x > 0 ? tIn[tid - 1] : center;
+        float east = x < nx - 1 ? tIn[tid + 1] : center;
+        float north = y > 0 ? tIn[tid - nx] : center;
+        float south = y < ny - 1 ? tIn[tid + nx] : center;
+        float bottom = z > 0 ? tIn[tid - plane] : center;
+        float top = z < nz - 1 ? tIn[tid + plane] : center;
+        tOut[tid] = cc * center + cn * north + cs * south
+                  + ce * east + cw * west + ct * top + cb * bottom
+                  + cb * amb + pIn[tid];
+    }
+}
+"""
+
+_PARAMS = {"nx": _NX, "ny": _NY, "nz": _NZ,
+           "cc": 0.4, "cn": 0.1, "cs": 0.1, "ce": 0.1, "cw": 0.1,
+           "ct": 0.1, "cb": 0.1, "amb": 80.0}
+
+
+def _buffers():
+    r = rng(801)
+    return {
+        "tIn": Buffer("tIn",
+                      (320.0 + r.random(_N) * 20).astype(np.float32)),
+        "pIn": Buffer("pIn", r.random(_N).astype(np.float32)),
+        "tOut": Buffer("tOut", np.zeros(_N, np.float32)),
+    }
+
+
+def _reference(inputs):
+    t = inputs["tIn"].reshape(_NZ, _NY, _NX).astype(np.float64)
+    p = inputs["pIn"].reshape(_NZ, _NY, _NX).astype(np.float64)
+
+    def shift(axis, direction):
+        s = np.roll(t, direction, axis=axis)
+        # Boundary clamps to the centre value.
+        idx = [slice(None)] * 3
+        idx[axis] = 0 if direction == 1 else -1
+        s[tuple(idx)] = t[tuple(idx)]
+        return s
+
+    west = shift(2, 1)
+    east = shift(2, -1)
+    north = shift(1, 1)
+    south = shift(1, -1)
+    bottom = shift(0, 1)
+    top = shift(0, -1)
+    c = _PARAMS
+    out = (c["cc"] * t + c["cn"] * north + c["cs"] * south
+           + c["ce"] * east + c["cw"] * west + c["ct"] * top
+           + c["cb"] * bottom + c["cb"] * c["amb"] + p)
+    return {"tOut": out.reshape(-1).astype(np.float32)}
+
+
+WORKLOADS = [
+    Workload(
+        suite="rodinia", benchmark="hotspot3D", kernel="hotspot3D",
+        source=HOTSPOT3D_SRC, global_size=_N, default_local_size=64,
+        make_buffers=_buffers, scalars=_PARAMS, reference=_reference,
+    ),
+]

@@ -1,0 +1,142 @@
+"""hybridsort: bucket-sort phase kernels (histogram count, prefix sums,
+and an in-bucket odd-even sort pass)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, rng
+
+_N = 2048
+_BUCKETS = 64
+
+
+COUNT_SRC = r"""
+// Histogram of bucket occupancies using local reduction per group.
+__kernel void count(__global const float* data,
+                    __global int* histo,
+                    float minv, float maxv, int n_buckets, int n) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        float v = data[tid];
+        float norm = (v - minv) / (maxv - minv);
+        int bucket = (int)(norm * (float)(n_buckets - 1));
+        bucket = max(0, min(bucket, n_buckets - 1));
+        atomic_add(&histo[bucket], 1);
+    }
+}
+"""
+
+PREFIX_SRC = r"""
+// Work-group-wide Hillis-Steele inclusive scan of the histogram.
+__kernel void prefix(__global const int* histo,
+                     __global int* offsets, int n_buckets) {
+    int lid = get_local_id(0);
+    __local int scan[256];
+    int lsz = get_local_size(0);
+    scan[lid] = lid < n_buckets ? histo[lid] : 0;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int d = 1; d < 256; d <<= 1) {
+        int add = 0;
+        if (lid >= d && d < lsz) {
+            add = scan[lid - d];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+        if (d < lsz) {
+            scan[lid] += add;
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lid < n_buckets) {
+        offsets[lid] = scan[lid];
+    }
+}
+"""
+
+SORT_SRC = r"""
+// One odd-even transposition pass inside fixed-width tiles.
+__kernel void sort(__global float* data, int phase, int n) {
+    int tid = get_global_id(0);
+    int idx = tid * 2 + phase;
+    if (idx + 1 < n) {
+        float a = data[idx];
+        float b = data[idx + 1];
+        if (a > b) {
+            data[idx] = b;
+            data[idx + 1] = a;
+        }
+    }
+}
+"""
+
+
+def _count_buffers():
+    r = rng(901)
+    return {
+        "data": Buffer("data", r.random(_N).astype(np.float32)),
+        "histo": Buffer("histo", np.zeros(_BUCKETS, np.int32)),
+    }
+
+
+def _count_reference(inputs):
+    data = inputs["data"]
+    norm = (data - 0.0) / (1.0 - 0.0)
+    buckets = np.clip((norm * (_BUCKETS - 1)).astype(np.int64),
+                      0, _BUCKETS - 1)
+    histo = np.bincount(buckets, minlength=_BUCKETS).astype(np.int32)
+    return {"histo": histo}
+
+
+def _prefix_buffers():
+    r = rng(902)
+    return {
+        "histo": Buffer("histo",
+                        r.integers(0, 50, _BUCKETS).astype(np.int32)),
+        "offsets": Buffer("offsets", np.zeros(_BUCKETS, np.int32)),
+    }
+
+
+def _prefix_reference(inputs):
+    # The scan is work-group-wide: with the default launch (one group of
+    # 64 covering all buckets) it is a plain inclusive scan.
+    return {"offsets": np.cumsum(inputs["histo"]).astype(np.int32)}
+
+
+def _sort_buffers():
+    r = rng(903)
+    return {"data": Buffer("data", r.random(_N).astype(np.float32))}
+
+
+def _sort_reference(inputs):
+    data = inputs["data"].copy()
+    for i in range(0, _N - 1, 2):     # phase 0
+        if data[i] > data[i + 1]:
+            data[i], data[i + 1] = data[i + 1], data[i]
+    return {"data": data}
+
+
+WORKLOADS = [
+    Workload(
+        suite="rodinia", benchmark="hybridsort", kernel="count",
+        source=COUNT_SRC, global_size=_N, default_local_size=64,
+        make_buffers=_count_buffers,
+        scalars={"minv": 0.0, "maxv": 1.0, "n_buckets": _BUCKETS,
+                 "n": _N},
+        reference=_count_reference,
+    ),
+    Workload(
+        suite="rodinia", benchmark="hybridsort", kernel="prefix",
+        source=PREFIX_SRC, global_size=_BUCKETS, default_local_size=64,
+        make_buffers=_prefix_buffers,
+        scalars={"n_buckets": _BUCKETS},
+        reference=_prefix_reference,
+    ),
+    Workload(
+        suite="rodinia", benchmark="hybridsort", kernel="sort",
+        source=SORT_SRC, global_size=_N // 2, default_local_size=64,
+        make_buffers=_sort_buffers,
+        scalars={"phase": 0, "n": _N},
+        reference=_sort_reference,
+    ),
+]

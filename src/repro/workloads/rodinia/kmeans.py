@@ -1,0 +1,111 @@
+"""kmeans: nearest-centre assignment (center) and the layout-transpose
+kernel (swap)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, rng
+
+_POINTS = 1024
+_FEATURES = 8
+_CLUSTERS = 5
+
+
+CENTER_SRC = r"""
+// Assign each point to the nearest cluster centre.
+__kernel void center(__global const float* features,
+                     __global const float* clusters,
+                     __global int* membership,
+                     int n_points, int n_clusters, int n_features) {
+    int tid = get_global_id(0);
+    if (tid < n_points) {
+        int index = 0;
+        float min_dist = 3.402823466e38f;
+        for (int c = 0; c < 5; c++) {
+            float dist = 0.0f;
+            for (int f = 0; f < 8; f++) {
+                float diff = features[tid * 8 + f] - clusters[c * 8 + f];
+                dist += diff * diff;
+            }
+            if (dist < min_dist) {
+                min_dist = dist;
+                index = c;
+            }
+        }
+        membership[tid] = index;
+    }
+}
+"""
+
+SWAP_SRC = r"""
+// Transpose point-major feature layout into feature-major.
+__kernel void swap(__global const float* features,
+                   __global float* features_swap,
+                   int n_points, int n_features) {
+    int tid = get_global_id(0);
+    if (tid < n_points) {
+        for (int f = 0; f < 8; f++) {
+            features_swap[f * 1024 + tid] = features[tid * 8 + f];
+        }
+    }
+}
+"""
+
+
+def _center_buffers():
+    r = rng(1001)
+    return {
+        "features": Buffer("features",
+                           r.standard_normal(_POINTS * _FEATURES)
+                           .astype(np.float32)),
+        "clusters": Buffer("clusters",
+                           r.standard_normal(_CLUSTERS * _FEATURES)
+                           .astype(np.float32)),
+        "membership": Buffer("membership",
+                             np.zeros(_POINTS, np.int32)),
+    }
+
+
+def _center_reference(inputs):
+    pts = inputs["features"].reshape(_POINTS, _FEATURES)
+    ctr = inputs["clusters"].reshape(_CLUSTERS, _FEATURES)
+    d = ((pts[:, None, :] - ctr[None, :, :]) ** 2).sum(-1)
+    return {"membership": d.argmin(1).astype(np.int32)}
+
+
+def _swap_buffers():
+    r = rng(1002)
+    return {
+        "features": Buffer("features",
+                           r.standard_normal(_POINTS * _FEATURES)
+                           .astype(np.float32)),
+        "features_swap": Buffer("features_swap",
+                                np.zeros(_POINTS * _FEATURES,
+                                         np.float32)),
+    }
+
+
+def _swap_reference(inputs):
+    pts = inputs["features"].reshape(_POINTS, _FEATURES)
+    return {"features_swap": pts.T.reshape(-1).copy()}
+
+
+WORKLOADS = [
+    Workload(
+        suite="rodinia", benchmark="kmeans", kernel="center",
+        source=CENTER_SRC, global_size=_POINTS, default_local_size=64,
+        make_buffers=_center_buffers,
+        scalars={"n_points": _POINTS, "n_clusters": _CLUSTERS,
+                 "n_features": _FEATURES},
+        reference=_center_reference,
+    ),
+    Workload(
+        suite="rodinia", benchmark="kmeans", kernel="swap",
+        source=SWAP_SRC, global_size=_POINTS, default_local_size=64,
+        make_buffers=_swap_buffers,
+        scalars={"n_points": _POINTS, "n_features": _FEATURES},
+        reference=_swap_reference,
+    ),
+]

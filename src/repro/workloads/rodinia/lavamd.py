@@ -1,0 +1,95 @@
+"""lavaMD: particle potential within a box and its neighbour boxes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, rng
+
+_BOXES = 32
+_PER_BOX = 16
+_NEIGHBORS = 4
+_N = _BOXES * _PER_BOX
+
+LAVAMD_SRC = r"""
+// Each work-item owns one particle; it accumulates a pairwise kernel
+// over all particles in the home box and a fixed neighbour list.
+__kernel void lavaMD(__global const float* px,
+                     __global const float* py,
+                     __global const float* pz,
+                     __global const float* charge,
+                     __global const int* neighbor_boxes,
+                     __global float* force,
+                     float alpha, int per_box, int n) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        int box = tid / 16;
+        float xi = px[tid];
+        float yi = py[tid];
+        float zi = pz[tid];
+        float acc = 0.0f;
+        for (int nb = 0; nb < 5; nb++) {
+            int other_box = box;
+            if (nb > 0) {
+                other_box = neighbor_boxes[box * 4 + nb - 1];
+            }
+            for (int j = 0; j < 16; j++) {
+                int pj = other_box * 16 + j;
+                float dx = xi - px[pj];
+                float dy = yi - py[pj];
+                float dz = zi - pz[pj];
+                float r2 = dx * dx + dy * dy + dz * dz;
+                float u2 = alpha * alpha * r2;
+                float vij = exp(-u2);
+                acc += charge[pj] * vij;
+            }
+        }
+        force[tid] = acc;
+    }
+}
+"""
+
+
+def _buffers():
+    r = rng(1101)
+    neighbors = r.integers(0, _BOXES,
+                           _BOXES * _NEIGHBORS).astype(np.int32)
+    return {
+        "px": Buffer("px", r.random(_N).astype(np.float32)),
+        "py": Buffer("py", r.random(_N).astype(np.float32)),
+        "pz": Buffer("pz", r.random(_N).astype(np.float32)),
+        "charge": Buffer("charge", r.random(_N).astype(np.float32)),
+        "neighbor_boxes": Buffer("neighbor_boxes", neighbors),
+        "force": Buffer("force", np.zeros(_N, np.float32)),
+    }
+
+
+def _reference(inputs):
+    px, py, pz = inputs["px"], inputs["py"], inputs["pz"]
+    charge = inputs["charge"]
+    neighbors = inputs["neighbor_boxes"].reshape(_BOXES, _NEIGHBORS)
+    alpha = 0.5
+    force = np.zeros(_N, np.float64)
+    for tid in range(_N):
+        box = tid // _PER_BOX
+        boxes = [box] + list(neighbors[box])
+        for ob in boxes:
+            sl = slice(ob * _PER_BOX, (ob + 1) * _PER_BOX)
+            dx = px[tid] - px[sl]
+            dy = py[tid] - py[sl]
+            dz = pz[tid] - pz[sl]
+            r2 = dx * dx + dy * dy + dz * dz
+            force[tid] += (charge[sl] * np.exp(-(alpha ** 2) * r2)).sum()
+    return {"force": force.astype(np.float32)}
+
+
+WORKLOADS = [
+    Workload(
+        suite="rodinia", benchmark="lavaMD", kernel="lavaMD",
+        source=LAVAMD_SRC, global_size=_N, default_local_size=64,
+        make_buffers=_buffers,
+        scalars={"alpha": 0.5, "per_box": _PER_BOX, "n": _N},
+        reference=_reference,
+    ),
+]

@@ -1,0 +1,167 @@
+"""leukocyte: cell-detection kernels — GICOV score, grey-scale dilation,
+and the motion gradient vector flow (IMGVF) step."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, rng
+
+_W = 64
+_H = 32
+_N = _W * _H
+
+GICOV_SRC = r"""
+// Gradient inverse coefficient of variation along a fixed-size circle
+// stencil approximated by an 8-sample ring.
+__kernel void gicov(__global const float* gradx,
+                    __global const float* grady,
+                    __global float* score,
+                    int width, int n) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        int row = tid / 64;
+        int col = tid % 64;
+        float sum = 0.0f;
+        float sum2 = 0.0f;
+        for (int s = 0; s < 8; s++) {
+            int dr = s < 4 ? s - 2 : 0;
+            int dc = s < 4 ? 0 : s - 6;
+            int r = row + dr;
+            int c = col + dc;
+            r = max(0, min(r, 31));
+            c = max(0, min(c, 63));
+            float g = gradx[r * 64 + c] + grady[r * 64 + c];
+            sum += g;
+            sum2 += g * g;
+        }
+        float mean = sum / 8.0f;
+        float var = sum2 / 8.0f - mean * mean;
+        score[tid] = var > 1.0e-6f ? mean * mean / var : 0.0f;
+    }
+}
+"""
+
+DILATE_SRC = r"""
+// Grey-scale dilation with a 3x3 structuring element.
+__kernel void dilate(__global const float* img,
+                     __global float* out,
+                     int width, int height) {
+    int tid = get_global_id(0);
+    int n = width * height;
+    if (tid < n) {
+        int row = tid / 64;
+        int col = tid % 64;
+        float best = -3.402823466e38f;
+        for (int dr = -1; dr <= 1; dr++) {
+            for (int dc = -1; dc <= 1; dc++) {
+                int r = max(0, min(row + dr, 31));
+                int c = max(0, min(col + dc, 63));
+                float v = img[r * 64 + c];
+                best = fmax(best, v);
+            }
+        }
+        out[tid] = best;
+    }
+}
+"""
+
+IMGVF_SRC = r"""
+// One Jacobi iteration of the motion gradient vector flow.
+__kernel void imgvf(__global const float* imgvf_in,
+                    __global const float* I,
+                    __global float* imgvf_out,
+                    float mu, float lambda, int width, int n) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        int row = tid / 64;
+        int col = tid % 64;
+        float c = imgvf_in[tid];
+        float up = row > 0 ? imgvf_in[tid - 64] : c;
+        float down = row < 31 ? imgvf_in[tid + 64] : c;
+        float left = col > 0 ? imgvf_in[tid - 1] : c;
+        float right = col < 63 ? imgvf_in[tid + 1] : c;
+        float lap = up + down + left + right - 4.0f * c;
+        float vI = I[tid];
+        imgvf_out[tid] = c + mu / lambda * lap - vI * (c - vI);
+    }
+}
+"""
+
+
+def _gicov_buffers():
+    r = rng(1201)
+    return {
+        "gradx": Buffer("gradx", r.standard_normal(_N).astype(np.float32)),
+        "grady": Buffer("grady", r.standard_normal(_N).astype(np.float32)),
+        "score": Buffer("score", np.zeros(_N, np.float32)),
+    }
+
+
+def _dilate_buffers():
+    r = rng(1202)
+    return {
+        "img": Buffer("img", r.random(_N).astype(np.float32)),
+        "out": Buffer("out", np.zeros(_N, np.float32)),
+    }
+
+
+def _dilate_reference(inputs):
+    img = inputs["img"].reshape(_H, _W)
+    out = np.empty_like(img)
+    for row in range(_H):
+        for col in range(_W):
+            r0, r1 = max(0, row - 1), min(_H - 1, row + 1)
+            c0, c1 = max(0, col - 1), min(_W - 1, col + 1)
+            out[row, col] = img[r0:r1 + 1, c0:c1 + 1].max()
+    return {"out": out.reshape(-1)}
+
+
+def _imgvf_buffers():
+    r = rng(1203)
+    return {
+        "imgvf_in": Buffer("imgvf_in",
+                           r.standard_normal(_N).astype(np.float32)),
+        "I": Buffer("I", r.random(_N).astype(np.float32)),
+        "imgvf_out": Buffer("imgvf_out", np.zeros(_N, np.float32)),
+    }
+
+
+def _imgvf_reference(inputs):
+    c = inputs["imgvf_in"].reshape(_H, _W).astype(np.float64)
+    vI = inputs["I"].reshape(_H, _W).astype(np.float64)
+    up = np.vstack([c[:1], c[:-1]])
+    down = np.vstack([c[1:], c[-1:]])
+    left = np.hstack([c[:, :1], c[:, :-1]])
+    right = np.hstack([c[:, 1:], c[:, -1:]])
+    lap = up + down + left + right - 4 * c
+    mu, lam = 0.05, 1.0
+    out = c + mu / lam * lap - vI * (c - vI)
+    return {"imgvf_out": out.reshape(-1).astype(np.float32)}
+
+
+WORKLOADS = [
+    Workload(
+        suite="rodinia", benchmark="leukocyte", kernel="gicov",
+        source=GICOV_SRC, global_size=_N, default_local_size=64,
+        make_buffers=_gicov_buffers,
+        scalars={"width": _W, "n": _N},
+        reference=None,    # ring-sample tie-breaking is checked in unit
+                           # tests via spot values
+    ),
+    Workload(
+        suite="rodinia", benchmark="leukocyte", kernel="dilate",
+        source=DILATE_SRC, global_size=_N, default_local_size=64,
+        make_buffers=_dilate_buffers,
+        scalars={"width": _W, "height": _H},
+        reference=_dilate_reference,
+    ),
+    Workload(
+        suite="rodinia", benchmark="leukocyte", kernel="imgvf",
+        source=IMGVF_SRC, global_size=_N, default_local_size=64,
+        make_buffers=_imgvf_buffers,
+        scalars={"mu": 0.05, "lambda": 1.0, "width": _W, "n": _N},
+        reference=_imgvf_reference,
+    ),
+]

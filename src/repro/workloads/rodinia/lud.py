@@ -1,0 +1,130 @@
+"""lud: blocked LU decomposition kernels (diagonal block factorisation
+and perimeter update)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, rng
+
+_B = 16              # block size
+_N = _B * _B
+
+
+def _block(seed: int) -> np.ndarray:
+    r = rng(seed)
+    a = r.standard_normal((_B, _B)).astype(np.float32)
+    np.fill_diagonal(a, a.diagonal() + _B)
+    return a
+
+
+DIAGONAL_SRC = r"""
+// In-place LU factorisation of the 16x16 diagonal block, cooperative
+// across the work-group through local memory.
+__kernel void diagonal(__global float* matrix, int bs) {
+    int lid = get_local_id(0);
+    __local float tile[256];
+    // load one column per work-item (16 work-items active)
+    if (lid < 16) {
+        for (int i = 0; i < 16; i++) {
+            tile[i * 16 + lid] = matrix[i * 16 + lid];
+        }
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int k = 0; k < 15; k++) {
+        if (lid < 16) {
+            if (lid > k) {
+                tile[lid * 16 + k] /= tile[k * 16 + k];
+                for (int j = k + 1; j < 16; j++) {
+                    tile[lid * 16 + j] -= tile[lid * 16 + k]
+                                        * tile[k * 16 + j];
+                }
+            }
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lid < 16) {
+        for (int i = 0; i < 16; i++) {
+            matrix[i * 16 + lid] = tile[i * 16 + lid];
+        }
+    }
+}
+"""
+
+PERIMETER_SRC = r"""
+// Update one row block of the perimeter using the factorised diagonal.
+__kernel void perimeter(__global const float* diag,
+                        __global float* row_block, int bs, int n_cols) {
+    int col = get_global_id(0);
+    if (col < n_cols) {
+        // forward substitution: solve L * x = b for this column
+        for (int i = 0; i < 16; i++) {
+            float sum = row_block[i * 256 + col];
+            for (int k = 0; k < 16; k++) {
+                if (k < i) {
+                    sum -= diag[i * 16 + k] * row_block[k * 256 + col];
+                }
+            }
+            row_block[i * 256 + col] = sum;
+        }
+    }
+}
+"""
+
+
+def _diagonal_buffers():
+    return {"matrix": Buffer("matrix", _block(1301).reshape(-1))}
+
+
+def _diagonal_reference(inputs):
+    a = inputs["matrix"].reshape(_B, _B).astype(np.float32).copy()
+    for k in range(_B - 1):
+        for i in range(k + 1, _B):
+            a[i, k] = np.float32(a[i, k] / a[k, k])
+            a[i, k + 1:] = (a[i, k + 1:]
+                            - a[i, k] * a[k, k + 1:]).astype(np.float32)
+    return {"matrix": a.reshape(-1)}
+
+
+_COLS = 256
+
+
+def _perimeter_buffers():
+    r = rng(1302)
+    diag = _block(1301)
+    # lower-triangular factor with unit diagonal, as diagonal() leaves it
+    return {
+        "diag": Buffer("diag", diag.reshape(-1)),
+        "row_block": Buffer("row_block",
+                            r.standard_normal(_B * _COLS)
+                            .astype(np.float32)),
+    }
+
+
+def _perimeter_reference(inputs):
+    diag = inputs["diag"].reshape(_B, _B)
+    rb = inputs["row_block"].reshape(_B, _COLS).astype(np.float32).copy()
+    for i in range(_B):
+        s = rb[i].copy()
+        for k in range(i):
+            s = (s - np.float32(diag[i, k]) * rb[k]).astype(np.float32)
+        rb[i] = s
+    return {"row_block": rb.reshape(-1)}
+
+
+WORKLOADS = [
+    Workload(
+        suite="rodinia", benchmark="lud", kernel="diagonal",
+        source=DIAGONAL_SRC, global_size=16, default_local_size=16,
+        make_buffers=_diagonal_buffers, scalars={"bs": _B},
+        reference=_diagonal_reference,
+    ),
+    Workload(
+        suite="rodinia", benchmark="lud", kernel="perimeter",
+        source=PERIMETER_SRC, global_size=_COLS, default_local_size=64,
+        make_buffers=_perimeter_buffers,
+        scalars={"bs": _B, "n_cols": _COLS},
+        reference=_perimeter_reference,
+    ),
+]

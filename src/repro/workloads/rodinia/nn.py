@@ -1,0 +1,55 @@
+"""nn: k-nearest-neighbour distance kernel over hurricane records."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, rng
+
+_RECORDS = 4096
+
+NN_SRC = r"""
+// Euclidean distance of every record to the query point.
+__kernel void nn(__global const float* lat,
+                 __global const float* lng,
+                 __global float* distances,
+                 float query_lat, float query_lng, int n) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        float dlat = lat[tid] - query_lat;
+        float dlng = lng[tid] - query_lng;
+        distances[tid] = sqrt(dlat * dlat + dlng * dlng);
+    }
+}
+"""
+
+
+def _buffers():
+    r = rng(1401)
+    return {
+        "lat": Buffer("lat",
+                      (r.random(_RECORDS) * 180 - 90).astype(np.float32)),
+        "lng": Buffer("lng",
+                      (r.random(_RECORDS) * 360 - 180).astype(np.float32)),
+        "distances": Buffer("distances",
+                            np.zeros(_RECORDS, np.float32)),
+    }
+
+
+def _reference(inputs):
+    dlat = inputs["lat"] - np.float32(30.0)
+    dlng = inputs["lng"] - np.float32(-90.0)
+    return {"distances": np.sqrt(dlat * dlat + dlng * dlng)
+            .astype(np.float32)}
+
+
+WORKLOADS = [
+    Workload(
+        suite="rodinia", benchmark="nn", kernel="nn",
+        source=NN_SRC, global_size=_RECORDS, default_local_size=64,
+        make_buffers=_buffers,
+        scalars={"query_lat": 30.0, "query_lng": -90.0, "n": _RECORDS},
+        reference=_reference,
+    ),
+]

@@ -1,0 +1,111 @@
+"""nw: Needleman-Wunsch anti-diagonal dynamic programming kernels.
+
+nw1 processes one north-west anti-diagonal of the score matrix; nw2 is
+the symmetric south-east pass of the original benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, rng
+
+_DIM = 256           # score-matrix dimension (with halo row/col)
+_DIAG = 128          # cells on the processed anti-diagonal
+
+NW1_SRC = r"""
+// One anti-diagonal: score[i][j] = max of the three predecessors.
+__kernel void nw1(__global int* score,
+                  __global const int* reference_m,
+                  int diag, int dim, int penalty) {
+    int tid = get_global_id(0);
+    if (tid < diag) {
+        int i = tid + 1;
+        int j = diag - tid;
+        int idx = i * 256 + j;
+        int nw = score[idx - 256 - 1] + reference_m[idx];
+        int up = score[idx - 256] - penalty;
+        int left = score[idx - 1] - penalty;
+        int best = max(nw, max(up, left));
+        score[idx] = best;
+    }
+}
+"""
+
+NW2_SRC = r"""
+// The reverse-sweep anti-diagonal of the second kernel.
+__kernel void nw2(__global int* score,
+                  __global const int* reference_m,
+                  int diag, int dim, int penalty) {
+    int tid = get_global_id(0);
+    if (tid < diag) {
+        int i = 255 - 1 - tid;
+        int j = 255 - (diag - tid);
+        int idx = i * 256 + j;
+        int se = score[idx + 256 + 1] + reference_m[idx];
+        int down = score[idx + 256] - penalty;
+        int right = score[idx + 1] - penalty;
+        int best = max(se, max(down, right));
+        score[idx] = best;
+    }
+}
+"""
+
+
+def _nw_buffers(seed: int):
+    r = rng(seed)
+    score = r.integers(-50, 50, _DIM * _DIM).astype(np.int32)
+    ref = r.integers(-10, 10, _DIM * _DIM).astype(np.int32)
+    return {
+        "score": Buffer("score", score),
+        "reference_m": Buffer("reference_m", ref),
+    }
+
+
+def _nw1_reference(inputs):
+    score = inputs["score"].reshape(_DIM, _DIM).copy()
+    ref = inputs["reference_m"].reshape(_DIM, _DIM)
+    penalty = 10
+    diag = _DIAG
+    for tid in range(diag):
+        i = tid + 1
+        j = diag - tid
+        nw = score[i - 1, j - 1] + ref[i, j]
+        up = score[i - 1, j] - penalty
+        left = score[i, j - 1] - penalty
+        score[i, j] = max(nw, up, left)
+    return {"score": score.reshape(-1)}
+
+
+def _nw2_reference(inputs):
+    score = inputs["score"].reshape(_DIM, _DIM).copy()
+    ref = inputs["reference_m"].reshape(_DIM, _DIM)
+    penalty = 10
+    diag = _DIAG
+    for tid in range(diag):
+        i = 254 - tid
+        j = 255 - (diag - tid)
+        se = score[i + 1, j + 1] + ref[i, j]
+        down = score[i + 1, j] - penalty
+        right = score[i, j + 1] - penalty
+        score[i, j] = max(se, down, right)
+    return {"score": score.reshape(-1)}
+
+
+WORKLOADS = [
+    Workload(
+        suite="rodinia", benchmark="nw", kernel="nw1",
+        source=NW1_SRC, global_size=_DIAG, default_local_size=32,
+        make_buffers=lambda: _nw_buffers(1501),
+        scalars={"diag": _DIAG, "dim": _DIM, "penalty": 10},
+        reference=_nw1_reference,
+    ),
+    Workload(
+        suite="rodinia", benchmark="nw", kernel="nw2",
+        source=NW2_SRC, global_size=_DIAG, default_local_size=32,
+        make_buffers=lambda: _nw_buffers(1502),
+        scalars={"diag": _DIAG, "dim": _DIM, "penalty": 10},
+        reference=_nw2_reference,
+    ),
+]

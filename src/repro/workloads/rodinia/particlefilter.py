@@ -1,0 +1,203 @@
+"""particlefilter: resampling pipeline kernels (likelihood, sum,
+normalize, find_index)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, rng
+
+_PARTICLES = 1024
+
+LIKELIHOOD_SRC = r"""
+// Gaussian-ish likelihood of each particle given observation samples.
+__kernel void likelihood(__global const float* arrayX,
+                         __global const float* arrayY,
+                         __global const float* observations,
+                         __global float* weights, int n) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        float x = arrayX[tid];
+        float y = arrayY[tid];
+        float like = 0.0f;
+        for (int o = 0; o < 8; o++) {
+            float obs = observations[o];
+            float dx = x - obs;
+            float dy = y - obs * 0.5f;
+            like += (dx * dx + dy * dy) / 50.0f;
+        }
+        weights[tid] = exp(-like / 8.0f);
+    }
+}
+"""
+
+SUM_SRC = r"""
+// Work-group tree reduction of the weights; one partial per group.
+__kernel void sum(__global const float* weights,
+                  __global float* partial_sums, int n) {
+    int tid = get_global_id(0);
+    int lid = get_local_id(0);
+    int lsz = get_local_size(0);
+    __local float buffer[256];
+    buffer[lid] = tid < n ? weights[tid] : 0.0f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int s = 128; s > 0; s >>= 1) {
+        if (lid < s && lid + s < lsz) {
+            buffer[lid] += buffer[lid + s];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lid == 0) {
+        partial_sums[get_group_id(0)] = buffer[0];
+    }
+}
+"""
+
+NORMALIZE_SRC = r"""
+__kernel void normalize(__global float* weights,
+                        __global const float* total, int n) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        weights[tid] = weights[tid] / total[0];
+    }
+}
+"""
+
+FIND_INDEX_SRC = r"""
+// Systematic resampling: binary-search-free linear scan over the CDF.
+__kernel void find_index(__global const float* cdf,
+                         __global const float* u,
+                         __global float* arrayX,
+                         __global float* arrayY,
+                         __global const float* oldX,
+                         __global const float* oldY, int n) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        float uu = u[tid];
+        int index = n - 1;
+        int found = 0;
+        for (int x = 0; x < 1024; x++) {
+            if (found == 0) {
+                if (cdf[x] >= uu) {
+                    index = x;
+                    found = 1;
+                }
+            }
+        }
+        arrayX[tid] = oldX[index];
+        arrayY[tid] = oldY[index];
+    }
+}
+"""
+
+
+def _likelihood_buffers():
+    r = rng(1601)
+    return {
+        "arrayX": Buffer("arrayX",
+                         r.standard_normal(_PARTICLES).astype(np.float32)),
+        "arrayY": Buffer("arrayY",
+                         r.standard_normal(_PARTICLES).astype(np.float32)),
+        "observations": Buffer("observations",
+                               r.standard_normal(8).astype(np.float32)),
+        "weights": Buffer("weights",
+                          np.zeros(_PARTICLES, np.float32)),
+    }
+
+
+def _likelihood_reference(inputs):
+    x = inputs["arrayX"].astype(np.float64)
+    y = inputs["arrayY"].astype(np.float64)
+    obs = inputs["observations"].astype(np.float64)
+    like = np.zeros(_PARTICLES)
+    for o in obs:
+        like += ((x - o) ** 2 + (y - o * 0.5) ** 2) / 50.0
+    return {"weights": np.exp(-like / 8.0).astype(np.float32)}
+
+
+def _sum_buffers():
+    r = rng(1602)
+    return {
+        "weights": Buffer("weights",
+                          r.random(_PARTICLES).astype(np.float32)),
+        # sized for the smallest swept work-group (16) so design-space
+        # analysis never overruns it
+        "partial_sums": Buffer("partial_sums",
+                               np.zeros(_PARTICLES // 16, np.float32)),
+    }
+
+
+def _sum_reference(inputs):
+    w = inputs["weights"].reshape(-1, 64)
+    out = np.zeros(_PARTICLES // 16, np.float32)
+    out[:w.shape[0]] = w.sum(1).astype(np.float32)
+    return {"partial_sums": out}
+
+
+def _normalize_buffers():
+    r = rng(1603)
+    w = r.random(_PARTICLES).astype(np.float32)
+    return {
+        "weights": Buffer("weights", w),
+        "total": Buffer("total",
+                        np.array([w.sum()], np.float32)),
+    }
+
+
+def _normalize_reference(inputs):
+    w = inputs["weights"]
+    return {"weights": (w / inputs["total"][0]).astype(np.float32)}
+
+
+def _find_index_buffers():
+    r = rng(1604)
+    w = r.random(_PARTICLES)
+    cdf = (np.cumsum(w) / w.sum()).astype(np.float32)
+    return {
+        "cdf": Buffer("cdf", cdf),
+        "u": Buffer("u", r.random(_PARTICLES).astype(np.float32)),
+        "arrayX": Buffer("arrayX", np.zeros(_PARTICLES, np.float32)),
+        "arrayY": Buffer("arrayY", np.zeros(_PARTICLES, np.float32)),
+        "oldX": Buffer("oldX",
+                       r.standard_normal(_PARTICLES).astype(np.float32)),
+        "oldY": Buffer("oldY",
+                       r.standard_normal(_PARTICLES).astype(np.float32)),
+    }
+
+
+def _find_index_reference(inputs):
+    cdf = inputs["cdf"]
+    u = inputs["u"]
+    idx = np.searchsorted(cdf, u, side="left")
+    idx = np.minimum(idx, _PARTICLES - 1)
+    return {"arrayX": inputs["oldX"][idx].astype(np.float32),
+            "arrayY": inputs["oldY"][idx].astype(np.float32)}
+
+
+WORKLOADS = [
+    Workload(
+        suite="rodinia", benchmark="particlefilter", kernel="likelihood",
+        source=LIKELIHOOD_SRC, global_size=_PARTICLES,
+        default_local_size=64, make_buffers=_likelihood_buffers,
+        scalars={"n": _PARTICLES}, reference=_likelihood_reference,
+    ),
+    Workload(
+        suite="rodinia", benchmark="particlefilter", kernel="sum",
+        source=SUM_SRC, global_size=_PARTICLES, default_local_size=64,
+        make_buffers=_sum_buffers, scalars={"n": _PARTICLES},
+        reference=_sum_reference,
+    ),
+    Workload(
+        suite="rodinia", benchmark="particlefilter", kernel="normalize",
+        source=NORMALIZE_SRC, global_size=_PARTICLES,
+        default_local_size=64, make_buffers=_normalize_buffers,
+        scalars={"n": _PARTICLES}, reference=_normalize_reference,
+    ),
+    Workload(
+        suite="rodinia", benchmark="particlefilter", kernel="find_index",
+        source=FIND_INDEX_SRC, global_size=_PARTICLES,
+        default_local_size=64, make_buffers=_find_index_buffers,
+        scalars={"n": _PARTICLES}, reference=_find_index_reference,
+    ),
+]

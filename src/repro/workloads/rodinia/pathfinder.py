@@ -1,0 +1,69 @@
+"""pathfinder: dynamic-programming grid traversal (one row step)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, rng
+
+_COLS = 2048
+
+DYNPROC_SRC = r"""
+// dst[c] = wall[c] + min(src[c-1], src[c], src[c+1]), with a local tile
+// so neighbours are read from on-chip memory.
+__kernel void dynproc(__global const int* wall,
+                      __global const int* src,
+                      __global int* dst, int cols) {
+    int tid = get_global_id(0);
+    int lid = get_local_id(0);
+    int lsz = get_local_size(0);
+    __local int tile[258];
+    if (tid < cols) {
+        tile[lid + 1] = src[tid];
+        if (lid == 0) {
+            tile[0] = tid > 0 ? src[tid - 1] : src[tid];
+        }
+        if (lid == lsz - 1) {
+            tile[lsz + 1] = tid < cols - 1 ? src[tid + 1] : src[tid];
+        }
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (tid < cols) {
+        int left = tile[lid];
+        int center = tile[lid + 1];
+        int right = tile[lid + 2];
+        int shortest = min(left, min(center, right));
+        dst[tid] = wall[tid] + shortest;
+    }
+}
+"""
+
+
+def _buffers():
+    r = rng(1701)
+    return {
+        "wall": Buffer("wall",
+                       r.integers(0, 10, _COLS).astype(np.int32)),
+        "src": Buffer("src",
+                      r.integers(0, 100, _COLS).astype(np.int32)),
+        "dst": Buffer("dst", np.zeros(_COLS, np.int32)),
+    }
+
+
+def _reference(inputs):
+    src = inputs["src"].astype(np.int64)
+    left = np.concatenate([src[:1], src[:-1]])
+    right = np.concatenate([src[1:], src[-1:]])
+    shortest = np.minimum(left, np.minimum(src, right))
+    return {"dst": (inputs["wall"] + shortest).astype(np.int32)}
+
+
+WORKLOADS = [
+    Workload(
+        suite="rodinia", benchmark="pathfinder", kernel="dynproc",
+        source=DYNPROC_SRC, global_size=_COLS, default_local_size=64,
+        make_buffers=_buffers, scalars={"cols": _COLS},
+        reference=_reference,
+    ),
+]

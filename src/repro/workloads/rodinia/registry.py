@@ -1,0 +1,33 @@
+"""Assemble the 45-kernel Rodinia registry (Table 2's kernel list)."""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadRegistry
+from repro.workloads.rodinia import (
+    backprop,
+    bfs,
+    btree,
+    cfd,
+    dwt2d,
+    gaussian,
+    hotspot,
+    hotspot3d,
+    hybridsort,
+    kmeans,
+    lavamd,
+    leukocyte,
+    lud,
+    nn,
+    nw,
+    particlefilter,
+    pathfinder,
+    srad,
+    streamcluster,
+)
+
+RODINIA = WorkloadRegistry()
+for _module in (backprop, bfs, btree, cfd, dwt2d, gaussian, hotspot,
+                hotspot3d, hybridsort, kmeans, lavamd, leukocyte, lud,
+                nn, nw, particlefilter, pathfinder, srad, streamcluster):
+    for _workload in _module.WORKLOADS:
+        RODINIA.add(_workload)

@@ -1,0 +1,267 @@
+"""srad: speckle-reducing anisotropic diffusion kernels (the six
+kernels of the OpenCL port: extract, prepare, reduce, srad, srad2,
+compress)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, rng
+
+_W = 64
+_H = 32
+_N = _W * _H
+
+EXTRACT_SRC = r"""
+// Convert the image from stored log space.
+__kernel void extract(__global float* image, int n) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        image[tid] = exp(image[tid] / 255.0f);
+    }
+}
+"""
+
+PREPARE_SRC = r"""
+// Stage the image into the sum buffers for the statistics reduction.
+__kernel void prepare(__global const float* image,
+                      __global float* sums,
+                      __global float* sums2, int n) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        float v = image[tid];
+        sums[tid] = v;
+        sums2[tid] = v * v;
+    }
+}
+"""
+
+REDUCE_SRC = r"""
+// Tree reduction of both sum buffers, one partial pair per work-group.
+__kernel void reduce(__global float* sums,
+                     __global float* sums2,
+                     __global float* partial,
+                     __global float* partial2, int n) {
+    int tid = get_global_id(0);
+    int lid = get_local_id(0);
+    int lsz = get_local_size(0);
+    __local float s[256];
+    __local float s2[256];
+    s[lid] = tid < n ? sums[tid] : 0.0f;
+    s2[lid] = tid < n ? sums2[tid] : 0.0f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int stride = 128; stride > 0; stride >>= 1) {
+        if (lid < stride && lid + stride < lsz) {
+            s[lid] += s[lid + stride];
+            s2[lid] += s2[lid + stride];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lid == 0) {
+        partial[get_group_id(0)] = s[0];
+        partial2[get_group_id(0)] = s2[0];
+    }
+}
+"""
+
+SRAD_SRC = r"""
+// Diffusion coefficient from the image Laplacian and gradients.
+__kernel void srad(__global const float* image,
+                   __global float* dN, __global float* dS,
+                   __global float* dW, __global float* dE,
+                   __global float* c, float q0sqr, int width, int n) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        int row = tid / 64;
+        int col = tid % 64;
+        float jc = image[tid];
+        float north = row > 0 ? image[tid - 64] : jc;
+        float south = row < 31 ? image[tid + 64] : jc;
+        float west = col > 0 ? image[tid - 1] : jc;
+        float east = col < 63 ? image[tid + 1] : jc;
+        float dn = north - jc;
+        float ds = south - jc;
+        float dw = west - jc;
+        float de = east - jc;
+        float g2 = (dn * dn + ds * ds + dw * dw + de * de)
+                 / (jc * jc);
+        float l = (dn + ds + dw + de) / jc;
+        float num = 0.5f * g2 - 0.0625f * (l * l);
+        float den = 1.0f + 0.25f * l;
+        float qsqr = num / (den * den);
+        den = (qsqr - q0sqr) / (q0sqr * (1.0f + q0sqr));
+        float coeff = 1.0f / (1.0f + den);
+        coeff = fmax(0.0f, fmin(1.0f, coeff));
+        dN[tid] = dn;
+        dS[tid] = ds;
+        dW[tid] = dw;
+        dE[tid] = de;
+        c[tid] = coeff;
+    }
+}
+"""
+
+SRAD2_SRC = r"""
+// Apply the diffusion update using the neighbour coefficients.
+__kernel void srad2(__global float* image,
+                    __global const float* dN, __global const float* dS,
+                    __global const float* dW, __global const float* dE,
+                    __global const float* c,
+                    float lambda, int width, int n) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        int row = tid / 64;
+        int col = tid % 64;
+        float cN = c[tid];
+        float cS = row < 31 ? c[tid + 64] : cN;
+        float cW = cN;
+        float cE = col < 63 ? c[tid + 1] : cN;
+        float d = cN * dN[tid] + cS * dS[tid]
+                + cW * dW[tid] + cE * dE[tid];
+        image[tid] += 0.25f * lambda * d;
+    }
+}
+"""
+
+COMPRESS_SRC = r"""
+// Back to log space for storage.
+__kernel void compress(__global float* image, int n) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        image[tid] = log(image[tid]) * 255.0f;
+    }
+}
+"""
+
+
+def _image(seed: int) -> np.ndarray:
+    return (rng(seed).random(_N) * 100 + 1).astype(np.float32)
+
+
+def _extract_buffers():
+    return {"image": Buffer("image", _image(1801))}
+
+
+def _extract_reference(inputs):
+    return {"image": np.exp(inputs["image"] / np.float32(255.0))
+            .astype(np.float32)}
+
+
+def _prepare_buffers():
+    return {
+        "image": Buffer("image", _image(1802)),
+        "sums": Buffer("sums", np.zeros(_N, np.float32)),
+        "sums2": Buffer("sums2", np.zeros(_N, np.float32)),
+    }
+
+
+def _prepare_reference(inputs):
+    v = inputs["image"]
+    return {"sums": v.copy(), "sums2": (v * v).astype(np.float32)}
+
+
+def _reduce_buffers():
+    r = rng(1803)
+    return {
+        "sums": Buffer("sums", r.random(_N).astype(np.float32)),
+        "sums2": Buffer("sums2", r.random(_N).astype(np.float32)),
+        "partial": Buffer("partial", np.zeros(_N // 16, np.float32)),
+        "partial2": Buffer("partial2", np.zeros(_N // 16, np.float32)),
+    }
+
+
+def _reduce_reference(inputs):
+    s = inputs["sums"].reshape(-1, 64)
+    s2 = inputs["sums2"].reshape(-1, 64)
+    out = np.zeros(_N // 16, np.float32)
+    out2 = np.zeros(_N // 16, np.float32)
+    out[:s.shape[0]] = s.sum(1)
+    out2[:s.shape[0]] = s2.sum(1)
+    return {"partial": out, "partial2": out2}
+
+
+def _srad_buffers():
+    return {
+        "image": Buffer("image", _image(1804)),
+        "dN": Buffer("dN", np.zeros(_N, np.float32)),
+        "dS": Buffer("dS", np.zeros(_N, np.float32)),
+        "dW": Buffer("dW", np.zeros(_N, np.float32)),
+        "dE": Buffer("dE", np.zeros(_N, np.float32)),
+        "c": Buffer("c", np.zeros(_N, np.float32)),
+    }
+
+
+def _srad2_buffers():
+    r = rng(1805)
+    return {
+        "image": Buffer("image", _image(1805)),
+        "dN": Buffer("dN", r.standard_normal(_N).astype(np.float32)),
+        "dS": Buffer("dS", r.standard_normal(_N).astype(np.float32)),
+        "dW": Buffer("dW", r.standard_normal(_N).astype(np.float32)),
+        "dE": Buffer("dE", r.standard_normal(_N).astype(np.float32)),
+        "c": Buffer("c", r.random(_N).astype(np.float32)),
+    }
+
+
+def _srad2_reference(inputs):
+    c = inputs["c"].reshape(_H, _W)
+    cS = np.vstack([c[1:], c[-1:]])
+    cE = np.hstack([c[:, 1:], c[:, -1:]])
+    d = (c * inputs["dN"].reshape(_H, _W)
+         + cS * inputs["dS"].reshape(_H, _W)
+         + c * inputs["dW"].reshape(_H, _W)
+         + cE * inputs["dE"].reshape(_H, _W))
+    out = inputs["image"].reshape(_H, _W) + 0.25 * 0.5 * d
+    return {"image": out.reshape(-1).astype(np.float32)}
+
+
+def _compress_buffers():
+    return {"image": Buffer("image", _image(1806))}
+
+
+def _compress_reference(inputs):
+    return {"image": (np.log(inputs["image"]) * 255.0)
+            .astype(np.float32)}
+
+
+WORKLOADS = [
+    Workload(
+        suite="rodinia", benchmark="srad", kernel="extract",
+        source=EXTRACT_SRC, global_size=_N, default_local_size=64,
+        make_buffers=_extract_buffers, scalars={"n": _N},
+        reference=_extract_reference,
+    ),
+    Workload(
+        suite="rodinia", benchmark="srad", kernel="prepare",
+        source=PREPARE_SRC, global_size=_N, default_local_size=64,
+        make_buffers=_prepare_buffers, scalars={"n": _N},
+        reference=_prepare_reference,
+    ),
+    Workload(
+        suite="rodinia", benchmark="srad", kernel="reduce",
+        source=REDUCE_SRC, global_size=_N, default_local_size=64,
+        make_buffers=_reduce_buffers, scalars={"n": _N},
+        reference=_reduce_reference,
+    ),
+    Workload(
+        suite="rodinia", benchmark="srad", kernel="srad",
+        source=SRAD_SRC, global_size=_N, default_local_size=64,
+        make_buffers=_srad_buffers,
+        scalars={"q0sqr": 0.05, "width": _W, "n": _N},
+        reference=None,     # checked against srad2 in integration tests
+    ),
+    Workload(
+        suite="rodinia", benchmark="srad", kernel="srad2",
+        source=SRAD2_SRC, global_size=_N, default_local_size=64,
+        make_buffers=_srad2_buffers,
+        scalars={"lambda": 0.5, "width": _W, "n": _N},
+        reference=_srad2_reference,
+    ),
+    Workload(
+        suite="rodinia", benchmark="srad", kernel="compress",
+        source=COMPRESS_SRC, global_size=_N, default_local_size=64,
+        make_buffers=_compress_buffers, scalars={"n": _N},
+        reference=_compress_reference,
+    ),
+]

@@ -1,0 +1,90 @@
+"""streamcluster: memset and the pgain cost-evaluation kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, rng
+
+_POINTS = 1024
+_DIMS = 8
+
+MEMSET_SRC = r"""
+__kernel void memset(__global float* data, float value, int n) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        data[tid] = value;
+    }
+}
+"""
+
+PGAIN_SRC = r"""
+// Cost delta if the candidate centre adopted each point: the classic
+// pgain inner loop (distance to candidate vs current assignment cost).
+__kernel void pgain(__global const float* points,
+                    __global const float* center,
+                    __global const float* current_cost,
+                    __global float* switch_cost,
+                    int dims, int n) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        float dist = 0.0f;
+        for (int d = 0; d < 8; d++) {
+            float diff = points[tid * 8 + d] - center[d];
+            dist += diff * diff;
+        }
+        float delta = dist - current_cost[tid];
+        switch_cost[tid] = delta < 0.0f ? delta : 0.0f;
+    }
+}
+"""
+
+
+def _memset_buffers():
+    return {"data": Buffer("data",
+                           rng(1901).random(_POINTS).astype(np.float32))}
+
+
+def _memset_reference(inputs):
+    return {"data": np.zeros(_POINTS, np.float32)}
+
+
+def _pgain_buffers():
+    r = rng(1902)
+    return {
+        "points": Buffer("points",
+                         r.standard_normal(_POINTS * _DIMS)
+                         .astype(np.float32)),
+        "center": Buffer("center",
+                         r.standard_normal(_DIMS).astype(np.float32)),
+        "current_cost": Buffer("current_cost",
+                               r.random(_POINTS).astype(np.float32) * 10),
+        "switch_cost": Buffer("switch_cost",
+                              np.zeros(_POINTS, np.float32)),
+    }
+
+
+def _pgain_reference(inputs):
+    pts = inputs["points"].reshape(_POINTS, _DIMS)
+    dist = ((pts - inputs["center"][None, :]) ** 2).sum(1)
+    delta = dist - inputs["current_cost"]
+    return {"switch_cost": np.minimum(delta, 0.0).astype(np.float32)}
+
+
+WORKLOADS = [
+    Workload(
+        suite="rodinia", benchmark="streamcluster", kernel="memset",
+        source=MEMSET_SRC, global_size=_POINTS, default_local_size=64,
+        make_buffers=_memset_buffers,
+        scalars={"value": 0.0, "n": _POINTS},
+        reference=_memset_reference,
+    ),
+    Workload(
+        suite="rodinia", benchmark="streamcluster", kernel="pgain",
+        source=PGAIN_SRC, global_size=_POINTS, default_local_size=64,
+        make_buffers=_pgain_buffers,
+        scalars={"dims": _DIMS, "n": _POINTS},
+        reference=_pgain_reference,
+    ),
+]

@@ -1,0 +1,151 @@
+"""Integration tests for kernel analysis (paper §3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_kernel
+from repro.devices import VIRTEX7
+from repro.frontend import compile_opencl
+from repro.interp import Buffer, NDRange
+
+
+def analyze(src, name, buffers, scalars, ndrange, **kwargs):
+    fn = compile_opencl(src).get(name)
+    return analyze_kernel(fn, buffers, scalars, ndrange, VIRTEX7,
+                          **kwargs)
+
+
+@pytest.fixture
+def tiled_kernel_info():
+    src = r"""
+    __kernel void tiled(__global const float* a, __global float* b,
+                        int n) {
+        int gid = get_global_id(0);
+        int lid = get_local_id(0);
+        __local float tile[64];
+        tile[lid] = a[gid];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        float acc = 0.0f;
+        for (int k = 0; k < 4; k++) {
+            acc += tile[(lid + k) % 64] * 0.25f;
+        }
+        b[gid] = acc;
+    }
+    """
+    n = 512
+    return analyze(src, "tiled",
+                   {"a": Buffer("a", np.arange(n, dtype=np.float32)),
+                    "b": Buffer("b", np.zeros(n, np.float32))},
+                   {"n": n}, NDRange(n, 64))
+
+
+class TestKernelInfo:
+    def test_counts(self, tiled_kernel_info):
+        info = tiled_kernel_info
+        assert info.traces.global_reads_per_wi == 1.0
+        assert info.traces.global_writes_per_wi == 1.0
+        assert info.traces.local_reads_per_wi == 4.0
+        assert info.traces.local_writes_per_wi == 1.0
+
+    def test_barriers(self, tiled_kernel_info):
+        assert tiled_kernel_info.barriers_per_wi == 1
+        assert tiled_kernel_info.uses_barrier
+
+    def test_local_mem_bytes(self, tiled_kernel_info):
+        assert tiled_kernel_info.local_mem_bytes == 64 * 4
+
+    def test_loop_has_static_trip_count(self, tiled_kernel_info):
+        loop = tiled_kernel_info.loop_nest.loops[0]
+        assert loop.trip_count == 4.0
+
+    def test_block_weights(self, tiled_kernel_info):
+        weights = tiled_kernel_info.block_weights
+        assert weights["entry"] == 1.0
+        assert weights["for.body"] == pytest.approx(4.0)
+
+    def test_dsp_cost_positive(self, tiled_kernel_info):
+        # 4 fmuls + 4 fadds per WI
+        assert tiled_kernel_info.dsp_cost_per_wi > 0
+        assert tiled_kernel_info.dsp_static_cost > 0
+
+    def test_geometry(self, tiled_kernel_info):
+        info = tiled_kernel_info
+        assert info.work_group_size == 64
+        assert info.total_work_items == 512
+        assert info.num_work_groups == 8
+
+    def test_dfgs_built(self, tiled_kernel_info):
+        info = tiled_kernel_info
+        assert info.function_dfg.nodes
+        assert "entry" in info.block_dfgs
+
+
+class TestDynamicTripCounts:
+    def test_profiled_when_static_fails(self):
+        src = r"""
+        __kernel void dynloop(__global float* a, int n) {
+            int i = get_global_id(0);
+            float acc = 0.0f;
+            for (int k = 0; k < n; k++) { acc += 1.0f; }
+            a[i] = acc;
+        }
+        """
+        info = analyze(src, "dynloop",
+                       {"a": Buffer("a", np.zeros(64, np.float32))},
+                       {"n": 7}, NDRange(64, 32))
+        loop = info.loop_nest.loops[0]
+        assert loop.static_trip_count is None
+        assert loop.trip_count == pytest.approx(7.0)
+
+
+class TestRecurrenceDetection:
+    def test_inter_work_item_dependency_found(self):
+        # Figure 3 style: work-item i writes b[i], reads b[i-1].
+        src = r"""
+        __kernel void chain(__global const float* a, __global float* b,
+                            int n) {
+            int i = get_global_id(0);
+            if (i > 0 && i < n) {
+                b[i] = b[i - 1] + a[i];
+            }
+        }
+        """
+        n = 128
+        info = analyze(src, "chain",
+                       {"a": Buffer("a", np.ones(n, np.float32)),
+                        "b": Buffer("b", np.zeros(n, np.float32))},
+                       {"n": n}, NDRange(n, 64))
+        assert info.traces.recurrences
+        assert any(r.distance == 1 for r in info.traces.recurrences)
+        # The recurrence edge must appear in the function DFG.
+        has_distance_edge = any(
+            dist > 0
+            for node in info.function_dfg.nodes
+            for _, dist in node.succs)
+        assert has_distance_edge
+
+    def test_independent_kernel_has_no_recurrence(self):
+        src = r"""
+        __kernel void indep(__global const float* a, __global float* b) {
+            int i = get_global_id(0);
+            b[i] = a[i] * 2.0f;
+        }
+        """
+        info = analyze(src, "indep",
+                       {"a": Buffer("a", np.ones(64, np.float32)),
+                        "b": Buffer("b", np.zeros(64, np.float32))},
+                       {}, NDRange(64, 32))
+        assert info.traces.recurrences == []
+
+
+class TestProfilingIsBounded:
+    def test_only_requested_groups_profiled(self):
+        src = r"""
+        __kernel void big(__global float* a) {
+            a[get_global_id(0)] = 1.0f;
+        }
+        """
+        info = analyze(src, "big",
+                       {"a": Buffer("a", np.zeros(4096, np.float32))},
+                       {}, NDRange(4096, 64), profile_groups=2)
+        assert len(info.traces.global_traces) == 128   # 2 groups x 64

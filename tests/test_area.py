@@ -1,0 +1,74 @@
+"""Tests for the area estimation model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_kernel
+from repro.devices import VIRTEX7
+from repro.dse import Design
+from repro.frontend import compile_opencl
+from repro.interp import Buffer, NDRange
+from repro.model.area import AreaEstimate, estimate_area
+
+
+def make_info(src=None, name="k", n=256):
+    src = src or """
+    __kernel void k(__global const float* a, __global float* b, int n) {
+        int i = get_global_id(0);
+        __local float t[64];
+        t[get_local_id(0)] = a[i];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        if (i < n) b[i] = t[get_local_id(0)] * 2.0f + 1.0f;
+    }
+    """
+    fn = compile_opencl(src).get(name)
+    return analyze_kernel(
+        fn,
+        {"a": Buffer("a", np.arange(n, dtype=np.float32)),
+         "b": Buffer("b", np.zeros(n, np.float32))},
+        {"n": n}, NDRange(n, 64), VIRTEX7)
+
+
+class TestAreaEstimate:
+    def test_scales_with_pe(self):
+        info = make_info()
+        one = estimate_area(info, Design(64, True, 1, 1, 1, "pipeline"))
+        four = estimate_area(info, Design(64, True, 4, 1, 1, "pipeline"))
+        assert four.dsp == 4 * one.dsp
+        assert four.luts > one.luts
+
+    def test_scales_with_cu(self):
+        info = make_info()
+        one = estimate_area(info, Design(64, True, 1, 1, 1, "pipeline"))
+        two = estimate_area(info, Design(64, True, 1, 2, 1, "pipeline"))
+        assert two.dsp == 2 * one.dsp
+        assert two.bram_36k == 2 * one.bram_36k
+
+    def test_vectorization_counts_as_pe(self):
+        info = make_info()
+        pe2 = estimate_area(info, Design(64, True, 2, 1, 1, "pipeline"))
+        v2 = estimate_area(info, Design(64, True, 1, 1, 2, "pipeline"))
+        assert pe2.dsp == v2.dsp
+
+    def test_local_memory_needs_bram(self):
+        info = make_info()
+        area = estimate_area(info, Design(64, True, 1, 1, 1, "pipeline"))
+        assert area.bram_36k >= 1
+
+    def test_utilisation_and_fits(self):
+        info = make_info()
+        small = estimate_area(info, Design(64, True, 1, 1, 1,
+                                           "pipeline"))
+        util = small.utilisation(VIRTEX7)
+        assert all(0.0 <= v <= 1.0 for v in util.values())
+        assert small.fits(VIRTEX7)
+
+    def test_huge_design_does_not_fit(self):
+        big = AreaEstimate(dsp=10_000, bram_36k=5_000, luts=10**7,
+                           ffs=10**7)
+        assert not big.fits(VIRTEX7)
+
+    def test_ffs_track_luts(self):
+        info = make_info()
+        area = estimate_area(info, Design(64, True, 1, 1, 1, "pipeline"))
+        assert area.ffs > area.luts

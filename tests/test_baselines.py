@@ -1,0 +1,140 @@
+"""Unit tests for the comparison baselines."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_kernel
+from repro.baselines import CoarseModel, SDAccelEstimator, SDAccelFailure
+from repro.devices import VIRTEX7
+from repro.dse import Design, DesignSpace
+from repro.frontend import compile_opencl
+from repro.interp import Buffer, NDRange
+
+
+def make_info(n=512, wg=64, barrier=False):
+    barrier_src = "barrier(CLK_LOCAL_MEM_FENCE);" if barrier else ""
+    src = f"""
+    __kernel void k(__global const float* a, __global float* b, int n) {{
+        int i = get_global_id(0);
+        {barrier_src}
+        if (i < n) b[i] = a[i] * 2.0f + 1.0f;
+    }}
+    """
+    fn = compile_opencl(src).get("k")
+    return analyze_kernel(
+        fn,
+        {"a": Buffer("a", np.arange(n, dtype=np.float32)),
+         "b": Buffer("b", np.zeros(n, np.float32))},
+        {"n": n}, NDRange(n, wg), VIRTEX7)
+
+
+class TestSDAccelEstimator:
+    def test_estimates_positive_cycles(self):
+        info = make_info()
+        est = SDAccelEstimator(VIRTEX7)
+        design = Design(64, True, 1, 1, 1, "pipeline")
+        try:
+            cycles = est.estimate(info, design)
+            assert cycles > 0
+        except SDAccelFailure:
+            pass   # the timeout hazard may hit this design
+
+    def test_complex_parallelism_always_fails(self):
+        info = make_info()
+        est = SDAccelEstimator(VIRTEX7)
+        with pytest.raises(SDAccelFailure):
+            est.estimate(info, Design(64, True, 8, 4, 1, "pipeline"))
+
+    def test_pipelined_barrier_kernel_fails(self):
+        info = make_info(barrier=True)
+        est = SDAccelEstimator(VIRTEX7)
+        with pytest.raises(SDAccelFailure):
+            est.estimate(info, Design(64, True, 4, 1, 1, "pipeline"))
+
+    def test_failures_deterministic(self):
+        info = make_info()
+        est = SDAccelEstimator(VIRTEX7)
+        outcomes = []
+        for _ in range(2):
+            try:
+                est.estimate(info, Design(64, True, 2, 1, 1, "barrier"))
+                outcomes.append("ok")
+            except SDAccelFailure:
+                outcomes.append("fail")
+        assert outcomes[0] == outcomes[1]
+
+    def test_failure_rate_near_paper(self):
+        """~42% of design points fail (paper §4.2)."""
+        info = make_info(n=4096)
+        est = SDAccelEstimator(VIRTEX7)
+        space = DesignSpace.default_for(4096)
+        failed = total = 0
+        for design in space:
+            if design.work_group_size != 64:
+                continue
+            total += 1
+            try:
+                est.estimate(info, design)
+            except SDAccelFailure:
+                failed += 1
+        rate = failed / total
+        assert 0.25 <= rate <= 0.60
+
+    def test_ignores_multi_cu_overhead(self):
+        """Failure mode 3: ideal CU scaling."""
+        info = make_info(n=4096)
+        est = SDAccelEstimator(VIRTEX7)
+
+        def safe(design):
+            try:
+                return est.estimate(info, design)
+            except SDAccelFailure:
+                return None
+
+        one = safe(Design(64, True, 1, 1, 1, "barrier"))
+        two = safe(Design(64, True, 1, 2, 1, "barrier"))
+        if one is not None and two is not None:
+            assert two == pytest.approx(one / 2, rel=0.01)
+
+
+class TestCoarseModel:
+    def test_positive(self):
+        info = make_info()
+        cycles = CoarseModel(VIRTEX7).estimate(
+            info, Design(64, True, 1, 1, 1, "pipeline"))
+        assert cycles > 0
+
+    def test_assumes_ideal_scaling(self):
+        """The defining flaw: every knob scales independently."""
+        info = make_info()
+        coarse = CoarseModel(VIRTEX7)
+        base = coarse.estimate(info, Design(64, True, 1, 1, 1,
+                                            "pipeline"))
+        scaled = coarse.estimate(info, Design(64, True, 4, 2, 1,
+                                              "pipeline"))
+        assert scaled == pytest.approx(base / 8, rel=0.01)
+
+    def test_blind_to_memory_patterns(self):
+        """Identical op/access counts => identical estimate, whatever
+        the stride pattern (that is the point of the comparison)."""
+        def kernel(stride):
+            return f"""
+            __kernel void k(__global const float* a, __global float* b,
+                            int n) {{
+                int i = get_global_id(0);
+                int j = i * {stride} % n;
+                if (i < n) b[j] = a[j] * 2.0f + 1.0f;
+            }}
+            """
+        n = 512
+        estimates = []
+        for stride in (1, 16):
+            fn = compile_opencl(kernel(stride)).get("k")
+            info = analyze_kernel(
+                fn,
+                {"a": Buffer("a", np.arange(n, dtype=np.float32)),
+                 "b": Buffer("b", np.zeros(n, np.float32))},
+                {"n": n}, NDRange(n, 64), VIRTEX7)
+            estimates.append(CoarseModel(VIRTEX7).estimate(
+                info, Design(64, True, 1, 1, 1, "pipeline")))
+        assert estimates[0] == pytest.approx(estimates[1], rel=0.01)

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def saxpy_file(tmp_path):
+    path = tmp_path / "saxpy.cl"
+    path.write_text("""
+    __kernel void saxpy(__global const float* x, __global float* y,
+                        float a, int n) {
+        int i = get_global_id(0);
+        if (i < n) y[i] = a * x[i] + y[i];
+    }
+    """)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_predict_args(self):
+        args = build_parser().parse_args(
+            ["predict", "k.cl", "--global-size", "1024", "--pe", "4"])
+        assert args.global_size == 1024
+        assert args.pe == 4
+        assert args.device == "virtex7"
+
+    def test_bad_device_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["predict", "k.cl", "--global-size", "64",
+                 "--device", "stratix"])
+
+
+class TestPredict:
+    def test_predict_runs(self, saxpy_file, capsys):
+        rc = main(["predict", saxpy_file, "--global-size", "512",
+                   "--wg", "64", "--pe", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "bottleneck" in out
+        assert "area" in out
+
+    def test_predict_infeasible_design(self, saxpy_file, capsys):
+        rc = main(["predict", saxpy_file, "--global-size", "512",
+                   "--wg", "64", "--no-pipeline",
+                   "--mode", "pipeline"])
+        assert rc == 1
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_predict_with_simulation(self, saxpy_file, capsys):
+        rc = main(["predict", saxpy_file, "--global-size", "256",
+                   "--wg", "64", "--simulate"])
+        assert rc == 0
+        assert "simulated" in capsys.readouterr().out
+
+    def test_scalar_override(self, saxpy_file, capsys):
+        rc = main(["predict", saxpy_file, "--global-size", "256",
+                   "--wg", "64", "--arg", "a=3.5", "--arg", "n=256"])
+        assert rc == 0
+
+
+class TestOtherCommands:
+    def test_workloads_listing(self, capsys):
+        rc = main(["workloads", "--suite", "rodinia"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rodinia (45 kernels)" in out
+        assert "hotspot/hotspot" in out
+
+    def test_patterns(self, capsys):
+        rc = main(["patterns"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "read(hit) after read" in out
+
+    def test_explore(self, saxpy_file, capsys):
+        rc = main(["explore", saxpy_file, "--global-size", "256",
+                   "--top", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "top 3" in out
+        assert "feasible" in out

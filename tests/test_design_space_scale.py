@@ -1,0 +1,38 @@
+"""The per-kernel design spaces must land at the paper's scale:
+"for each kernel, more than one hundred design solutions are tested"
+(§4.2)."""
+
+import pytest
+
+from repro.devices import VIRTEX7
+from repro.evaluation import make_analyzer, sample_designs
+from repro.workloads import get_workload
+
+KERNELS = [
+    ("rodinia", "nn", "nn"),
+    ("rodinia", "hotspot", "hotspot"),
+    ("polybench", "gemm", "gemm"),
+    ("rodinia", "srad", "extract"),
+]
+
+
+@pytest.mark.parametrize("key", KERNELS,
+                         ids=["/".join(k) for k in KERNELS])
+def test_feasible_space_is_hundreds_of_designs(key):
+    workload = get_workload(*key)
+    analyzer = make_analyzer(workload, VIRTEX7)
+    feasible = sample_designs(workload, VIRTEX7, analyzer=analyzer)
+    assert 100 <= len(feasible) <= 1000, len(feasible)
+
+
+def test_design_space_dimensions_match_paper():
+    """§4.1 lists the swept parameters: work-group size, work-item and
+    work-group pipeline, PE and CU parallelism, communication mode."""
+    from repro.dse import DesignSpace
+    space = DesignSpace()
+    assert len(space.work_group_sizes) >= 3
+    assert set(space.pipeline_options) == {True, False}
+    assert set(space.wg_pipeline_options) == {True, False}
+    assert len(space.pe_counts) >= 3
+    assert len(space.cu_counts) >= 2
+    assert set(space.comm_modes) == {"pipeline", "barrier"}

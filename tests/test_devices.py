@@ -1,0 +1,42 @@
+"""Unit tests for device descriptions."""
+
+import pytest
+
+from repro.devices import KU060, VIRTEX7, DRAMTiming, device_by_name
+
+
+class TestCatalog:
+    def test_lookup(self):
+        assert device_by_name("virtex7") is VIRTEX7
+        assert device_by_name("KU060") is KU060
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            device_by_name("stratix10")
+
+    def test_paper_platform_parameters(self):
+        """§4.1: Virtex-7, 200MHz, DDR3 with 8 banks and 1KB rows."""
+        assert VIRTEX7.clock_mhz == 200.0
+        assert VIRTEX7.dram_banks == 8
+        assert VIRTEX7.dram_row_bytes == 1024
+        assert VIRTEX7.mem_access_unit_bits == 512
+        assert VIRTEX7.dsp_total == 3600
+
+    def test_ultrascale_is_newer_fabric(self):
+        assert KU060.op_latency_scale < VIRTEX7.op_latency_scale
+        assert KU060.family == "ultrascale"
+
+
+class TestDerivedProperties:
+    def test_local_ports(self):
+        assert VIRTEX7.local_read_ports \
+            == VIRTEX7.local_banks * VIRTEX7.read_ports_per_bank
+
+    def test_cycles_to_seconds(self):
+        assert VIRTEX7.cycles_to_seconds(200e6) == pytest.approx(1.0)
+
+    def test_dram_timing_defaults(self):
+        t = DRAMTiming()
+        assert t.t_rcd > 0 and t.t_rp > 0 and t.t_burst > 0
+        # fixed pipeline delay dominates at the kernel clock
+        assert t.t_overhead > t.t_rcd

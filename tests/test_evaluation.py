@@ -1,0 +1,106 @@
+"""Tests for the evaluation harness (Table 2 / DSE methodology)."""
+
+import pytest
+
+from repro.devices import VIRTEX7
+from repro.dse import DesignSpace
+from repro.evaluation import (
+    estimate_synthesis_time,
+    evaluate_accuracy,
+    make_analyzer,
+    run_dse_study,
+    sample_designs,
+)
+from repro.workloads import get_workload
+
+SMALL_SPACE = DesignSpace(
+    work_group_sizes=(32, 64), pipeline_options=(True, False),
+    pe_counts=(1, 2), cu_counts=(1, 2), vector_widths=(1,),
+    comm_modes=("pipeline", "barrier"))
+
+
+@pytest.fixture(scope="module")
+def nn():
+    return get_workload("rodinia", "nn", "nn")
+
+
+class TestAnalyzer:
+    def test_caches(self, nn):
+        analyzer = make_analyzer(nn, VIRTEX7)
+        a = analyzer(64)
+        b = analyzer(64)
+        assert a is b
+
+    def test_none_for_bad_wg(self, nn):
+        analyzer = make_analyzer(nn, VIRTEX7)
+        assert analyzer(3) is None     # does not divide the NDRange
+
+
+class TestSampling:
+    def test_deterministic(self, nn):
+        a = sample_designs(nn, VIRTEX7, SMALL_SPACE, 6)
+        b = sample_designs(nn, VIRTEX7, SMALL_SPACE, 6)
+        assert a == b
+
+    def test_respects_cap(self, nn):
+        designs = sample_designs(nn, VIRTEX7, SMALL_SPACE, 5)
+        assert len(designs) == 5
+
+    def test_all_feasible(self, nn):
+        from repro.dse import check_feasibility
+        analyzer = make_analyzer(nn, VIRTEX7)
+        for d in sample_designs(nn, VIRTEX7, SMALL_SPACE, None):
+            info = analyzer(d.work_group_size)
+            assert check_feasibility(info, d, VIRTEX7) is None
+
+
+class TestAccuracyHarness:
+    def test_records_and_errors(self, nn):
+        acc = evaluate_accuracy(nn, VIRTEX7, space=SMALL_SPACE,
+                                max_designs=6)
+        assert len(acc.records) == 6
+        assert acc.flexcl_mean_error >= 0
+        assert acc.flexcl_seconds > 0
+        assert acc.simulate_seconds > acc.flexcl_seconds
+
+    def test_sdaccel_fails_sometimes(self, nn):
+        acc = evaluate_accuracy(nn, VIRTEX7, max_designs=24)
+        assert 0.0 < acc.sdaccel_failure_rate < 100.0
+
+    def test_flexcl_beats_sdaccel(self, nn):
+        """The headline shape of Table 2."""
+        acc = evaluate_accuracy(nn, VIRTEX7, max_designs=16)
+        assert acc.sdaccel_mean_error is not None
+        assert acc.flexcl_mean_error < acc.sdaccel_mean_error
+
+
+class TestSynthesisTimeExtrapolation:
+    def test_scales_with_designs(self, nn):
+        t1 = estimate_synthesis_time(nn, 10, "system_run")
+        t2 = estimate_synthesis_time(nn, 20, "system_run")
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_paper_magnitudes(self, nn):
+        """~130 designs: tens to ~200 hours of synthesis, tens of
+        minutes of HLS (Table 2's time columns)."""
+        hours = estimate_synthesis_time(nn, 130, "system_run")
+        minutes = estimate_synthesis_time(nn, 130, "sdaccel")
+        assert 40 <= hours <= 200
+        assert 30 <= minutes <= 160
+
+    def test_unknown_flow(self, nn):
+        with pytest.raises(ValueError):
+            estimate_synthesis_time(nn, 1, "quantum")
+
+
+class TestDSEStudy:
+    def test_study_quantities(self, nn):
+        study = run_dse_study(nn, VIRTEX7, space=SMALL_SPACE,
+                              max_designs=10)
+        assert study.n_designs == 10
+        assert study.best_actual_cycles > 0
+        assert study.flexcl_pick_actual_cycles \
+            >= study.best_actual_cycles
+        assert study.flexcl_gap_pct >= 0.0
+        assert study.speedup_over_baseline > 1.0
+        assert study.exploration_speedup > 1.0

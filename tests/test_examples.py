@@ -1,0 +1,36 @@
+"""Smoke tests: the fast example scripts must run end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    path = EXAMPLES / name
+    assert path.exists(), path
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "predicted" in out
+        assert "estimation error" in out
+
+    def test_bottleneck_analysis(self, capsys):
+        out = run_example("bottleneck_analysis.py", capsys)
+        assert "recurrence" in out
+        assert "hint" in out
+
+    def test_examples_are_documented(self):
+        for script in EXAMPLES.glob("*.py"):
+            text = script.read_text()
+            assert text.lstrip().startswith('"""'), \
+                f"{script.name} is missing a module docstring"
+            assert "Run:" in text, \
+                f"{script.name} docstring lacks a Run: line"

@@ -1,0 +1,145 @@
+"""Frontend corner cases: grammar edges the suites rely on."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_opencl
+from repro.frontend.parser import ParseError
+from repro.interp import Buffer, KernelExecutor, NDRange
+from repro.ir import verify_function
+
+
+def run1(body, params="__global float* b, int n", buffers=None,
+         scalars=None, n=8):
+    src = f"__kernel void k({params}) {{ {body} }}"
+    fn = compile_opencl(src).get("k")
+    verify_function(fn)
+    buffers = buffers or {"b": Buffer("b", np.zeros(n, np.float32))}
+    scalars = scalars if scalars is not None else {"n": n}
+    ex = KernelExecutor(fn, buffers, scalars)
+    ex.run(NDRange(n, n))
+    return buffers
+
+
+class TestExpressionsCorners:
+    def test_comma_in_for_step(self):
+        bufs = run1("int j = 0; "
+                    "for (int i = 0; i < 4; i++, j += 2) { } "
+                    "b[get_global_id(0)] = (float)j;")
+        assert np.allclose(bufs["b"].data, 8.0)
+
+    def test_nested_ternary(self):
+        bufs = run1("int i = get_global_id(0); "
+                    "b[i] = i < 2 ? (i < 1 ? 1.0f : 2.0f) : 3.0f;")
+        assert list(bufs["b"].data[:3]) == [1.0, 2.0, 3.0]
+
+    def test_chained_comparisons_via_logic(self):
+        bufs = run1("int i = get_global_id(0); "
+                    "b[i] = (i >= 2 && i <= 5) ? 1.0f : 0.0f;")
+        assert list(bufs["b"].data) == [0, 0, 1, 1, 1, 1, 0, 0]
+
+    def test_hex_and_shift_mix(self):
+        bufs = run1("int i = get_global_id(0); "
+                    "b[i] = (float)((0xF0 >> 4) << i & 0xFF);")
+        assert bufs["b"].data[0] == 15.0
+
+    def test_unary_minus_precedence(self):
+        bufs = run1("int i = get_global_id(0); b[i] = -i * 2.0f;")
+        assert bufs["b"].data[3] == -6.0
+
+    def test_prefix_vs_postfix(self):
+        bufs = run1("int i = get_global_id(0); int x = i; "
+                    "float pre = (float)(++x); int y = i; "
+                    "float post = (float)(y++); b[i] = pre - post;")
+        assert np.allclose(bufs["b"].data, 1.0)
+
+    def test_compound_assign_on_array_element(self):
+        bufs = run1("int i = get_global_id(0); b[i] = 1.0f; "
+                    "b[i] *= 4.0f; b[i] -= 1.0f;")
+        assert np.allclose(bufs["b"].data, 3.0)
+
+    def test_modulo_on_negative_wraps_like_c(self):
+        bufs = run1("int i = get_global_id(0); "
+                    "b[i] = (float)((i - 4) % 3);")
+        # C remainder keeps the dividend's sign
+        assert bufs["b"].data[0] == -1.0     # -4 % 3 == -1
+
+    def test_deeply_nested_parens(self):
+        bufs = run1("int i = get_global_id(0); "
+                    "b[i] = ((((1.0f + 2.0f)) * ((2.0f))));")
+        assert np.allclose(bufs["b"].data, 6.0)
+
+
+class TestStatementsCorners:
+    def test_empty_statement(self):
+        run1("; ; b[get_global_id(0)] = 1.0f; ;")
+
+    def test_empty_for_body(self):
+        run1("for (int i = 0; i < 4; i++) ; "
+             "b[get_global_id(0)] = 1.0f;")
+
+    def test_declaration_in_if_arm(self):
+        bufs = run1("int i = get_global_id(0); "
+                    "if (i > 0) { float t = 2.0f; b[i] = t; } "
+                    "else { float t = 5.0f; b[i] = t; }")
+        assert bufs["b"].data[0] == 5.0 and bufs["b"].data[1] == 2.0
+
+    def test_scope_shadowing(self):
+        bufs = run1("int i = get_global_id(0); float x = 1.0f; "
+                    "{ float x = 2.0f; b[i] = x; }")
+        assert np.allclose(bufs["b"].data, 2.0)
+
+    def test_do_while_runs_at_least_once(self):
+        bufs = run1("int i = get_global_id(0); int count = 0; "
+                    "do { count++; } while (count < 0); "
+                    "b[i] = (float)count;")
+        assert np.allclose(bufs["b"].data, 1.0)
+
+    def test_return_in_kernel_masks_tail(self):
+        bufs = run1("int i = get_global_id(0); "
+                    "if (i >= 4) return; b[i] = 1.0f;")
+        assert list(bufs["b"].data) == [1, 1, 1, 1, 0, 0, 0, 0]
+
+    def test_while_with_break(self):
+        bufs = run1("int i = get_global_id(0); int c = 0; "
+                    "while (1) { c++; if (c == 3) break; } "
+                    "b[i] = (float)c;")
+        assert np.allclose(bufs["b"].data, 3.0)
+
+
+class TestDefinesAndPragmas:
+    def test_define_used_in_array_size(self):
+        src = """
+        #define TILE 16
+        __kernel void k(__global float* b) {
+            __local float t[TILE];
+            int lid = get_local_id(0);
+            t[lid % TILE] = 1.0f;
+            b[get_global_id(0)] = t[lid % TILE];
+        }
+        """
+        fn = compile_opencl(src).get("k")
+        verify_function(fn)
+
+    def test_define_expression(self):
+        src = """
+        #define SCALE (2.0f * 2.0f)
+        __kernel void k(__global float* b) {
+            b[get_global_id(0)] = SCALE;
+        }
+        """
+        fn = compile_opencl(src).get("k")
+        b = Buffer("b", np.zeros(4, np.float32))
+        KernelExecutor(fn, {"b": b}, {}).run(NDRange(4, 4))
+        assert np.allclose(b.data, 4.0)
+
+
+class TestErrors:
+    def test_else_without_if(self):
+        with pytest.raises(ParseError):
+            compile_opencl("__kernel void k() { else; }")
+
+    def test_assign_to_literal(self):
+        from repro.frontend.lowering import LoweringError
+        with pytest.raises((ParseError, LoweringError)):
+            compile_opencl("__kernel void k() { 3 = 4; }")

@@ -1,0 +1,91 @@
+"""Unit tests for the OpenCL C lexer."""
+
+import pytest
+
+from repro.frontend.lexer import Lexer, LexerError
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in Lexer(source).tokens()
+            if t.kind != "eof"]
+
+
+class TestBasicTokens:
+    def test_identifiers_and_keywords(self):
+        toks = kinds("__kernel void foo bar")
+        assert toks == [("keyword", "__kernel"), ("keyword", "void"),
+                        ("id", "foo"), ("id", "bar")]
+
+    def test_int_literals(self):
+        toks = Lexer("0 42 1024").tokens()
+        assert [t.value for t in toks[:-1]] == [0, 42, 1024]
+
+    def test_hex_literal(self):
+        toks = Lexer("0xFF 0x10").tokens()
+        assert [t.value for t in toks[:-1]] == [255, 16]
+
+    def test_int_suffixes_are_skipped(self):
+        toks = Lexer("42u 7UL 3L").tokens()
+        assert [t.value for t in toks[:-1]] == [42, 7, 3]
+
+    def test_float_literals(self):
+        toks = Lexer("1.5 0.25f 3.f 1e3 2.5e-2f .5").tokens()
+        values = [t.value for t in toks[:-1]]
+        assert values == pytest.approx([1.5, 0.25, 3.0, 1000.0, 0.025, 0.5])
+        assert all(t.kind == "float" for t in toks[:-1])
+
+    def test_float_requires_exponent_digits(self):
+        # `1e` followed by an identifier is not a float literal.
+        toks = Lexer("8e").tokens()
+        assert toks[0].kind == "int"
+        assert toks[1].kind == "id"
+
+    def test_multichar_operators(self):
+        toks = kinds("a <<= b >>= c == d != e <= f >= g && h || i")
+        ops = [text for kind, text in toks if kind == "op"]
+        assert ops == ["<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||"]
+
+    def test_single_char_operators(self):
+        ops = [t for k, t in kinds("+ - * / % ~ ^ ? :") if k == "op"]
+        assert ops == ["+", "-", "*", "/", "%", "~", "^", "?", ":"]
+
+    def test_positions_track_lines(self):
+        toks = Lexer("a\n  b").tokens()
+        assert toks[0].line == 1 and toks[0].col == 1
+        assert toks[1].line == 2 and toks[1].col == 3
+
+
+class TestCommentsAndPreprocessor:
+    def test_line_comment_skipped(self):
+        assert kinds("a // comment here\nb") == [("id", "a"), ("id", "b")]
+
+    def test_block_comment_skipped(self):
+        assert kinds("a /* x\ny */ b") == [("id", "a"), ("id", "b")]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexerError):
+            Lexer("a /* never closed").tokens()
+
+    def test_pragma_becomes_token(self):
+        toks = Lexer("#pragma unroll 4\nx").tokens()
+        assert toks[0].kind == "pragma"
+        assert toks[0].text == "unroll 4"
+
+    def test_define_expands_object_macro(self):
+        toks = Lexer("#define SIZE 256\nSIZE").tokens()
+        assert toks[0].kind == "int" and toks[0].value == 256
+
+    def test_define_expansion_is_recursive_safe(self):
+        # A self-referential macro must not loop forever.
+        toks = Lexer("#define X X\nX").tokens()
+        assert toks[0].kind in ("id", "eof")
+
+    def test_include_is_ignored(self):
+        assert kinds("#include <something>\nfoo") == [("id", "foo")]
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(LexerError) as exc:
+            Lexer("a @ b").tokens()
+        assert "@" in str(exc.value)

@@ -1,0 +1,230 @@
+"""Unit tests for AST -> IR lowering."""
+
+import pytest
+
+from repro.frontend import compile_opencl
+from repro.frontend.lowering import LoweringError
+from repro.ir import (
+    Barrier,
+    BinaryOp,
+    Call,
+    CondBranch,
+    GetElementPtr,
+    Load,
+    Store,
+    verify_function,
+)
+from repro.ir.types import AddressSpace, FLOAT, INT, PointerType
+
+
+def lower(body, params="__global float* a, int n", helpers=""):
+    src = f"{helpers}\n__kernel void k({params}) {{ {body} }}"
+    return compile_opencl(src).get("k")
+
+
+def ops_of(fn, cls):
+    return [i for i in fn.instructions() if isinstance(i, cls)]
+
+
+class TestBasics:
+    def test_verifies(self):
+        fn = lower("int x = n + 1; a[x] = 2.0f;")
+        verify_function(fn)
+
+    def test_kernel_args_get_slots(self):
+        fn = lower("")
+        stores = ops_of(fn, Store)
+        # one store per argument into its private slot
+        assert len(stores) == 2
+
+    def test_global_store_via_gep(self):
+        fn = lower("a[n] = 1.0f;")
+        geps = ops_of(fn, GetElementPtr)
+        assert len(geps) == 1
+        stores = [s for s in ops_of(fn, Store)
+                  if s.space == AddressSpace.GLOBAL]
+        assert len(stores) == 1
+
+    def test_int_float_conversion_inserted(self):
+        fn = lower("a[0] = n;")   # int stored to float array
+        from repro.ir import Cast
+        kinds = [c.kind for c in ops_of(fn, Cast)]
+        assert "sitofp" in kinds
+
+    def test_float_literal_arithmetic_uses_float_ops(self):
+        fn = lower("a[0] = a[0] * 2.0f + 1.0f;")
+        opcodes = {b.opcode for b in ops_of(fn, BinaryOp)}
+        assert "fmul" in opcodes and "fadd" in opcodes
+
+    def test_mixed_arithmetic_promotes(self):
+        fn = lower("a[0] = n * 0.5f;")
+        opcodes = [b.opcode for b in ops_of(fn, BinaryOp)]
+        assert "fmul" in opcodes
+
+    def test_barrier_lowered(self):
+        fn = lower("barrier(CLK_LOCAL_MEM_FENCE);")
+        assert len(ops_of(fn, Barrier)) == 1
+
+    def test_builtin_call(self):
+        fn = lower("int i = get_global_id(0); a[i] = 0.0f;")
+        calls = ops_of(fn, Call)
+        assert calls[0].callee == "get_global_id"
+
+    def test_local_array_alloca(self):
+        fn = lower("__local float tile[32]; tile[0] = 1.0f;")
+        from repro.ir import Alloca
+        locals_ = [a for a in ops_of(fn, Alloca)
+                   if a.space == AddressSpace.LOCAL]
+        assert len(locals_) == 1
+        assert locals_[0].allocated.count == 32
+
+
+class TestControlFlow:
+    def test_if_creates_blocks(self):
+        fn = lower("if (n > 0) { a[0] = 1.0f; }")
+        names = [b.name for b in fn.blocks]
+        assert "if.then" in names and "if.end" in names
+
+    def test_short_circuit_and(self):
+        fn = lower("if (n > 0 && a[n] > 0.0f) { a[0] = 1.0f; }")
+        names = [b.name for b in fn.blocks]
+        assert "sc.rhs" in names
+        verify_function(fn)
+
+    def test_short_circuit_guards_rhs(self):
+        # The rhs block must be conditionally branched to.
+        fn = lower("if (n > 0 && a[n] > 0.0f) { a[0] = 1.0f; }")
+        rhs = next(b for b in fn.blocks if b.name == "sc.rhs")
+        preds = fn.predecessors()[rhs]
+        assert len(preds) == 1
+        assert isinstance(preds[0].terminator, CondBranch)
+
+    def test_ternary_lowered_with_blocks(self):
+        fn = lower("a[0] = n > 0 ? 1.0f : 2.0f;")
+        names = [b.name for b in fn.blocks]
+        assert "sel.then" in names and "sel.end" in names
+        verify_function(fn)
+
+    def test_for_loop_metadata(self):
+        fn = lower("for (int i = 0; i < 8; i++) { a[i] = 0.0f; }")
+        assert len(fn.loop_meta) == 1
+        assert fn.loop_meta[0].static_trip_count == 8
+
+    def test_trip_count_with_step(self):
+        fn = lower("for (int i = 0; i < 16; i += 4) { a[i] = 0.0f; }")
+        assert fn.loop_meta[0].static_trip_count == 4
+
+    def test_trip_count_decreasing(self):
+        fn = lower("for (int i = 8; i > 0; i--) { a[i] = 0.0f; }")
+        assert fn.loop_meta[0].static_trip_count == 8
+
+    def test_dynamic_trip_count_is_none(self):
+        fn = lower("for (int i = 0; i < n; i++) { a[i] = 0.0f; }")
+        assert fn.loop_meta[0].static_trip_count is None
+
+    def test_unroll_pragma_recorded(self):
+        src = ("__kernel void k(__global float* a) {\n"
+               "#pragma unroll 4\n"
+               "for (int i = 0; i < 8; i++) { a[i] = 0.0f; }\n}")
+        # with the transform disabled the metadata must survive intact
+        fn = compile_opencl(src, apply_pragmas=False).get("k")
+        assert fn.loop_meta[0].unroll_factor == 4
+
+    def test_unroll_pragma_applied_by_default(self):
+        src = ("__kernel void k(__global float* a) {\n"
+               "#pragma unroll 4\n"
+               "for (int i = 0; i < 8; i++) { a[i] = 0.0f; }\n}")
+        fn = compile_opencl(src).get("k")
+        loop = fn.loop_meta[0]
+        assert loop.static_trip_count == 2   # 8 iterations / factor 4
+
+    def test_break_and_continue(self):
+        fn = lower("for (int i = 0; i < n; i++) {"
+                   " if (i == 1) continue; if (i == 3) break; a[i] = 0.0f;"
+                   "}")
+        verify_function(fn)
+
+    def test_while_loop(self):
+        fn = lower("int i = 0; while (i < n) { a[i] = 0.0f; i++; }")
+        verify_function(fn)
+        assert any(m.header.startswith("while.cond")
+                   for m in fn.loop_meta)
+
+
+class TestHelperInlining:
+    HELPER = "float square(float x) { return x * x; }"
+
+    def test_helper_is_inlined(self):
+        fn = lower("a[0] = square(a[1]);", helpers=self.HELPER)
+        verify_function(fn)
+        # no call named square remains
+        assert not any(isinstance(i, Call) and i.callee == "square"
+                       for i in fn.instructions())
+
+    def test_nested_helpers(self):
+        helpers = (self.HELPER
+                   + " float quad(float x) { return square(square(x)); }")
+        fn = lower("a[0] = quad(a[1]);", helpers=helpers)
+        verify_function(fn)
+
+    def test_early_return_in_helper(self):
+        helpers = ("float clamp01(float x) {"
+                   " if (x < 0.0f) return 0.0f;"
+                   " if (x > 1.0f) return 1.0f;"
+                   " return x; }")
+        fn = lower("a[0] = clamp01(a[1]);", helpers=helpers)
+        verify_function(fn)
+
+    def test_recursion_rejected(self):
+        helpers = "float f(float x) { return f(x); }"
+        with pytest.raises(LoweringError) as exc:
+            lower("a[0] = f(1.0f);", helpers=helpers)
+        assert "recursive" in str(exc.value)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(LoweringError):
+            lower("a[0] = square(1.0f, 2.0f);", helpers=self.HELPER)
+
+
+class TestErrors:
+    def test_unknown_identifier(self):
+        with pytest.raises(LoweringError) as exc:
+            lower("a[0] = nope;")
+        assert "nope" in str(exc.value)
+
+    def test_unknown_function(self):
+        with pytest.raises(LoweringError):
+            lower("a[0] = not_a_builtin(1.0f);")
+
+    def test_no_kernel_in_unit(self):
+        with pytest.raises(LoweringError):
+            compile_opencl("float f(float x) { return x; }")
+
+    def test_vector_member_access_rejected(self):
+        with pytest.raises(LoweringError) as exc:
+            lower("float4 v; a[0] = v.x;", params="__global float* a")
+        assert "vector" in str(exc.value)
+
+    def test_assign_to_array_rejected(self):
+        with pytest.raises(LoweringError):
+            lower("__local float t[4]; t = 0.0f;")
+
+
+class TestPointerOps:
+    def test_pointer_arithmetic(self):
+        fn = lower("__global float* p = a + n; p[0] = 1.0f;")
+        verify_function(fn)
+
+    def test_deref(self):
+        fn = lower("*a = 3.0f;")
+        stores = [s for s in ops_of(fn, Store)
+                  if s.space == AddressSpace.GLOBAL]
+        assert len(stores) == 1
+
+    def test_address_of_element(self):
+        fn = lower("__global float* p = &a[n]; *p = 1.0f;")
+        verify_function(fn)
+
+    def test_predefined_constants(self):
+        fn = lower("a[0] = FLT_MAX; a[1] = M_PI;")
+        verify_function(fn)

@@ -1,0 +1,178 @@
+"""Unit tests for the OpenCL C parser."""
+
+import pytest
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import ParseError, parse
+
+
+def parse_kernel(body, params="__global float* a, int n"):
+    unit = parse(f"__kernel void k({params}) {{ {body} }}")
+    return unit.functions[0]
+
+
+class TestTopLevel:
+    def test_kernel_flag(self):
+        fn = parse_kernel("")
+        assert fn.is_kernel and fn.name == "k"
+
+    def test_helper_function(self):
+        unit = parse("float f(float x) { return x; } "
+                     "__kernel void k() { }")
+        assert not unit.functions[0].is_kernel
+        assert unit.functions[1].is_kernel
+
+    def test_param_spaces(self):
+        fn = parse_kernel("", params="__global float* g, __local int* l, "
+                                     "__constant float* c, int s")
+        spaces = [p.space for p in fn.params]
+        assert spaces == ["global", "local", "constant", "private"]
+
+    def test_unqualified_pointer_defaults_to_global(self):
+        fn = parse_kernel("", params="float* p")
+        assert fn.params[0].space == "global"
+        assert fn.params[0].pointer_depth == 1
+
+    def test_const_and_restrict_qualifiers(self):
+        fn = parse_kernel("", params="__global const float* restrict a, "
+                                     "const int n")
+        assert fn.params[0].is_const
+        assert fn.params[1].is_const
+
+    def test_unsigned_int_param(self):
+        fn = parse_kernel("", params="unsigned int n")
+        assert fn.params[0].type_name == "uint"
+
+    def test_size_t_maps_to_uint(self):
+        fn = parse_kernel("", params="size_t n")
+        assert fn.params[0].type_name == "uint"
+
+    def test_reqd_work_group_size_attribute(self):
+        unit = parse("__kernel __attribute__((reqd_work_group_size(64,1,1)))"
+                     " void k() { }")
+        assert unit.functions[0].reqd_work_group_size == (64, 1, 1)
+
+
+class TestStatements:
+    def test_declaration_with_init(self):
+        fn = parse_kernel("int x = 3;")
+        decl = fn.body.body[0]
+        assert isinstance(decl, ast.DeclStmt)
+        assert decl.declarators[0].name == "x"
+        assert isinstance(decl.declarators[0].init, ast.IntLiteral)
+
+    def test_multi_declarator(self):
+        fn = parse_kernel("int x = 1, y = 2, z;")
+        assert [d.name for d in fn.body.body[0].declarators] \
+            == ["x", "y", "z"]
+
+    def test_local_array(self):
+        fn = parse_kernel("__local float tile[64];")
+        decl = fn.body.body[0]
+        assert decl.space == "local"
+        assert decl.declarators[0].array_size.value == 64
+
+    def test_multidim_array_is_flattened(self):
+        fn = parse_kernel("__local float tile[8][4];")
+        size = fn.body.body[0].declarators[0].array_size
+        assert isinstance(size, ast.BinaryExpr) and size.op == "*"
+
+    def test_if_else(self):
+        fn = parse_kernel("if (n > 0) n = 1; else n = 2;")
+        stmt = fn.body.body[0]
+        assert isinstance(stmt, ast.IfStmt)
+        assert stmt.els is not None
+
+    def test_for_loop(self):
+        fn = parse_kernel("for (int i = 0; i < n; i++) { a[i] = 0.0f; }")
+        stmt = fn.body.body[0]
+        assert isinstance(stmt, ast.ForStmt)
+        assert stmt.cond is not None and stmt.step is not None
+
+    def test_while_and_do_while(self):
+        fn = parse_kernel("while (n > 0) n--; do n++; while (n < 4);")
+        assert isinstance(fn.body.body[0], ast.WhileStmt)
+        assert isinstance(fn.body.body[1], ast.DoWhileStmt)
+
+    def test_break_continue_return(self):
+        fn = parse_kernel(
+            "for (int i = 0; i < n; i++) { "
+            "if (i == 1) continue; if (i == 2) break; } return;")
+        assert isinstance(fn.body.body[-1], ast.ReturnStmt)
+
+    def test_pragma_attaches_to_loop(self):
+        unit = parse("__kernel void k(int n) {\n"
+                     "#pragma unroll 4\n"
+                     "for (int i = 0; i < n; i++) { }\n}")
+        loop = unit.functions[0].body.body[0]
+        assert loop.pragmas == ["unroll 4"]
+
+
+class TestExpressions:
+    def _expr(self, text):
+        fn = parse_kernel(f"n = {text};")
+        return fn.body.body[0].expr.value
+
+    def test_precedence_mul_over_add(self):
+        e = self._expr("1 + 2 * 3")
+        assert e.op == "+" and e.rhs.op == "*"
+
+    def test_precedence_shift_vs_compare(self):
+        e = self._expr("1 << 2 > 3")
+        assert e.op == ">" and e.lhs.op == "<<"
+
+    def test_ternary(self):
+        e = self._expr("n > 0 ? 1 : 2")
+        assert isinstance(e, ast.TernaryExpr)
+
+    def test_assignment_is_right_associative(self):
+        fn = parse_kernel("int x; int y; x = y = 1;")
+        assign = fn.body.body[2].expr
+        assert isinstance(assign.value, ast.AssignExpr)
+
+    def test_cast(self):
+        e = self._expr("(int)(1.5f)")
+        assert isinstance(e, ast.CastExpr) and e.type_name == "int"
+
+    def test_parenthesized_expr_is_not_cast(self):
+        fn = parse_kernel("int x; n = (x) + 1;")
+        e = fn.body.body[1].expr.value
+        assert e.op == "+"
+
+    def test_index_and_call(self):
+        e = self._expr("a[get_global_id(0)]")
+        assert isinstance(e, ast.IndexExpr)
+        assert isinstance(e.index, ast.CallExpr)
+
+    def test_unary_operators(self):
+        e = self._expr("-n")
+        assert isinstance(e, ast.UnaryExpr) and e.op == "-"
+
+    def test_postfix_increment(self):
+        fn = parse_kernel("n++;")
+        e = fn.body.body[0].expr
+        assert isinstance(e, ast.UnaryExpr) and e.postfix
+
+    def test_sizeof_folds_to_int(self):
+        e = self._expr("sizeof(float)")
+        assert isinstance(e, ast.IntLiteral) and e.value == 4
+
+    def test_compound_assignment(self):
+        fn = parse_kernel("n += 2;")
+        assert fn.body.body[0].expr.op == "+="
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("__kernel void k(int n) { n = 1 }")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse("__kernel void k(int n) { n = (1; }")
+
+    def test_error_mentions_position(self):
+        from repro.frontend.lexer import LexerError
+        with pytest.raises((ParseError, LexerError)) as exc:
+            parse("__kernel void k(int n) { @@@ }")
+        assert "error at" in str(exc.value)

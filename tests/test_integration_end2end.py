@@ -1,0 +1,82 @@
+"""End-to-end integration: source -> analysis -> model vs simulator.
+
+These tests pin the headline property of the reproduction: FlexCL's
+prediction lands near System Run across a mixed design sample, and the
+relative ordering of designs (what DSE relies on) is largely preserved.
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices import KU060, VIRTEX7
+from repro.dse import Design
+from repro.evaluation import evaluate_accuracy, make_analyzer
+from repro.model import FlexCL
+from repro.simulator import SystemRun
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def kmeans_accuracy():
+    w = get_workload("rodinia", "kmeans", "center")
+    return evaluate_accuracy(w, VIRTEX7, max_designs=16)
+
+
+class TestAccuracyBand:
+    def test_mean_error_in_paper_band(self, kmeans_accuracy):
+        """Per-kernel mean error should sit in the low tens of percent
+        (the paper's per-kernel range is ~4-16%)."""
+        assert kmeans_accuracy.flexcl_mean_error < 25.0
+
+    def test_every_design_predicted(self, kmeans_accuracy):
+        for record in kmeans_accuracy.records:
+            assert record.flexcl_cycles > 0
+            assert record.actual_cycles > 0
+
+    def test_ranking_mostly_preserved(self, kmeans_accuracy):
+        """Spearman-style check: model ordering correlates with the
+        simulator ordering."""
+        records = kmeans_accuracy.records
+        pred = np.argsort([r.flexcl_cycles for r in records])
+        act = np.argsort([r.actual_cycles for r in records])
+        pred_rank = np.empty(len(records))
+        act_rank = np.empty(len(records))
+        pred_rank[pred] = np.arange(len(records))
+        act_rank[act] = np.arange(len(records))
+        corr = np.corrcoef(pred_rank, act_rank)[0, 1]
+        assert corr > 0.8
+
+
+class TestCrossPlatform:
+    def test_model_works_on_ultrascale(self):
+        """The robustness experiment's mechanics (§4.2)."""
+        w = get_workload("rodinia", "hotspot", "hotspot")
+        analyzer = make_analyzer(w, KU060)
+        info = analyzer(64)
+        assert info is not None
+        model = FlexCL(KU060)
+        sim = SystemRun(KU060)
+        d = Design(64, True, 2, 1, 1, "pipeline")
+        pred = model.predict(info, d).cycles
+        act = sim.run(info, d).cycles
+        assert abs(pred - act) / act < 0.5
+
+
+class TestModelGuidanceQuality:
+    def test_best_predicted_design_is_good(self):
+        """FlexCL's pick should be near the simulator's optimum even
+        when its absolute numbers are off (what makes DSE work)."""
+        w = get_workload("polybench", "gemm", "gemm")
+        analyzer = make_analyzer(w, VIRTEX7)
+        model = FlexCL(VIRTEX7)
+        sim = SystemRun(VIRTEX7)
+        from repro.evaluation import sample_designs
+        designs = sample_designs(w, VIRTEX7, max_designs=12,
+                                 analyzer=analyzer)
+        preds = {d: model.predict(analyzer(d.work_group_size), d).cycles
+                 for d in designs}
+        acts = {d: sim.run(analyzer(d.work_group_size), d).cycles
+                for d in designs}
+        pick = min(preds, key=preds.get)
+        best = min(acts.values())
+        assert acts[pick] <= best * 1.6

@@ -1,0 +1,285 @@
+"""Unit tests for the NDRange interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_opencl
+from repro.interp import (
+    Buffer,
+    ExecutionError,
+    KernelExecutor,
+    NDRange,
+)
+
+
+def run_kernel(src, name, buffers, scalars, ndrange, **kwargs):
+    fn = compile_opencl(src).get(name)
+    ex = KernelExecutor(fn, buffers, scalars)
+    return ex.run(ndrange, **kwargs)
+
+
+class TestNDRange:
+    def test_basic_properties(self):
+        nd = NDRange(256, 64)
+        assert nd.num_work_items == 256
+        assert nd.work_group_size == 64
+        assert nd.num_work_groups == 4
+
+    def test_2d(self):
+        nd = NDRange((16, 8), (4, 4))
+        assert nd.num_work_items == 128
+        assert nd.num_groups == (4, 2)
+
+    def test_invalid_local_size(self):
+        with pytest.raises(ValueError):
+            NDRange(100, 64)
+        with pytest.raises(ValueError):
+            NDRange(64, 0)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            NDRange((16, 16), (4,))
+
+
+class TestArithmeticSemantics:
+    SRC = r"""
+    __kernel void k(__global int* out, int a, int b) {
+        int tid = get_global_id(0);
+        if (tid == 0) out[0] = a / b;
+        if (tid == 1) out[1] = a % b;
+        if (tid == 2) out[2] = a >> 1;
+        if (tid == 3) out[3] = a << 2;
+    }
+    """
+
+    def _run(self, a, b):
+        out = np.zeros(4, np.int32)
+        run_kernel(self.SRC, "k", {"out": Buffer("out", out)},
+                   {"a": a, "b": b}, NDRange(4, 4))
+        return out
+
+    def test_division_truncates_toward_zero(self):
+        out = self._run(-7, 2)
+        assert out[0] == -3          # C semantics, not Python floor
+        assert out[1] == -1          # sign follows the dividend
+
+    def test_positive_division(self):
+        out = self._run(7, 2)
+        assert out[0] == 3 and out[1] == 1
+
+    def test_shifts(self):
+        out = self._run(8, 1)
+        assert out[2] == 4 and out[3] == 32
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExecutionError):
+            self._run(1, 0)
+
+    def test_int_overflow_wraps(self):
+        src = r"""
+        __kernel void k(__global int* out, int a) {
+            out[get_global_id(0)] = a + a;
+        }
+        """
+        out = np.zeros(1, np.int32)
+        run_kernel(src, "k", {"out": Buffer("out", out)},
+                   {"a": 2**30}, NDRange(1, 1))
+        assert out[0] == -(2**31)    # 2^31 wraps negative
+
+
+class TestWorkItemFunctions:
+    SRC = r"""
+    __kernel void ids(__global int* gid, __global int* lid,
+                      __global int* grp, __global int* sizes) {
+        int i = get_global_id(0);
+        gid[i] = i;
+        lid[i] = get_local_id(0);
+        grp[i] = get_group_id(0);
+        if (i == 0) {
+            sizes[0] = get_global_size(0);
+            sizes[1] = get_local_size(0);
+            sizes[2] = get_num_groups(0);
+            sizes[3] = get_work_dim();
+        }
+    }
+    """
+
+    def test_id_functions(self):
+        n, wg = 128, 32
+        bufs = {name: Buffer(name, np.zeros(max(n, 4), np.int32))
+                for name in ("gid", "lid", "grp", "sizes")}
+        run_kernel(self.SRC, "ids", bufs, {}, NDRange(n, wg))
+        assert np.array_equal(bufs["gid"].data[:n], np.arange(n))
+        assert np.array_equal(bufs["lid"].data[:n],
+                              np.arange(n) % wg)
+        assert np.array_equal(bufs["grp"].data[:n],
+                              np.arange(n) // wg)
+        assert list(bufs["sizes"].data[:4]) == [n, wg, n // wg, 1]
+
+
+class TestBarriersAndLocalMemory:
+    def test_local_memory_shared_within_group(self):
+        src = r"""
+        __kernel void rotate(__global const float* in,
+                             __global float* out) {
+            int lid = get_local_id(0);
+            int gid = get_global_id(0);
+            int lsz = get_local_size(0);
+            __local float tile[64];
+            tile[lid] = in[gid];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            out[gid] = tile[(lid + 1) % lsz];
+        }
+        """
+        n, wg = 128, 64
+        data = np.arange(n, dtype=np.float32)
+        out = np.zeros(n, np.float32)
+        run_kernel(src, "rotate",
+                   {"in": Buffer("in", data), "out": Buffer("out", out)},
+                   {}, NDRange(n, wg))
+        expected = np.concatenate([
+            np.roll(data[:wg], -1), np.roll(data[wg:], -1)])
+        assert np.allclose(out, expected)
+
+    def test_local_memory_not_shared_across_groups(self):
+        src = r"""
+        __kernel void leak(__global float* out) {
+            int lid = get_local_id(0);
+            __local float stash[4];
+            if (get_group_id(0) == 0) stash[lid] = 42.0f;
+            barrier(CLK_LOCAL_MEM_FENCE);
+            out[get_global_id(0)] = stash[lid];
+        }
+        """
+        out = np.full(8, -1.0, np.float32)
+        run_kernel(src, "leak", {"out": Buffer("out", out)}, {},
+                   NDRange(8, 4))
+        assert np.allclose(out[:4], 42.0)
+        assert np.allclose(out[4:], 0.0)   # uninitialised local reads 0
+
+    def test_barrier_counted(self):
+        src = r"""
+        __kernel void b(__global float* out) {
+            barrier(CLK_LOCAL_MEM_FENCE);
+            barrier(CLK_GLOBAL_MEM_FENCE);
+            out[get_global_id(0)] = 1.0f;
+        }
+        """
+        out = np.zeros(4, np.float32)
+        res = run_kernel(src, "b", {"out": Buffer("out", out)}, {},
+                         NDRange(4, 4))
+        assert res.barriers_per_item == 2
+
+
+class TestAtomics:
+    def test_atomic_add_counts_all_items(self):
+        src = r"""
+        __kernel void count(__global int* counter) {
+            atomic_add(&counter[0], 1);
+        }
+        """
+        counter = np.zeros(1, np.int32)
+        run_kernel(src, "count", {"counter": Buffer("counter", counter)},
+                   {}, NDRange(64, 16))
+        assert counter[0] == 64
+
+    def test_atomic_max(self):
+        src = r"""
+        __kernel void m(__global int* best) {
+            atomic_max(&best[0], (int)get_global_id(0));
+        }
+        """
+        best = np.zeros(1, np.int32)
+        run_kernel(src, "m", {"best": Buffer("best", best)}, {},
+                   NDRange(32, 8))
+        assert best[0] == 31
+
+
+class TestTracing:
+    SRC = r"""
+    __kernel void touch(__global const float* a, __global float* b) {
+        int i = get_global_id(0);
+        b[i] = a[i] * 2.0f;
+    }
+    """
+
+    def _result(self):
+        n = 64
+        return run_kernel(
+            self.SRC, "touch",
+            {"a": Buffer("a", np.ones(n, np.float32)),
+             "b": Buffer("b", np.zeros(n, np.float32))},
+            {}, NDRange(64, 32), max_groups=1)
+
+    def test_trace_shape(self):
+        res = self._result()
+        assert len(res.traces) == 32          # one per work-item
+        first = res.traces[0]
+        assert [t.kind for t in first] == ["read", "write"]
+        assert first[0].buffer == "a" and first[1].buffer == "b"
+
+    def test_trace_addresses_stride(self):
+        res = self._result()
+        reads = [t.traces[0].addr if False else None for t in []]
+        addr0 = res.traces[0][0].addr
+        addr1 = res.traces[1][0].addr
+        assert addr1 - addr0 == 4
+
+    def test_max_groups_limits_execution(self):
+        res = self._result()
+        assert res.groups_executed == 1
+        assert res.work_items_executed == 32
+
+
+class TestTripCounts:
+    def test_profiled_trip_count(self):
+        src = r"""
+        __kernel void loopy(__global float* a, int n) {
+            int i = get_global_id(0);
+            float acc = 0.0f;
+            for (int k = 0; k < n; k++) { acc += 1.0f; }
+            a[i] = acc;
+        }
+        """
+        a = np.zeros(16, np.float32)
+        res = run_kernel(src, "loopy", {"a": Buffer("a", a)},
+                         {"n": 10}, NDRange(16, 16))
+        assert res.trip_counts["for.cond"] == pytest.approx(10.0)
+        assert np.allclose(a, 10.0)
+
+
+class TestErrors:
+    def test_out_of_bounds_access(self):
+        src = r"""
+        __kernel void oob(__global float* a) {
+            a[get_global_id(0) + 1000000] = 1.0f;
+        }
+        """
+        with pytest.raises(IndexError):
+            run_kernel(src, "oob",
+                       {"a": Buffer("a", np.zeros(4, np.float32))},
+                       {}, NDRange(4, 4))
+
+    def test_missing_buffer(self):
+        src = "__kernel void k(__global float* a) { }"
+        fn = compile_opencl(src).get("k")
+        with pytest.raises(ExecutionError):
+            KernelExecutor(fn, {}, {})
+
+    def test_missing_scalar(self):
+        src = "__kernel void k(int n) { }"
+        fn = compile_opencl(src).get("k")
+        with pytest.raises(ExecutionError):
+            KernelExecutor(fn, {}, {})
+
+    def test_infinite_loop_guard(self):
+        src = r"""
+        __kernel void spin(__global float* a) {
+            while (1) { a[0] = 1.0f; }
+        }
+        """
+        fn = compile_opencl(src).get("spin")
+        ex = KernelExecutor(fn, {"a": Buffer("a", np.zeros(4, np.float32))},
+                            {}, max_steps=10_000)
+        with pytest.raises(ExecutionError):
+            ex.run(NDRange(1, 1))

@@ -1,0 +1,97 @@
+"""2-D NDRange execution (the interpreter supports multi-dimensional
+launches even though the FPGA design space flattens to 1-D)."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_opencl
+from repro.interp import Buffer, KernelExecutor, NDRange
+
+TRANSPOSE = """
+__kernel void transpose(__global const float* in, __global float* out,
+                        int width, int height) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    if (x < width && y < height) {
+        out[x * height + y] = in[y * width + x];
+    }
+}
+"""
+
+
+class Test2DLaunch:
+    def test_transpose(self):
+        w, h = 16, 8
+        data = np.arange(w * h, dtype=np.float32)
+        out = np.zeros(w * h, np.float32)
+        fn = compile_opencl(TRANSPOSE).get("transpose")
+        ex = KernelExecutor(fn, {"in": Buffer("in", data),
+                                 "out": Buffer("out", out)},
+                            {"width": w, "height": h})
+        ex.run(NDRange((w, h), (4, 4)))
+        expected = data.reshape(h, w).T.reshape(-1)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_ids_cover_grid(self):
+        src = """
+        __kernel void mark(__global int* grid, int width) {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            grid[y * width + x] = (int)(get_group_id(0)
+                                        + get_group_id(1) * 100);
+        }
+        """
+        w, h = 8, 4
+        grid = np.full(w * h, -1, np.int32)
+        fn = compile_opencl(src).get("mark")
+        ex = KernelExecutor(fn, {"grid": Buffer("grid", grid)},
+                            {"width": w})
+        ex.run(NDRange((w, h), (4, 2)))
+        assert not np.any(grid == -1)
+        # group ids: x in {0,1}, y in {0,1}
+        assert set(np.unique(grid)) == {0, 1, 100, 101}
+
+    def test_out_of_range_dim_queries(self):
+        src = """
+        __kernel void probe(__global int* out) {
+            int i = get_global_id(0);
+            out[i] = (int)(get_global_size(2) + get_global_id(2));
+        }
+        """
+        out = np.zeros(4, np.int32)
+        fn = compile_opencl(src).get("probe")
+        KernelExecutor(fn, {"out": Buffer("out", out)}, {}).run(
+            NDRange(4, 4))
+        # size of a missing dimension is 1, its id is 0
+        assert np.all(out == 1)
+
+    def test_local_tile_in_2d(self):
+        src = """
+        __kernel void tile2d(__global const float* in,
+                             __global float* out, int width) {
+            int lx = get_local_id(0);
+            int ly = get_local_id(1);
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            __local float tile[16];
+            tile[ly * 4 + lx] = in[y * width + x];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            out[y * width + x] = tile[lx * 4 + ly];
+        }
+        """
+        w, h = 8, 8
+        data = np.arange(w * h, dtype=np.float32)
+        out = np.zeros(w * h, np.float32)
+        fn = compile_opencl(src).get("tile2d")
+        ex = KernelExecutor(fn, {"in": Buffer("in", data),
+                                 "out": Buffer("out", out)},
+                            {"width": w})
+        ex.run(NDRange((w, h), (4, 4)))
+        # each 4x4 tile is transposed locally
+        a = data.reshape(h, w)
+        expected = np.zeros_like(a)
+        for by in range(0, h, 4):
+            for bx in range(0, w, 4):
+                expected[by:by + 4, bx:bx + 4] = \
+                    a[by:by + 4, bx:bx + 4].T
+        np.testing.assert_array_equal(out.reshape(h, w), expected)

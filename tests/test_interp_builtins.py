@@ -1,0 +1,132 @@
+"""Interpreter coverage for OpenCL builtins and conversions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_opencl
+from repro.interp import Buffer, KernelExecutor, NDRange
+
+
+def run_expr(expr, inputs=None, out_type="float"):
+    """Evaluate one expression per work-item; x = in[i]."""
+    src = f"""
+    __kernel void k(__global const float* in, __global {out_type}* out,
+                    int n) {{
+        int i = get_global_id(0);
+        float x = in[i];
+        if (i < n) out[i] = {expr};
+    }}
+    """
+    n = 8
+    data = (np.asarray(inputs, np.float32) if inputs is not None
+            else np.linspace(0.5, 4.0, n).astype(np.float32))
+    dtype = np.float32 if out_type == "float" else np.int32
+    out = np.zeros(n, dtype)
+    fn = compile_opencl(src).get("k")
+    ex = KernelExecutor(fn, {"in": Buffer("in", data),
+                             "out": Buffer("out", out)}, {"n": n})
+    ex.run(NDRange(n, n))
+    return data, out
+
+
+class TestMathBuiltins:
+    def test_sqrt(self):
+        data, out = run_expr("sqrt(x)")
+        np.testing.assert_allclose(out, np.sqrt(data), rtol=1e-6)
+
+    def test_exp_log(self):
+        data, out = run_expr("log(exp(x))")
+        np.testing.assert_allclose(out, data, rtol=1e-5)
+
+    def test_trig(self):
+        data, out = run_expr("sin(x) * sin(x) + cos(x) * cos(x)")
+        np.testing.assert_allclose(out, np.ones_like(data), rtol=1e-5)
+
+    def test_pow(self):
+        data, out = run_expr("pow(x, 2.0f)")
+        np.testing.assert_allclose(out, data ** 2, rtol=1e-5)
+
+    def test_fabs_floor_ceil(self):
+        data, out = run_expr("fabs(floor(x) - ceil(x))",
+                             inputs=[0.5, 1.5, 2.0, 3.3, 4.0, 5.5,
+                                     6.1, 7.9])
+        expected = np.abs(np.floor(data) - np.ceil(data))
+        np.testing.assert_allclose(out, expected)
+
+    def test_fmin_fmax_clamp(self):
+        data, out = run_expr("clamp(fmax(x, 1.0f), 0.0f, 3.0f)")
+        expected = np.clip(np.maximum(data, 1.0), 0.0, 3.0)
+        np.testing.assert_allclose(out, expected)
+
+    def test_mad(self):
+        data, out = run_expr("mad(x, 2.0f, 1.0f)")
+        np.testing.assert_allclose(out, data * 2 + 1, rtol=1e-6)
+
+    def test_rsqrt_native(self):
+        data, out = run_expr("native_rsqrt(x)")
+        np.testing.assert_allclose(out, 1.0 / np.sqrt(data), rtol=1e-5)
+
+    def test_hypot_atan2(self):
+        data, out = run_expr("hypot(x, 3.0f)")
+        np.testing.assert_allclose(out, np.hypot(data, 3.0), rtol=1e-5)
+
+
+class TestIntegerBuiltins:
+    def test_min_max_abs(self):
+        _, out = run_expr("max(min((int)x, 2), 1)", out_type="int")
+        assert set(out) <= {1, 2}
+
+    def test_mul24(self):
+        _, out = run_expr("mul24((int)x, 3)", out_type="int",
+                          inputs=[1, 2, 3, 4, 5, 6, 7, 8])
+        np.testing.assert_array_equal(out, np.arange(1, 9) * 3)
+
+
+class TestConversions:
+    def test_convert_int(self):
+        _, out = run_expr("convert_int(x * 2.0f)", out_type="int",
+                          inputs=[0.4, 1.2, 2.6, 3.0, 4.9, 5.5, 6.0,
+                                  7.7])
+        expected = (np.array([0.4, 1.2, 2.6, 3.0, 4.9, 5.5, 6.0, 7.7])
+                    * 2).astype(np.int32)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_cast_roundtrip(self):
+        data, out = run_expr("(float)((int)x)")
+        np.testing.assert_allclose(out, np.trunc(data))
+
+    def test_fdiv_by_zero_gives_inf(self):
+        _, out = run_expr("1.0f / (x - x)")
+        assert np.all(np.isinf(out))
+
+
+class TestSelectAndLogic:
+    def test_ternary(self):
+        data, out = run_expr("x > 2.0f ? 1.0f : -1.0f")
+        np.testing.assert_allclose(out, np.where(data > 2.0, 1.0, -1.0))
+
+    def test_short_circuit_protects(self):
+        # i > 0 && in[i-1] ... must not fault at i == 0
+        src = """
+        __kernel void k(__global const float* in, __global float* out,
+                        int n) {
+            int i = get_global_id(0);
+            if (i > 0 && in[i - 1] > 0.0f) out[i] = 1.0f;
+            else out[i] = 0.0f;
+        }
+        """
+        n = 8
+        fn = compile_opencl(src).get("k")
+        out = np.zeros(n, np.float32)
+        ex = KernelExecutor(fn, {"in": Buffer("in", np.ones(n,
+                                                           np.float32)),
+                                 "out": Buffer("out", out)}, {"n": n})
+        ex.run(NDRange(n, n))
+        assert out[0] == 0.0 and np.all(out[1:] == 1.0)
+
+    def test_logical_or_and_not(self):
+        data, out = run_expr("(x < 1.0f || x > 3.0f) ? 1.0f : 0.0f")
+        expected = ((data < 1.0) | (data > 3.0)).astype(np.float32)
+        np.testing.assert_allclose(out, expected)

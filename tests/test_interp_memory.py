@@ -1,0 +1,113 @@
+"""Unit tests for the interpreter's memory spaces."""
+
+import numpy as np
+import pytest
+
+from repro.interp.memory import (
+    BUFFER_ALIGNMENT,
+    Buffer,
+    FlatSpace,
+    GlobalMemory,
+    PointerValue,
+    dtype_for_type,
+)
+from repro.ir.types import AddressSpace, FLOAT, INT, UINT, ScalarType
+
+
+class TestBuffer:
+    def test_properties(self):
+        buf = Buffer("x", np.zeros(16, np.float32))
+        assert buf.nbytes == 64
+        assert buf.elem_size == 4
+        assert buf.base == -1        # unbound until placed
+
+    def test_contiguous_copy(self):
+        data = np.zeros((4, 4), np.float32)[::2]   # non-contiguous view
+        buf = Buffer("x", data)
+        assert buf.data.flags["C_CONTIGUOUS"]
+
+
+class TestGlobalMemory:
+    def test_bases_aligned_and_disjoint(self):
+        mem = GlobalMemory()
+        a = mem.bind(Buffer("a", np.zeros(100, np.float32)))
+        b = mem.bind(Buffer("b", np.zeros(100, np.float32)))
+        assert a.base % BUFFER_ALIGNMENT == 0
+        assert b.base % BUFFER_ALIGNMENT == 0
+        assert b.base >= a.base + a.nbytes
+
+    def test_load_store_roundtrip(self):
+        mem = GlobalMemory()
+        buf = mem.bind(Buffer("a", np.zeros(8, np.float32)))
+        mem.store(buf.base + 4, 4, 2.5)
+        assert mem.load(buf.base + 4, 4) == 2.5
+
+    def test_out_of_bounds_rejected(self):
+        mem = GlobalMemory()
+        buf = mem.bind(Buffer("a", np.zeros(8, np.float32)))
+        with pytest.raises(IndexError):
+            mem.load(buf.base + 8 * 4, 4)
+        with pytest.raises(IndexError):
+            mem.load(buf.base - 4, 4)
+
+    def test_misaligned_rejected(self):
+        mem = GlobalMemory()
+        buf = mem.bind(Buffer("a", np.zeros(8, np.float32)))
+        with pytest.raises(IndexError):
+            mem.load(buf.base + 2, 4)
+
+    def test_find_resolves(self):
+        mem = GlobalMemory()
+        a = mem.bind(Buffer("a", np.zeros(8, np.float32)))
+        b = mem.bind(Buffer("b", np.zeros(8, np.float32)))
+        found, off = mem.find(b.base + 12)
+        assert found is b and off == 12
+
+
+class TestFlatSpace:
+    def test_allocation_is_aligned(self):
+        space = FlatSpace()
+        addr = space.allocate(10, align=8)
+        assert addr % 8 == 0
+        addr2 = space.allocate(4, align=8)
+        assert addr2 >= addr + 10
+
+    def test_store_load(self):
+        space = FlatSpace()
+        addr = space.allocate(4)
+        space.store(addr, 42)
+        assert space.load(addr) == 42
+        assert space.contains(addr)
+
+    def test_uninitialised_strict_read(self):
+        space = FlatSpace()
+        addr = space.allocate(4)
+        with pytest.raises(IndexError):
+            space.load(addr)
+
+    def test_uninitialised_with_default(self):
+        space = FlatSpace()
+        addr = space.allocate(4)
+        assert space.load(addr, default=0) == 0
+
+
+class TestPointerValue:
+    def test_offset(self):
+        p = PointerValue(AddressSpace.GLOBAL, 4096)
+        q = p.offset(16)
+        assert q.addr == 4112 and q.space == AddressSpace.GLOBAL
+        assert p.addr == 4096          # immutable
+
+    def test_hashable(self):
+        a = PointerValue(AddressSpace.LOCAL, 64)
+        b = PointerValue(AddressSpace.LOCAL, 64)
+        assert a == b and hash(a) == hash(b)
+
+
+class TestDtypeMapping:
+    def test_scalars(self):
+        assert dtype_for_type(FLOAT) == np.float32
+        assert dtype_for_type(INT) == np.int32
+        assert dtype_for_type(UINT) == np.uint32
+        assert dtype_for_type(ScalarType("char")) == np.int8
+        assert dtype_for_type(ScalarType("double")) == np.float64

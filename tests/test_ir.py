@@ -1,0 +1,216 @@
+"""Unit tests for the IR core: types, values, functions, verification."""
+
+import pytest
+
+from repro.ir import (
+    Branch,
+    CondBranch,
+    Constant,
+    Function,
+    IRBuilder,
+    IRVerificationError,
+    Module,
+    Register,
+    Return,
+    print_function,
+    verify_function,
+)
+from repro.ir.types import (
+    AddressSpace,
+    ArrayType,
+    BOOL,
+    FLOAT,
+    INT,
+    PointerType,
+    ScalarType,
+    UINT,
+    VectorType,
+    common_type,
+    is_type_name,
+    parse_type_name,
+)
+
+
+class TestTypes:
+    def test_scalar_bits(self):
+        assert INT.bits == 32 and INT.bytes == 4
+        assert ScalarType("char").bits == 8
+        assert ScalarType("double").bits == 64
+
+    def test_signedness(self):
+        assert INT.is_signed and not UINT.is_signed
+        assert FLOAT.is_float and FLOAT.is_signed
+
+    def test_unknown_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            ScalarType("quux")
+
+    def test_vector_type(self):
+        v = VectorType(FLOAT, 4)
+        assert v.bits == 128
+        assert str(v) == "float4"
+
+    def test_illegal_vector_width(self):
+        with pytest.raises(ValueError):
+            VectorType(FLOAT, 5)
+
+    def test_pointer_type(self):
+        p = PointerType(FLOAT, AddressSpace.GLOBAL)
+        assert p.is_pointer and p.bits == 64
+        assert "global" in str(p)
+
+    def test_array_type(self):
+        a = ArrayType(FLOAT, 16)
+        assert a.bits == 16 * 32
+
+    def test_parse_type_name(self):
+        assert parse_type_name("uint") == UINT
+        assert parse_type_name("float4") == VectorType(FLOAT, 4)
+        assert parse_type_name("int16") == VectorType(INT, 16)
+
+    def test_parse_type_name_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            parse_type_name("float5")
+        assert not is_type_name("banana")
+        assert is_type_name("uchar2")
+
+    def test_common_type_promotions(self):
+        assert common_type(INT, FLOAT) == FLOAT
+        assert common_type(ScalarType("char"), INT) == INT
+        assert common_type(INT, UINT) == UINT
+        assert common_type(FLOAT, ScalarType("double")) \
+            == ScalarType("double")
+
+    def test_common_type_vector_dominates(self):
+        v = VectorType(FLOAT, 4)
+        assert common_type(v, FLOAT) == v
+
+    def test_common_type_vector_width_mismatch(self):
+        with pytest.raises(ValueError):
+            common_type(VectorType(FLOAT, 4), VectorType(FLOAT, 8))
+
+
+def build_simple_function():
+    fn = Function("f", [INT], ["n"])
+    builder = IRBuilder(fn)
+    entry = fn.new_block("entry")
+    builder.set_block(entry)
+    x = builder.binop("add", fn.arg("n"), Constant(INT, 1), INT)
+    builder.ret()
+    return fn, x
+
+
+class TestFunctionStructure:
+    def test_blocks_and_successors(self):
+        fn = Function("f", [INT], ["n"])
+        b = IRBuilder(fn)
+        entry = fn.new_block("entry")
+        then = fn.new_block("then")
+        end = fn.new_block("end")
+        b.set_block(entry)
+        cond = b.compare("gt", fn.arg("n"), Constant(INT, 0), BOOL)
+        b.cond_branch(cond, then, end)
+        b.set_block(then)
+        b.branch(end)
+        b.set_block(end)
+        b.ret()
+        assert entry.successors() == [then, end]
+        assert fn.predecessors()[end] == [entry, then]
+        verify_function(fn)
+
+    def test_block_names_uniquified(self):
+        fn = Function("f", [], [])
+        a = fn.new_block("x")
+        b = fn.new_block("x")
+        assert a.name != b.name
+
+    def test_reachable_blocks_skips_orphans(self):
+        fn, _ = build_simple_function()
+        orphan = fn.new_block("orphan")
+        orphan.append(Return())
+        reachable = fn.reachable_blocks()
+        assert all(b.name != "orphan" for b in reachable)
+
+    def test_arg_lookup(self):
+        fn, _ = build_simple_function()
+        assert fn.arg("n").name == "n"
+        with pytest.raises(KeyError):
+            fn.arg("zzz")
+
+    def test_append_after_terminator_rejected(self):
+        fn, _ = build_simple_function()
+        with pytest.raises(ValueError):
+            fn.entry.append(Return())
+
+
+class TestVerifier:
+    def test_accepts_wellformed(self):
+        fn, _ = build_simple_function()
+        verify_function(fn)
+
+    def test_rejects_unterminated_block(self):
+        fn = Function("f", [], [])
+        fn.new_block("entry")
+        with pytest.raises(IRVerificationError):
+            verify_function(fn)
+
+    def test_rejects_double_definition(self):
+        fn = Function("f", [INT], ["n"])
+        b = IRBuilder(fn)
+        b.set_block(fn.new_block("entry"))
+        from repro.ir.instructions import BinaryOp
+        reg = Register(INT)
+        fn.entry.append(BinaryOp("add", fn.arg("n"),
+                                 Constant(INT, 1), reg))
+        fn.entry.append(BinaryOp("add", fn.arg("n"),
+                                 Constant(INT, 2), reg))
+        fn.entry.append(Return())
+        with pytest.raises(IRVerificationError):
+            verify_function(fn)
+
+    def test_rejects_use_before_def(self):
+        fn = Function("f", [INT], ["n"])
+        b = IRBuilder(fn)
+        b.set_block(fn.new_block("entry"))
+        from repro.ir.instructions import BinaryOp
+        ghost = Register(INT, "ghost")
+        out = Register(INT)
+        fn.entry.append(BinaryOp("add", ghost, Constant(INT, 1), out))
+        fn.entry.append(Return())
+        with pytest.raises(IRVerificationError):
+            verify_function(fn)
+
+    def test_rejects_foreign_branch_target(self):
+        fn = Function("f", [], [])
+        other = Function("g", [], [])
+        foreign = other.new_block("elsewhere")
+        entry = fn.new_block("entry")
+        entry.append(Branch(foreign))
+        with pytest.raises(IRVerificationError):
+            verify_function(fn)
+
+
+class TestModule:
+    def test_add_and_get(self):
+        m = Module("m")
+        fn, _ = build_simple_function()
+        m.add(fn)
+        assert m.get("f") is fn
+        assert "f" in m
+        assert m.kernels == [fn]
+
+    def test_duplicate_rejected(self):
+        m = Module("m")
+        fn, _ = build_simple_function()
+        m.add(fn)
+        with pytest.raises(ValueError):
+            m.add(fn)
+
+
+class TestPrinter:
+    def test_print_contains_structure(self):
+        fn, _ = build_simple_function()
+        text = print_function(fn)
+        assert "kernel @f" in text
+        assert "entry:" in text
+        assert "add" in text

@@ -1,0 +1,145 @@
+"""Unit tests for the op-latency tables and micro-benchmark profiling."""
+
+import pytest
+
+from repro.devices import KU060, VIRTEX7
+from repro.frontend import compile_opencl
+from repro.ir.instructions import (
+    Barrier,
+    BinaryOp,
+    Call,
+    Cast,
+    GetElementPtr,
+    Load,
+    Store,
+)
+from repro.ir.types import FLOAT, INT
+from repro.ir.values import Constant, Register
+from repro.latency import (
+    DSP_COST,
+    ImplementationChoice,
+    MicrobenchProfiler,
+    OpClass,
+    OpLatencyTable,
+    classify_instruction,
+    profile_op_latencies,
+)
+from repro.latency.microbench import VARIANT_POPULATION, _population_mean
+from repro.latency.optable import NOMINAL_LATENCY
+
+
+def _binop(op, type_=INT):
+    zero = Constant(type_, 0)
+    return BinaryOp(op, zero, zero, Register(type_))
+
+
+class TestClassification:
+    def test_int_ops(self):
+        assert classify_instruction(_binop("add")) == OpClass.INT_ALU
+        assert classify_instruction(_binop("mul")) == OpClass.INT_MUL
+        assert classify_instruction(_binop("div")) == OpClass.INT_DIV
+        assert classify_instruction(_binop("shl")) == OpClass.INT_ALU
+
+    def test_float_ops(self):
+        assert classify_instruction(_binop("fadd", FLOAT)) == OpClass.FADD
+        assert classify_instruction(_binop("fsub", FLOAT)) == OpClass.FADD
+        assert classify_instruction(_binop("fmul", FLOAT)) == OpClass.FMUL
+        assert classify_instruction(_binop("fdiv", FLOAT)) == OpClass.FDIV
+
+    def test_memory_ops_by_space(self):
+        fn = compile_opencl("""
+        __kernel void k(__global float* g) {
+            __local float t[4];
+            int i = get_global_id(0);
+            t[0] = g[i];
+            g[i] = t[0];
+        }""").get("k")
+        classes = [classify_instruction(inst)
+                   for inst in fn.instructions()
+                   if isinstance(inst, (Load, Store))]
+        assert OpClass.GLOBAL_ISSUE in classes
+        assert OpClass.LOCAL_READ in classes
+        assert OpClass.LOCAL_WRITE in classes
+        assert OpClass.FREE in classes        # private slot traffic
+
+    def test_builtin_classification(self):
+        fn = compile_opencl("""
+        __kernel void k(__global float* g) {
+            g[0] = sqrt(g[1]) + fabs(g[2]);
+        }""").get("k")
+        callees = {inst.callee: classify_instruction(inst)
+                   for inst in fn.instructions()
+                   if isinstance(inst, Call)}
+        assert callees["sqrt"] == OpClass.FEXPENSIVE
+        assert callees["fabs"] == OpClass.FADD
+
+    def test_barrier_is_control(self):
+        assert classify_instruction(Barrier()) == OpClass.CONTROL
+
+
+class TestLatencyTable:
+    def test_free_ops_cost_nothing(self):
+        table = OpLatencyTable()
+        assert table.of_class(OpClass.FREE) == 0.0
+
+    def test_scale_applies(self):
+        fast = OpLatencyTable(scale=0.5)
+        slow = OpLatencyTable(scale=1.0)
+        assert fast.of_class(OpClass.FDIV) < slow.of_class(OpClass.FDIV)
+
+    def test_scaled_latency_at_least_one(self):
+        table = OpLatencyTable(scale=0.01)
+        assert table.of_class(OpClass.INT_ALU) == 1.0
+
+    def test_dsp_costs(self):
+        table = OpLatencyTable()
+        assert table.dsp_cost(_binop("fmul", FLOAT)) == DSP_COST[OpClass.FMUL]
+        assert table.dsp_cost(_binop("add")) == 0
+
+    def test_for_device_uses_scale(self):
+        v7 = OpLatencyTable.for_device(VIRTEX7)
+        ku = OpLatencyTable.for_device(KU060)
+        assert ku.of_class(OpClass.FEXPENSIVE) \
+            <= v7.of_class(OpClass.FEXPENSIVE)
+
+
+class TestMicrobenchProfiling:
+    def test_profiled_near_population_mean(self):
+        table = MicrobenchProfiler().profile()
+        for cls, nominal in NOMINAL_LATENCY.items():
+            if nominal == 0.0:
+                continue
+            expected = nominal * _population_mean(cls)
+            assert table.latencies[cls] == pytest.approx(expected,
+                                                         rel=0.15)
+
+    def test_profiling_is_deterministic(self):
+        t1 = profile_op_latencies(VIRTEX7)
+        t2 = profile_op_latencies(VIRTEX7)
+        assert t1.latencies == t2.latencies
+
+
+class TestImplementationChoice:
+    def test_deterministic_per_design(self):
+        a = ImplementationChoice("k", "design-1")
+        b = ImplementationChoice("k", "design-1")
+        for cls in OpClass:
+            assert a.multiplier(cls) == b.multiplier(cls)
+
+    def test_varies_across_designs(self):
+        multipliers = set()
+        for i in range(20):
+            c = ImplementationChoice("k", f"design-{i}")
+            multipliers.add(c.multiplier(OpClass.FMUL))
+        assert len(multipliers) > 1
+
+    def test_multiplier_in_population(self):
+        c = ImplementationChoice("kern", "sig")
+        for cls, variants in VARIANT_POPULATION.items():
+            assert c.multiplier(cls) in {m for m, _ in variants}
+
+    def test_concrete_table(self):
+        c = ImplementationChoice("kern", "sig")
+        table = c.table()
+        assert table.of_class(OpClass.FREE) == 0.0
+        assert table.of_class(OpClass.FMUL) >= 1.0

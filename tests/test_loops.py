@@ -1,0 +1,99 @@
+"""Unit tests for dominator / natural-loop analysis."""
+
+from repro.analysis.loops import compute_dominators, find_loops
+from repro.frontend import compile_opencl
+
+
+def fn_of(body, params="__global float* a, int n"):
+    return compile_opencl(
+        f"__kernel void k({params}) {{ {body} }}").get("k")
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        fn = fn_of("if (n > 0) { a[0] = 1.0f; } a[1] = 2.0f;")
+        dom = compute_dominators(fn)
+        for block, doms in dom.items():
+            assert "entry" in doms
+
+    def test_branch_arms_do_not_dominate_join(self):
+        fn = fn_of("if (n > 0) { a[0] = 1.0f; } else { a[1] = 2.0f; } "
+                   "a[2] = 3.0f;")
+        dom = compute_dominators(fn)
+        join = next(name for name in dom if name.startswith("if.end"))
+        assert not any(name.startswith("if.then")
+                       for name in dom[join])
+
+
+class TestLoopDiscovery:
+    def test_single_loop(self):
+        fn = fn_of("for (int i = 0; i < 8; i++) { a[i] = 0.0f; }")
+        nest = find_loops(fn)
+        assert len(nest.loops) == 1
+        loop = nest.loops[0]
+        assert loop.header == "for.cond"
+        assert "for.body" in loop.blocks
+        assert loop.static_trip_count == 8
+
+    def test_nested_loops(self):
+        fn = fn_of("for (int i = 0; i < 4; i++) {"
+                   "  for (int j = 0; j < 8; j++) { a[i*8+j] = 0.0f; }"
+                   "}")
+        nest = find_loops(fn)
+        assert len(nest.loops) == 2
+        inner = min(nest.loops, key=lambda l: len(l.blocks))
+        outer = max(nest.loops, key=lambda l: len(l.blocks))
+        assert inner.parent is outer
+        assert inner.depth == 1 and outer.depth == 0
+
+    def test_weights_multiply_trip_counts(self):
+        fn = fn_of("for (int i = 0; i < 4; i++) {"
+                   "  for (int j = 0; j < 8; j++) { a[i*8+j] = 0.0f; }"
+                   "}")
+        nest = find_loops(fn)
+        inner = min(nest.loops, key=lambda l: len(l.blocks))
+        body_block = next(iter(
+            b for b in inner.blocks if "body" in b and b != inner.header))
+        assert nest.weight(body_block) == 32.0
+
+    def test_no_loops(self):
+        fn = fn_of("a[0] = 1.0f;")
+        nest = find_loops(fn)
+        assert nest.loops == []
+        assert nest.weight("entry") == 1.0
+
+    def test_while_loop_found(self):
+        fn = fn_of("int i = 0; while (i < n) { a[i] = 0.0f; i++; }")
+        nest = find_loops(fn)
+        assert len(nest.loops) == 1
+
+    def test_trip_count_prefers_static(self):
+        fn = fn_of("for (int i = 0; i < 8; i++) { a[i] = 0.0f; }")
+        nest = find_loops(fn)
+        loop = nest.loops[0]
+        loop.profiled_trip_count = 99.0
+        assert loop.trip_count == 8.0
+
+    def test_profiled_fallback(self):
+        fn = fn_of("for (int i = 0; i < n; i++) { a[i] = 0.0f; }")
+        nest = find_loops(fn)
+        loop = nest.loops[0]
+        assert loop.static_trip_count is None
+        loop.profiled_trip_count = 12.5
+        assert loop.trip_count == 12.5
+
+    def test_unknown_defaults_to_one(self):
+        fn = fn_of("for (int i = 0; i < n; i++) { a[i] = 0.0f; }")
+        loop = find_loops(fn).loops[0]
+        assert loop.trip_count == 1.0
+
+    def test_containing_chain(self):
+        fn = fn_of("for (int i = 0; i < 4; i++) {"
+                   "  for (int j = 0; j < 8; j++) { a[i*8+j] = 0.0f; }"
+                   "}")
+        nest = find_loops(fn)
+        inner = min(nest.loops, key=lambda l: len(l.blocks))
+        body = next(b for b in inner.blocks if b != inner.header)
+        chain = nest.containing(body)
+        assert len(chain) == 2
+        assert chain[0] is inner

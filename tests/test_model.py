@@ -1,0 +1,225 @@
+"""Unit tests for the FlexCL analytical model (Eqs. 1-12)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_kernel
+from repro.devices import VIRTEX7
+from repro.dse import Design, check_feasibility
+from repro.frontend import compile_opencl
+from repro.interp import Buffer, NDRange
+from repro.model import FlexCL
+from repro.model.cu import CUModelResult, cu_model
+from repro.model.integrate import integrate
+from repro.model.kernel import kernel_computation_model
+from repro.model.memory import MemoryModelResult
+from repro.model.pe import PEModelResult
+from repro.scheduling import ResourceBudget
+
+
+def make_info(src=None, n=512, wg=64, name="k"):
+    src = src or r"""
+    __kernel void k(__global const float* a, __global float* b, int n) {
+        int i = get_global_id(0);
+        if (i < n) b[i] = a[i] * 2.0f + 1.0f;
+    }
+    """
+    fn = compile_opencl(src).get(name)
+    return analyze_kernel(
+        fn,
+        {"a": Buffer("a", np.arange(n, dtype=np.float32)),
+         "b": Buffer("b", np.zeros(n, np.float32))},
+        {"n": n}, NDRange(n, wg), VIRTEX7)
+
+
+class TestEquation1:
+    def test_pipelined_work_group_latency(self):
+        """Eq. 1: L = II*(N-1) + D."""
+        info = make_info()
+        model = FlexCL(VIRTEX7)
+        p = model.predict(info, Design(64, True, 1, 1, 1, "pipeline"))
+        assert p.pe.latency_wg == p.pe.ii * 63 + p.pe.depth
+
+    def test_unpipelined_ii_equals_depth(self):
+        info = make_info()
+        model = FlexCL(VIRTEX7)
+        p = model.predict(info, Design(64, False, 1, 1, 1, "barrier"))
+        assert p.pe.ii == p.pe.depth
+
+
+class TestEquations5and6:
+    def _pe(self, ii=2.0, depth=20.0):
+        return PEModelResult(ii=ii, depth=depth,
+                             latency_wg=ii * 63 + depth)
+
+    def test_cu_latency_divides_by_npe(self):
+        info = make_info()
+        pe = self._pe()
+        cu1 = cu_model(info, VIRTEX7, pe, 1, 1, 64)
+        cu4 = cu_model(info, VIRTEX7, pe, 4, 1, 64)
+        assert cu4.latency_wg < cu1.latency_wg
+        assert cu4.n_pe <= 4
+
+    def test_npe_never_exceeds_p(self):
+        info = make_info()
+        pe = self._pe()
+        for p in (1, 2, 4, 8):
+            cu = cu_model(info, VIRTEX7, pe, p, 1, 64)
+            assert 1 <= cu.n_pe <= p
+
+    def test_port_bound_constrains(self):
+        # A kernel with heavy local traffic cannot use 8 PEs on 2 ports.
+        src = r"""
+        __kernel void heavy(__global const float* a, __global float* b) {
+            int lid = get_local_id(0);
+            int gid = get_global_id(0);
+            __local float t[64];
+            t[lid] = a[gid];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            float acc = 0.0f;
+            for (int k = 0; k < 16; k++) acc += t[(lid + k) % 64];
+            b[gid] = acc;
+        }
+        """
+        info = make_info(src, name="heavy")
+        pe = self._pe(ii=8.0)
+        cu = cu_model(info, VIRTEX7, pe, 8, 1, 64)
+        assert cu.n_pe < 8
+
+
+class TestEquations7and8:
+    def test_ncu_capped_by_dispatch(self):
+        """Eq. 8: short groups cannot keep many CUs busy."""
+        cu = CUModelResult(n_pe=1, latency_wg=50.0)
+        result = kernel_computation_model(
+            cu, num_cu=4, total_work_items=4096, wg_size=64,
+            schedule_overhead=40.0)
+        assert result.n_cu == min(4, math.ceil(50 / 40))
+
+    def test_long_groups_use_all_cus(self):
+        cu = CUModelResult(n_pe=1, latency_wg=4000.0)
+        result = kernel_computation_model(cu, 4, 4096, 64, 40.0)
+        assert result.n_cu == 4
+
+    def test_eq7_formula(self):
+        cu = CUModelResult(n_pe=1, latency_wg=1000.0)
+        result = kernel_computation_model(cu, 2, 1024, 64, 40.0)
+        rounds = math.ceil((1024 // 64) / result.n_cu)
+        assert result.latency == 1000.0 * rounds + 2 * 40.0
+
+
+class TestEquations10to12:
+    def _parts(self, lmem, ii=2.0, depth=20.0, n_pe=1, n_cu=1):
+        pe = PEModelResult(ii=ii, depth=depth, latency_wg=0)
+        cu = CUModelResult(n_pe=n_pe, latency_wg=0)
+        from repro.model.kernel import KernelModelResult
+        kernel = KernelModelResult(n_cu=n_cu, latency=5000.0,
+                                   num_groups=16)
+        mem = MemoryModelResult(latency_per_wi=lmem)
+        return pe, cu, kernel, mem
+
+    def test_barrier_mode_eq10(self):
+        pe, cu, kernel, mem = self._parts(lmem=10.0)
+        result = integrate("barrier", pe, cu, kernel, mem,
+                           total_work_items=1024, wg_size=64)
+        assert result.cycles == 10.0 * 1024 + 5000.0
+
+    def test_pipeline_mode_eq11_12(self):
+        pe, cu, kernel, mem = self._parts(lmem=10.0, ii=2.0, depth=20.0)
+        result = integrate("pipeline", pe, cu, kernel, mem, 1024, 64)
+        # II_wi = max(10, 2) = 10 (Eq. 12)
+        assert result.ii_wi == 10.0
+        per_group = 10.0 * 63 + 20.0
+        assert result.cycles == per_group * 16
+
+    def test_compute_bound_pipeline(self):
+        pe, cu, kernel, mem = self._parts(lmem=1.0, ii=6.0)
+        result = integrate("pipeline", pe, cu, kernel, mem, 1024, 64)
+        assert result.ii_wi == 6.0
+
+    def test_unknown_mode_rejected(self):
+        pe, cu, kernel, mem = self._parts(lmem=1.0)
+        with pytest.raises(ValueError):
+            integrate("quantum", pe, cu, kernel, mem, 1024, 64)
+
+
+class TestFlexCLTopLevel:
+    def test_prediction_fields(self):
+        info = make_info()
+        model = FlexCL(VIRTEX7)
+        p = model.predict(info, Design(64, True, 2, 2, 1, "pipeline"))
+        assert p.cycles > 0
+        assert p.seconds == pytest.approx(p.cycles / 200e6)
+        assert isinstance(p.bottleneck, str)
+
+    def test_wg_mismatch_rejected(self):
+        info = make_info(wg=64)
+        model = FlexCL(VIRTEX7)
+        with pytest.raises(ValueError):
+            model.predict(info, Design(128, True, 1, 1, 1, "pipeline"))
+
+    def test_pipelining_helps(self):
+        info = make_info()
+        model = FlexCL(VIRTEX7)
+        piped = model.predict(info, Design(64, True, 1, 1, 1, "barrier"))
+        serial = model.predict(info, Design(64, False, 1, 1, 1,
+                                            "barrier"))
+        assert piped.cycles < serial.cycles
+
+    def test_parallelism_helps_compute_bound(self):
+        src = r"""
+        __kernel void compute(__global const float* a,
+                              __global float* b) {
+            int i = get_global_id(0);
+            float x = a[i];
+            for (int k = 0; k < 16; k++) {
+                x = x * 1.5f + 0.5f;
+            }
+            b[i] = x;
+        }
+        """
+        info = make_info(src, name="compute")
+        model = FlexCL(VIRTEX7)
+        one = model.predict(info, Design(64, True, 1, 1, 1, "pipeline"))
+        four = model.predict(info, Design(64, True, 1, 4, 1, "pipeline"))
+        assert four.cycles < one.cycles
+
+    def test_ablation_switches_change_result(self):
+        info = make_info()
+        design = Design(64, True, 1, 1, 1, "barrier")
+        full = FlexCL(VIRTEX7).predict(info, design).cycles
+        no_coalesce = FlexCL(
+            VIRTEX7, model_coalescing=False).predict(info, design).cycles
+        assert no_coalesce > full    # uncoalesced memory costs more
+
+    def test_vectorization_modeled_as_pe(self):
+        """Footnote 1: vector width multiplies PE slots."""
+        d = Design(64, True, 2, 1, 2, "pipeline")
+        assert d.effective_pe_slots == 4
+
+
+class TestFeasibility:
+    def test_wg_must_divide(self):
+        info = make_info(n=512)
+        reason = check_feasibility(
+            info, Design(48, True, 1, 1, 1, "pipeline"), VIRTEX7)
+        assert reason is not None
+
+    def test_nopipe_streaming_infeasible(self):
+        info = make_info()
+        reason = check_feasibility(
+            info, Design(64, False, 1, 1, 1, "pipeline"), VIRTEX7)
+        assert reason is not None
+
+    def test_too_many_pe_slots(self):
+        info = make_info()
+        reason = check_feasibility(
+            info, Design(64, True, 8, 1, 16, "barrier"), VIRTEX7)
+        assert reason is not None
+
+    def test_reasonable_design_feasible(self):
+        info = make_info()
+        assert check_feasibility(
+            info, Design(64, True, 2, 2, 1, "pipeline"), VIRTEX7) is None

@@ -1,0 +1,85 @@
+"""Tests for the host↔device transfer model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_kernel
+from repro.devices import VIRTEX7
+from repro.dse import Design
+from repro.frontend import compile_opencl
+from repro.interp import Buffer, NDRange
+from repro.model import FlexCL
+from repro.model.pcie import (
+    DEFAULT_LINK,
+    PCIeLink,
+    buffer_bytes,
+    end_to_end,
+)
+
+
+class TestLink:
+    def test_zero_bytes_free(self):
+        assert DEFAULT_LINK.transfer_seconds(0) == 0.0
+
+    def test_setup_dominates_small_transfers(self):
+        t = DEFAULT_LINK.transfer_seconds(64)
+        assert t == pytest.approx(DEFAULT_LINK.dma_setup_us * 1e-6,
+                                  rel=0.01)
+
+    def test_bandwidth_dominates_large_transfers(self):
+        one_gb = DEFAULT_LINK.transfer_seconds(10**9)
+        expected = 1.0 / DEFAULT_LINK.effective_bandwidth_gbs
+        assert one_gb == pytest.approx(expected, rel=0.01)
+
+    def test_monotone(self):
+        assert DEFAULT_LINK.transfer_seconds(2**20) \
+            > DEFAULT_LINK.transfer_seconds(2**10)
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def prediction(self):
+        src = """
+        __kernel void k(__global const float* a, __global float* b,
+                        int n) {
+            int i = get_global_id(0);
+            if (i < n) b[i] = a[i] * 2.0f;
+        }
+        """
+        n = 1024
+        fn = compile_opencl(src).get("k")
+        info = analyze_kernel(
+            fn,
+            {"a": Buffer("a", np.ones(n, np.float32)),
+             "b": Buffer("b", np.zeros(n, np.float32))},
+            {"n": n}, NDRange(n, 64), VIRTEX7)
+        return FlexCL(VIRTEX7).predict(
+            info, Design(64, True, 1, 1, 1, "pipeline"))
+
+    def test_composition(self, prediction):
+        est = end_to_end(prediction, input_bytes=4096,
+                         output_bytes=4096)
+        assert est.total_seconds == pytest.approx(
+            est.host_to_device_seconds + est.kernel_seconds
+            + est.device_to_host_seconds)
+        assert 0.0 < est.transfer_share < 1.0
+
+    def test_small_kernels_are_transfer_dominated(self, prediction):
+        est = end_to_end(prediction, input_bytes=4096,
+                         output_bytes=4096)
+        # a 5-microsecond kernel behind two 12us DMA setups
+        assert est.transfer_share > 0.5
+
+    def test_faster_link_lowers_total(self, prediction):
+        slow = end_to_end(prediction, 10**8, 10**8,
+                          PCIeLink(effective_bandwidth_gbs=3.0))
+        fast = end_to_end(prediction, 10**8, 10**8,
+                          PCIeLink(effective_bandwidth_gbs=12.0))
+        assert fast.total_seconds < slow.total_seconds
+
+
+class TestBufferBytes:
+    def test_sums(self):
+        bufs = [Buffer("a", np.zeros(16, np.float32)),
+                Buffer("b", np.zeros(8, np.int32))]
+        assert buffer_bytes(bufs) == 16 * 4 + 8 * 4

@@ -1,0 +1,142 @@
+"""Property-based tests for the frontend and interpreter."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import compile_opencl
+from repro.frontend.lexer import Lexer
+from repro.interp import Buffer, KernelExecutor, NDRange
+from repro.interp.executor import _c_div, _c_rem, _mask_int
+from repro.ir.types import INT, UINT, common_type, parse_type_name
+
+int32 = st.integers(-(2**31), 2**31 - 1)
+nonzero32 = int32.filter(lambda v: v != 0)
+
+
+class TestLexerProperties:
+    @given(st.lists(st.sampled_from(
+        ["foo", "bar_3", "x", "if", "for", "42", "3.5f", "+", "==",
+         "<<", "(", ")", ";", "0xFF"]), max_size=30))
+    def test_lexing_never_crashes_on_valid_tokens(self, parts):
+        tokens = Lexer(" ".join(parts)).tokens()
+        assert tokens[-1].kind == "eof"
+
+    @given(st.integers(0, 2**31 - 1))
+    def test_int_literal_value_roundtrip(self, value):
+        tokens = Lexer(str(value)).tokens()
+        assert tokens[0].value == value
+
+    @given(st.floats(0.001, 1e6, allow_nan=False))
+    def test_float_literal_roundtrip(self, value):
+        text = repr(float(value))
+        tokens = Lexer(text).tokens()
+        assert tokens[0].kind == "float"
+        assert abs(tokens[0].value - value) <= 1e-9 * max(abs(value), 1)
+
+
+class TestTypeProperties:
+    names = st.sampled_from(["char", "uchar", "short", "ushort", "int",
+                             "uint", "long", "ulong", "float", "double"])
+
+    @given(names, names)
+    def test_common_type_commutative(self, a, b):
+        ta, tb = parse_type_name(a), parse_type_name(b)
+        assert common_type(ta, tb) == common_type(tb, ta)
+
+    @given(names)
+    def test_common_type_idempotent(self, a):
+        t = parse_type_name(a)
+        assert common_type(t, t) == t
+
+    @given(names, names)
+    def test_common_type_width(self, a, b):
+        ta, tb = parse_type_name(a), parse_type_name(b)
+        t = common_type(ta, tb)
+        assert t.bits >= min(ta.bits, tb.bits)
+
+
+class TestCSemantics:
+    @given(int32, nonzero32)
+    def test_div_rem_identity(self, a, b):
+        assert _c_div(a, b) * b + _c_rem(a, b) == a
+
+    @given(int32, nonzero32)
+    def test_rem_sign_follows_dividend(self, a, b):
+        r = _c_rem(a, b)
+        assert r == 0 or (r > 0) == (a > 0)
+
+    @given(st.integers(-(2**63), 2**63 - 1),
+           st.sampled_from([8, 16, 32, 64]),
+           st.booleans())
+    def test_mask_int_in_range(self, value, bits, signed):
+        masked = _mask_int(value, bits, signed)
+        if signed:
+            assert -(2 ** (bits - 1)) <= masked < 2 ** (bits - 1)
+        else:
+            assert 0 <= masked < 2 ** bits
+
+    @given(st.integers(0, 2**31 - 1), st.sampled_from([8, 16, 32]))
+    def test_mask_idempotent(self, value, bits):
+        once = _mask_int(value, bits, True)
+        assert _mask_int(once, bits, True) == once
+
+
+class TestInterpreterAgainstNumpy:
+    SAXPY = r"""
+    __kernel void saxpy(__global const float* x, __global float* y,
+                        float a, int n) {
+        int i = get_global_id(0);
+        if (i < n) y[i] = a * x[i] + y[i];
+    }
+    """
+
+    @given(st.integers(1, 6), st.floats(-10, 10, allow_nan=False,
+                                        width=32))
+    @settings(max_examples=15, deadline=None)
+    def test_saxpy_matches_numpy(self, groups, a):
+        n = groups * 16
+        rng = np.random.default_rng(groups)
+        x = rng.standard_normal(n).astype(np.float32)
+        y = rng.standard_normal(n).astype(np.float32)
+        expected = np.float32(a) * x + y
+        fn = compile_opencl(self.SAXPY).get("saxpy")
+        ex = KernelExecutor(fn, {"x": Buffer("x", x),
+                                 "y": Buffer("y", y)},
+                            {"a": float(np.float32(a)), "n": n})
+        ex.run(NDRange(n, 16))
+        np.testing.assert_allclose(y, expected, rtol=1e-5, atol=1e-5)
+
+    INTOPS = r"""
+    __kernel void intops(__global const int* a, __global const int* b,
+                         __global int* out, int n) {
+        int i = get_global_id(0);
+        if (i < n) {
+            out[i] = (a[i] + b[i]) * 3 - (a[i] >> 2) + (b[i] & 255);
+        }
+    }
+    """
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_intops_match_numpy(self, seed):
+        n = 32
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-1000, 1000, n).astype(np.int32)
+        b = rng.integers(-1000, 1000, n).astype(np.int32)
+        expected = ((a + b) * 3 - (a >> 2) + (b & 255)).astype(np.int32)
+        out = np.zeros(n, np.int32)
+        fn = compile_opencl(self.INTOPS).get("intops")
+        ex = KernelExecutor(fn, {"a": Buffer("a", a),
+                                 "b": Buffer("b", b),
+                                 "out": Buffer("out", out)}, {"n": n})
+        ex.run(NDRange(n, 16))
+        np.testing.assert_array_equal(out, expected)
+
+
+class TestNDRangeProperties:
+    @given(st.integers(1, 64), st.integers(1, 16))
+    def test_group_arithmetic(self, groups, wg):
+        nd = NDRange(groups * wg, wg)
+        assert nd.num_work_items == nd.num_work_groups \
+            * nd.work_group_size

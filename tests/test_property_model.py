@@ -1,0 +1,109 @@
+"""Property-based tests on model-level monotonicities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze_kernel
+from repro.devices import VIRTEX7
+from repro.dse import Design
+from repro.frontend import compile_opencl
+from repro.interp import Buffer, NDRange
+from repro.model import FlexCL
+from repro.model.kernel import kernel_computation_model
+from repro.model.cu import CUModelResult
+from repro.model.integrate import integrate
+from repro.model.memory import MemoryModelResult
+from repro.model.pe import PEModelResult
+
+
+MODEL = FlexCL(VIRTEX7)
+_INFO_CACHE = {}
+
+
+def info_for(n):
+    if n not in _INFO_CACHE:
+        src = """
+        __kernel void k(__global const float* a, __global float* b,
+                        int n) {
+            int i = get_global_id(0);
+            if (i < n) b[i] = a[i] * 2.0f + 1.0f;
+        }
+        """
+        fn = compile_opencl(src).get("k")
+        _INFO_CACHE[n] = analyze_kernel(
+            fn,
+            {"a": Buffer("a", np.ones(n, np.float32)),
+             "b": Buffer("b", np.zeros(n, np.float32))},
+            {"n": n}, NDRange(n, 64), VIRTEX7)
+    return _INFO_CACHE[n]
+
+
+class TestKernelModelProperties:
+    @given(st.integers(1, 64), st.floats(10.0, 10_000.0),
+           st.integers(1, 8))
+    def test_ncu_bounded(self, groups, latency, cus):
+        cu = CUModelResult(n_pe=1, latency_wg=latency)
+        result = kernel_computation_model(cu, cus, groups * 64, 64, 40.0)
+        assert 1 <= result.n_cu <= cus
+
+    @given(st.floats(10.0, 10_000.0), st.integers(1, 8))
+    def test_more_work_items_cost_more(self, latency, cus):
+        cu = CUModelResult(n_pe=1, latency_wg=latency)
+        small = kernel_computation_model(cu, cus, 1024, 64, 40.0)
+        large = kernel_computation_model(cu, cus, 4096, 64, 40.0)
+        assert large.latency >= small.latency
+
+
+class TestIntegrationProperties:
+    def _parts(self, lmem, ii, depth):
+        from repro.model.kernel import KernelModelResult
+        pe = PEModelResult(ii=ii, depth=depth, latency_wg=0)
+        cu = CUModelResult(n_pe=1, latency_wg=0)
+        kernel = KernelModelResult(n_cu=1, latency=1000.0, num_groups=4)
+        return pe, cu, kernel, MemoryModelResult(latency_per_wi=lmem)
+
+    @given(st.floats(0.0, 100.0), st.floats(1.0, 20.0),
+           st.floats(1.0, 200.0))
+    def test_eq12_ii_is_max(self, lmem, ii, depth):
+        pe, cu, kernel, mem = self._parts(lmem, ii, depth)
+        result = integrate("pipeline", pe, cu, kernel, mem, 256, 64)
+        assert result.ii_wi == max(lmem, ii)
+
+    @given(st.floats(0.1, 100.0), st.floats(1.0, 20.0))
+    def test_barrier_charges_memory_serially(self, lmem, ii):
+        """Eq. 10's memory term is exactly L_mem^wi x N_wi."""
+        pe, cu, kernel, mem = self._parts(lmem, ii, 30.0)
+        barrier = integrate("barrier", pe, cu, kernel, mem, 256, 64)
+        assert barrier.cycles == pytest.approx(
+            lmem * 256 + kernel.latency)
+
+    @given(st.floats(0.0, 50.0))
+    def test_memory_monotone(self, lmem):
+        pe, cu, kernel, mem_lo = self._parts(lmem, 2.0, 30.0)
+        *_, mem_hi = self._parts(lmem + 10.0, 2.0, 30.0)
+        lo = integrate("pipeline", pe, cu, kernel, mem_lo, 256, 64)
+        hi = integrate("pipeline", pe, cu, kernel, mem_hi, 256, 64)
+        assert hi.cycles >= lo.cycles
+
+
+class TestEndToEndProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(st.sampled_from([1, 2, 4]), st.sampled_from([1, 2, 4]))
+    def test_prediction_positive_everywhere(self, pe, cu):
+        info = info_for(1024)
+        design = Design(64, True, pe, cu, 1, "pipeline")
+        prediction = MODEL.predict(info, design)
+        assert prediction.cycles > 0
+        assert prediction.pe.ii >= 1.0
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.sampled_from([512, 1024, 2048]))
+    def test_cycles_scale_with_ndrange(self, n):
+        info_small = info_for(n)
+        info_large = info_for(n * 2)
+        design = Design(64, True, 1, 1, 1, "pipeline")
+        small = MODEL.predict(info_small, design).cycles
+        large = MODEL.predict(info_large, design).cycles
+        assert large > small

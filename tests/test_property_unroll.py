@@ -1,0 +1,62 @@
+"""Property-based tests: #pragma unroll must preserve semantics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import compile_opencl
+from repro.interp import Buffer, KernelExecutor, NDRange
+
+
+def run_sum_kernel(trip, factor, n=8):
+    """Each work-item sums `trip` elements; loop optionally unrolled."""
+    pragma = "" if factor is None else (
+        "#pragma unroll\n" if factor == 0
+        else f"#pragma unroll {factor}\n")
+    src = f"""
+    __kernel void k(__global const float* a, __global float* b, int n) {{
+        int i = get_global_id(0);
+        float acc = 0.0f;
+        {pragma}for (int j = 0; j < {trip}; j++) {{
+            acc += a[i * {trip} + j] * 2.0f;
+        }}
+        b[i] = acc;
+    }}
+    """
+    fn = compile_opencl(src).get("k")
+    rng = np.random.default_rng(trip * 31)   # data depends on trip only
+    a = rng.standard_normal(n * trip).astype(np.float32)
+    b = np.zeros(n, np.float32)
+    ex = KernelExecutor(fn, {"a": Buffer("a", a), "b": Buffer("b", b)},
+                        {"n": n})
+    ex.run(NDRange(n, n))
+    return a, b, fn
+
+
+class TestUnrollSemantics:
+    @given(st.integers(1, 12))
+    @settings(max_examples=12, deadline=None)
+    def test_full_unroll_matches_rolled(self, trip):
+        a1, b_rolled, _ = run_sum_kernel(trip, None)
+        a2, b_unrolled, fn = run_sum_kernel(trip, 0)
+        np.testing.assert_array_equal(a1, a2)
+        np.testing.assert_allclose(b_unrolled, b_rolled, rtol=1e-6)
+        assert not fn.loop_meta          # loop fully eliminated
+
+    @given(st.integers(1, 10), st.integers(1, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_partial_unroll_matches_rolled(self, trips_per_factor,
+                                           factor):
+        trip = trips_per_factor * factor
+        _, b_rolled, _ = run_sum_kernel(trip, None)
+        _, b_unrolled, _ = run_sum_kernel(trip, factor)
+        np.testing.assert_allclose(b_unrolled, b_rolled, rtol=1e-6)
+
+    @given(st.integers(2, 12), st.integers(2, 11))
+    @settings(max_examples=10, deadline=None)
+    def test_any_factor_is_safe(self, trip, factor):
+        """Even when the factor does not divide the trip count (the
+        transform refuses), results must match the rolled loop."""
+        _, b_rolled, _ = run_sum_kernel(trip, None)
+        _, b_unrolled, _ = run_sum_kernel(trip, factor)
+        np.testing.assert_allclose(b_unrolled, b_rolled, rtol=1e-6)

@@ -1,0 +1,51 @@
+"""Tests for the exploration report generator."""
+
+import pytest
+
+from repro.devices import VIRTEX7
+from repro.dse import DesignSpace, explore
+from repro.evaluation import make_analyzer
+from repro.model import FlexCL
+from repro.report import ReportOptions, exploration_report
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def report():
+    workload = get_workload("rodinia", "nn", "nn")
+    analyzer = make_analyzer(workload, VIRTEX7)
+    model = FlexCL(VIRTEX7)
+    space = DesignSpace(work_group_sizes=(64,), pe_counts=(1, 2),
+                        cu_counts=(1, 2), vector_widths=(1,))
+    result = explore(space, analyzer,
+                     lambda info, d: model.predict(info, d).cycles,
+                     VIRTEX7)
+    return exploration_report(result, analyzer, model,
+                              ReportOptions(top=3, title="nn report"))
+
+
+class TestReport:
+    def test_has_title_and_sections(self, report):
+        assert report.startswith("# nn report")
+        assert "## Kernel analysis" in report
+        assert "## Top designs" in report
+        assert "## Rejected configurations" in report
+
+    def test_top_table_has_rows(self, report):
+        lines = [l for l in report.splitlines()
+                 if l.startswith("| 1 |")]
+        assert len(lines) == 1
+        assert "wg64" in lines[0]
+
+    def test_counts_consistent(self, report):
+        assert "evaluated designs" in report
+        assert "feasible" in report
+
+    def test_rejection_reasons_listed(self, report):
+        assert "pipelined" in report or "datapath" in report \
+            or "work-group" in report
+
+    def test_is_valid_markdown_tables(self, report):
+        for line in report.splitlines():
+            if line.startswith("|"):
+                assert line.rstrip().endswith("|")

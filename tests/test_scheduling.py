@@ -1,0 +1,204 @@
+"""Unit tests for the schedulers: list scheduling, MII, SMS."""
+
+import math
+
+import pytest
+
+from repro.analysis.dfg import DataFlowGraph, build_block_dfg
+from repro.analysis.memtrace import Recurrence, TraceAnalysis
+from repro.frontend import compile_opencl
+from repro.ir.instructions import BinaryOp
+from repro.ir.types import FLOAT, INT
+from repro.ir.values import Constant, Register
+from repro.latency.optable import OpClass, OpLatencyTable
+from repro.scheduling import (
+    ResourceBudget,
+    compute_mii,
+    compute_rec_mii,
+    compute_res_mii,
+    list_schedule,
+    swing_modulo_schedule,
+)
+
+TABLE = OpLatencyTable()
+
+
+def synthetic_graph(spec):
+    """Build a DFG from (latency, op_class, deps) triples."""
+    graph = DataFlowGraph()
+    nodes = []
+    for latency, op_class, deps in spec:
+        inst = BinaryOp("add", Constant(INT, 0), Constant(INT, 0),
+                        Register(INT))
+        node = graph.add_node(inst, latency, op_class)
+        for dep in deps:
+            graph.add_edge(nodes[dep], node)
+        nodes.append(node)
+    return graph, nodes
+
+
+class TestListScheduler:
+    def test_chain_latency_is_sum(self):
+        graph, _ = synthetic_graph([
+            (2.0, OpClass.INT_ALU, []),
+            (3.0, OpClass.INT_ALU, [0]),
+            (4.0, OpClass.INT_ALU, [1]),
+        ])
+        result = list_schedule(graph, ResourceBudget())
+        assert result.latency == 9.0
+
+    def test_independent_ops_overlap(self):
+        graph, _ = synthetic_graph([
+            (5.0, OpClass.INT_ALU, []),
+            (5.0, OpClass.INT_ALU, []),
+        ])
+        result = list_schedule(graph, ResourceBudget())
+        assert result.latency == 5.0
+
+    def test_port_limit_serialises(self):
+        # 4 local reads with 1 read port: issue one per cycle.
+        graph, _ = synthetic_graph([
+            (2.0, OpClass.LOCAL_READ, []) for _ in range(4)
+        ])
+        budget = ResourceBudget(local_read_ports=1)
+        result = list_schedule(graph, budget)
+        # last read issues at cycle 3, finishes at 5
+        assert result.latency == 5.0
+
+    def test_two_ports_halve_the_serialisation(self):
+        graph, _ = synthetic_graph([
+            (2.0, OpClass.LOCAL_READ, []) for _ in range(4)
+        ])
+        result = list_schedule(graph, ResourceBudget(local_read_ports=2))
+        assert result.latency == 3.0
+
+    def test_dsp_occupancy_limit(self):
+        # Two float muls, DSP budget for one at a time.
+        graph, _ = synthetic_graph([
+            (4.0, OpClass.FMUL, []),
+            (4.0, OpClass.FMUL, []),
+        ])
+        budget = ResourceBudget(dsp_budget=3)   # one FMUL = 3 DSPs
+        result = list_schedule(graph, budget)
+        assert result.latency == 8.0
+
+    def test_empty_graph(self):
+        assert list_schedule(DataFlowGraph(), ResourceBudget()).latency \
+            == 0.0
+
+    def test_priority_prefers_critical_path(self):
+        # One long chain + one short op competing for a single port:
+        # the chain head must win the port.
+        graph, _ = synthetic_graph([
+            (2.0, OpClass.LOCAL_READ, []),     # feeds the chain
+            (10.0, OpClass.INT_ALU, [0]),
+            (2.0, OpClass.LOCAL_READ, []),     # independent short read
+        ])
+        budget = ResourceBudget(local_read_ports=1)
+        result = list_schedule(graph, budget)
+        assert result.start_of(graph.nodes[0]) == 0.0
+        assert result.latency == 12.0
+
+
+class TestResMII:
+    def test_eq4_read_bound(self):
+        budget = ResourceBudget(local_read_ports=2, local_write_ports=2)
+        mii = compute_res_mii(budget, local_reads_per_wi=8,
+                              local_writes_per_wi=1, dsp_cost_per_wi=0)
+        assert mii.res_mii_mem == 4.0     # ceil(8/2)
+
+    def test_eq4_write_bound_dominates(self):
+        budget = ResourceBudget(local_read_ports=4, local_write_ports=1)
+        mii = compute_res_mii(budget, 4, 3, 0)
+        assert mii.res_mii_mem == 3.0     # ceil(3/1) > ceil(4/4)
+
+    def test_dsp_bound(self):
+        budget = ResourceBudget(dsp_budget=10)
+        mii = compute_res_mii(budget, 0, 0, dsp_cost_per_wi=35)
+        assert mii.res_mii_dsp == 4.0     # ceil(35/10)
+
+    def test_minimum_is_one(self):
+        mii = compute_res_mii(ResourceBudget(), 0, 0, 0)
+        assert mii.mii == 1.0
+
+
+class TestRecMII:
+    def test_recurrence_bounds_ii(self):
+        # load -> compute(10) -> store, distance 2 => RecMII = ceil(12+/2)
+        graph, nodes = synthetic_graph([
+            (2.0, OpClass.LOCAL_READ, []),
+            (10.0, OpClass.INT_ALU, [0]),
+            (1.0, OpClass.LOCAL_WRITE, [1]),
+        ])
+        for i, node in enumerate(graph.nodes):
+            node.inst.site_id = i
+        rec = Recurrence(load_site=0, store_site=2, space="local",
+                         buffer="t", distance=2)
+        site_to_node = {i: n for i, n in enumerate(graph.nodes)}
+        rec_mii = compute_rec_mii(graph, [rec], site_to_node)
+        assert rec_mii == math.ceil(13 / 2)
+
+    def test_no_recurrence_gives_one(self):
+        graph, _ = synthetic_graph([(1.0, OpClass.INT_ALU, [])])
+        assert compute_rec_mii(graph, [], {}) == 1.0
+
+
+class TestSMS:
+    def test_ii_at_least_mii(self):
+        graph, _ = synthetic_graph([
+            (2.0, OpClass.LOCAL_READ, []) for _ in range(6)
+        ])
+        budget = ResourceBudget(local_read_ports=2)
+        result = swing_modulo_schedule(graph, budget, mii=3.0)
+        assert result.ii >= 3.0
+        assert result.feasible
+
+    def test_depth_at_least_critical_path(self):
+        graph, _ = synthetic_graph([
+            (2.0, OpClass.INT_ALU, []),
+            (3.0, OpClass.INT_ALU, [0]),
+            (4.0, OpClass.INT_ALU, [1]),
+        ])
+        result = swing_modulo_schedule(graph, ResourceBudget(), 1.0)
+        assert result.depth >= 9.0
+
+    def test_mrt_respected(self):
+        # 4 local reads, 1 port, II=4 must fit exactly one per slot.
+        graph, _ = synthetic_graph([
+            (2.0, OpClass.LOCAL_READ, []) for _ in range(4)
+        ])
+        budget = ResourceBudget(local_read_ports=1)
+        result = swing_modulo_schedule(graph, budget, mii=4.0)
+        assert result.ii == 4.0
+        slots = [int(result.start_times[i]) % 4 for i in range(4)]
+        assert sorted(slots) == [0, 1, 2, 3]
+
+    def test_empty_graph(self):
+        result = swing_modulo_schedule(DataFlowGraph(), ResourceBudget(),
+                                       2.0)
+        assert result.ii == 2.0
+
+    def test_dependence_constraints_hold(self):
+        graph, _ = synthetic_graph([
+            (3.0, OpClass.INT_ALU, []),
+            (2.0, OpClass.INT_ALU, [0]),
+            (5.0, OpClass.INT_ALU, [0, 1]),
+        ])
+        result = swing_modulo_schedule(graph, ResourceBudget(), 1.0)
+        starts = result.start_times
+        assert starts[1] >= starts[0] + 3.0
+        assert starts[2] >= starts[1] + 2.0
+
+
+class TestOnRealKernel:
+    def test_block_scheduling_on_compiled_kernel(self):
+        fn = compile_opencl("""
+        __kernel void k(__global float* a, int n) {
+            int i = get_global_id(0);
+            if (i < n) a[i] = a[i] * 2.0f + 1.0f;
+        }""").get("k")
+        budget = ResourceBudget()
+        for block in fn.reachable_blocks():
+            dfg = build_block_dfg(block, TABLE)
+            result = list_schedule(dfg, budget)
+            assert result.latency >= 0.0

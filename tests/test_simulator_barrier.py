@@ -1,0 +1,76 @@
+"""Focused tests for the simulator's barrier-communication mode
+(global phase alternation, §3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_kernel
+from repro.devices import VIRTEX7
+from repro.dse import Design
+from repro.frontend import compile_opencl
+from repro.interp import Buffer, NDRange
+from repro.model import FlexCL
+from repro.simulator import SystemRun
+
+
+def make_info(n=2048, wg=64):
+    src = """
+    __kernel void k(__global const float* a, __global float* b, int n) {
+        int i = get_global_id(0);
+        if (i < n) b[i] = a[i] * 2.0f + 1.0f;
+    }
+    """
+    fn = compile_opencl(src).get("k")
+    return analyze_kernel(
+        fn,
+        {"a": Buffer("a", np.arange(n, dtype=np.float32)),
+         "b": Buffer("b", np.zeros(n, np.float32))},
+        {"n": n}, NDRange(n, wg), VIRTEX7)
+
+
+class TestBarrierMode:
+    def test_deterministic(self):
+        info = make_info()
+        sim = SystemRun(VIRTEX7)
+        d = Design(64, True, 1, 2, 1, "barrier")
+        assert sim.run(info, d).cycles == sim.run(info, d).cycles
+
+    def test_transfers_do_not_scale_with_cu(self):
+        """Eq. 10: the memory phase is serial across the kernel, so CU
+        replication only accelerates the compute share."""
+        info = make_info()
+        sim = SystemRun(VIRTEX7)
+        one = sim.run(info, Design(64, True, 1, 1, 1, "barrier")).cycles
+        four = sim.run(info, Design(64, True, 1, 4, 1, "barrier")).cycles
+        # some improvement (parallel compute) but far from 4x
+        assert four <= one
+        assert four > one / 3.0
+
+    def test_matches_eq10_closely(self):
+        """Under the phase-alternation reading Eq. 10 should track the
+        simulator within the usual band."""
+        info = make_info()
+        model = FlexCL(VIRTEX7)
+        sim = SystemRun(VIRTEX7)
+        for cu in (1, 2, 4):
+            d = Design(64, True, 1, cu, 1, "barrier")
+            pred = model.predict(info, d).cycles
+            act = sim.run(info, d).cycles
+            assert abs(pred - act) / act < 0.35, (cu, pred, act)
+
+    def test_request_count_reported(self):
+        info = make_info()
+        rep = SystemRun(VIRTEX7).run(
+            info, Design(64, True, 1, 1, 1, "barrier"))
+        assert rep.memory_requests > 0
+        assert rep.groups == info.num_work_groups
+
+    def test_extrapolation_consistent(self):
+        info = make_info(n=8192)
+        d = Design(64, True, 1, 2, 1, "barrier")
+        capped = SystemRun(VIRTEX7)
+        full = SystemRun(VIRTEX7)
+        full.MAX_SIMULATED_GROUPS = 10_000
+        a = capped.run(info, d).cycles
+        b = full.run(info, d).cycles
+        assert a == pytest.approx(b, rel=0.15)

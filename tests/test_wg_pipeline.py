@@ -1,0 +1,103 @@
+"""Tests for the work-group pipelining optimisation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_kernel
+from repro.devices import VIRTEX7
+from repro.dse import Design, DesignSpace, check_feasibility
+from repro.frontend import compile_opencl
+from repro.interp import Buffer, NDRange
+from repro.model import FlexCL
+from repro.simulator import SystemRun
+
+
+def make_info(src=None, name="k", n=2048, wg=64):
+    src = src or """
+    __kernel void k(__global const float* a, __global float* b, int n) {
+        int i = get_global_id(0);
+        if (i < n) b[i] = a[i] * 2.0f + 1.0f;
+    }
+    """
+    fn = compile_opencl(src).get(name)
+    return analyze_kernel(
+        fn,
+        {"a": Buffer("a", np.arange(n, dtype=np.float32)),
+         "b": Buffer("b", np.zeros(n, np.float32))},
+        {"n": n}, NDRange(n, wg), VIRTEX7)
+
+
+BARRIER_SRC = """
+__kernel void k(__global const float* a, __global float* b, int n) {
+    int i = get_global_id(0);
+    __local float t[64];
+    t[get_local_id(0)] = a[i];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (i < n) b[i] = t[get_local_id(0)];
+}
+"""
+
+
+class TestFeasibility:
+    def test_requires_work_item_pipeline(self):
+        info = make_info()
+        d = Design(64, False, 1, 1, 1, "barrier",
+                   work_group_pipeline=True)
+        assert check_feasibility(info, d, VIRTEX7) is not None
+
+    def test_rejected_for_barrier_kernels(self):
+        info = make_info(BARRIER_SRC)
+        d = Design(64, True, 1, 1, 1, "pipeline",
+                   work_group_pipeline=True)
+        reason = check_feasibility(info, d, VIRTEX7)
+        assert reason is not None
+        assert "local" in reason or "synchronise" in reason
+
+    def test_allowed_for_plain_kernels(self):
+        info = make_info()
+        d = Design(64, True, 1, 1, 1, "pipeline",
+                   work_group_pipeline=True)
+        assert check_feasibility(info, d, VIRTEX7) is None
+
+
+class TestModelEffect:
+    def test_streaming_removes_per_group_drain(self):
+        info = make_info()
+        model = FlexCL(VIRTEX7)
+        base = Design(64, True, 1, 1, 1, "pipeline")
+        streamed = Design(64, True, 1, 1, 1, "pipeline",
+                          work_group_pipeline=True)
+        assert model.predict(info, streamed).cycles \
+            < model.predict(info, base).cycles
+
+    def test_simulator_agrees_on_direction(self):
+        info = make_info()
+        sim = SystemRun(VIRTEX7)
+        base = Design(64, True, 1, 1, 1, "pipeline")
+        streamed = Design(64, True, 1, 1, 1, "pipeline",
+                          work_group_pipeline=True)
+        assert sim.run(info, streamed).cycles \
+            <= sim.run(info, base).cycles
+
+    def test_model_tracks_simulator(self):
+        info = make_info()
+        model = FlexCL(VIRTEX7)
+        sim = SystemRun(VIRTEX7)
+        d = Design(64, True, 2, 2, 1, "pipeline",
+                   work_group_pipeline=True)
+        pred = model.predict(info, d).cycles
+        act = sim.run(info, d).cycles
+        assert abs(pred - act) / act < 0.5
+
+
+class TestSpace:
+    def test_space_includes_wg_pipeline(self):
+        space = DesignSpace()
+        options = {d.work_group_pipeline for d in space}
+        assert options == {True, False}
+
+    def test_signature_distinguishes(self):
+        a = Design(64, True, 1, 1, 1, "pipeline")
+        b = Design(64, True, 1, 1, 1, "pipeline",
+                   work_group_pipeline=True)
+        assert a.signature() != b.signature()

@@ -1,0 +1,79 @@
+"""Tests for the Workload abstraction itself."""
+
+import numpy as np
+import pytest
+
+from repro.interp import Buffer
+from repro.workloads.base import Workload, WorkloadRegistry, rng
+
+SRC = """
+__kernel void double_it(__global const float* a, __global float* b,
+                        int n) {
+    int i = get_global_id(0);
+    if (i < n) b[i] = a[i] * 2.0f;
+}
+"""
+
+
+def make_workload(reference="good"):
+    def buffers():
+        return {"a": Buffer("a", np.arange(64, dtype=np.float32)),
+                "b": Buffer("b", np.zeros(64, np.float32))}
+
+    def good_ref(inputs):
+        return {"b": inputs["a"] * 2.0}
+
+    def bad_ref(inputs):
+        return {"b": inputs["a"] * 3.0}
+
+    ref = {"good": good_ref, "bad": bad_ref, None: None}[reference]
+    return Workload(suite="test", benchmark="demo", kernel="double_it",
+                    source=SRC, global_size=64, default_local_size=16,
+                    make_buffers=buffers, scalars={"n": 64},
+                    reference=ref)
+
+
+class TestWorkload:
+    def test_module_cached(self):
+        w = make_workload()
+        assert w.module() is w.module()
+
+    def test_qualified_name(self):
+        assert make_workload().qualified_name == "test/demo/double_it"
+
+    def test_reference_check_passes(self):
+        assert make_workload().run_reference_check()
+
+    def test_reference_check_catches_mismatch(self):
+        w = make_workload("bad")
+        with pytest.raises(AssertionError):
+            w.run_reference_check()
+
+    def test_no_reference_is_trivially_true(self):
+        assert make_workload(None).run_reference_check()
+
+    def test_ndrange_uses_default_local(self):
+        nd = make_workload().ndrange()
+        assert nd.work_group_size == 16
+
+    def test_valid_wg_sizes_divide(self):
+        sizes = make_workload().valid_work_group_sizes()
+        assert sizes == (16, 32, 64)
+
+    def test_rng_deterministic(self):
+        assert np.array_equal(rng(7).random(4), rng(7).random(4))
+
+
+class TestRegistry:
+    def test_add_get_iter(self):
+        reg = WorkloadRegistry()
+        w = make_workload()
+        reg.add(w)
+        assert len(reg) == 1
+        assert reg.get("demo", "double_it") is w
+        assert list(reg) == [w]
+        assert reg.benchmarks() == ["demo"]
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            WorkloadRegistry().get("nope", "nope")

