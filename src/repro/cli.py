@@ -7,6 +7,7 @@
         [--device virtex7] [--simulate]
     python -m repro explore KERNEL.cl --kernel saxpy --global-size 4096
         [--top 5] [--device virtex7]
+    python -m repro lint KERNEL.cl [--json] [--check ID] [--kernel saxpy]
     python -m repro workloads [--suite rodinia]
     python -m repro patterns [--device virtex7]
 
@@ -79,6 +80,55 @@ def _analyze(args, wg: Optional[int] = None):
     return fn, info, device
 
 
+def _print_diagnostics(fn, source: str) -> None:
+    """Lint *fn* and print any findings under a ``diagnostics:`` header."""
+    from repro.lint import lint_function
+    diags = lint_function(fn)
+    if not diags:
+        return
+    name = Path(source).name
+    print("diagnostics:")
+    for d in diags:
+        print(f"  {d.format(name)}")
+
+
+def cmd_lint(args) -> int:
+    """Run the `lint` subcommand: static diagnostics, no execution."""
+    import json
+
+    from repro.lint import Severity, lint_source
+
+    try:
+        source = Path(args.source).read_text()
+    except OSError as exc:
+        print(f"error: cannot read {args.source}: {exc.strerror}",
+              file=sys.stderr)
+        return 2
+    try:
+        diags = lint_source(source, name=Path(args.source).stem,
+                            checks=args.check or None)
+    except ValueError as exc:   # unknown --check id
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.kernel:
+        diags = [d for d in diags if d.function in ("", args.kernel)]
+    if args.json:
+        payload = {"source": str(args.source),
+                   "diagnostics": [d.to_dict() for d in diags]}
+        print(json.dumps(payload, indent=2))
+    else:
+        name = Path(args.source).name
+        for d in diags:
+            print(d.format(name))
+        counts = {sev: sum(d.severity is sev for d in diags)
+                  for sev in Severity}
+        print(f"{len(diags)} diagnostic(s): "
+              f"{counts[Severity.ERROR]} error(s), "
+              f"{counts[Severity.WARNING]} warning(s), "
+              f"{counts[Severity.NOTE]} note(s)")
+    return 1 if any(d.severity is Severity.ERROR for d in diags) else 0
+
+
 def cmd_predict(args) -> int:
     """Run the `predict` subcommand: model one design point."""
     from repro.dse import Design, check_feasibility
@@ -117,6 +167,7 @@ def cmd_predict(args) -> int:
         err = abs(prediction.cycles - actual.cycles) / actual.cycles
         print(f"simulated: {actual.cycles:,.0f} cycles "
               f"(model error {err:.1%})")
+    _print_diagnostics(fn, args.source)
     return 0
 
 
@@ -125,7 +176,7 @@ def cmd_explore(args) -> int:
     from repro.dse import DesignSpace, explore
     from repro.model import FlexCL
 
-    _, _, device = _analyze(args)   # validates source; device reused
+    fn, _, device = _analyze(args)   # validates source; device reused
 
     def analyzer(wg):
         try:
@@ -145,6 +196,7 @@ def cmd_explore(args) -> int:
     print(f"\ntop {args.top}:")
     for entry in feasible[:args.top]:
         print(f"  {entry.design!s:<46} {entry.cycles:>12,.0f} cycles")
+    _print_diagnostics(fn, args.source)
     return 0
 
 
@@ -210,6 +262,17 @@ def build_parser() -> argparse.ArgumentParser:
     add_kernel_args(p)
     p.add_argument("--top", type=int, default=5)
     p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser("lint", help="static kernel diagnostics "
+                                    "(no execution)")
+    p.add_argument("source", help="OpenCL .cl source file")
+    p.add_argument("--kernel", help="restrict diagnostics to one kernel")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON output")
+    p.add_argument("--check", action="append", metavar="ID",
+                   help="run only this check id (repeatable); see "
+                        "docs/LINT.md for the list")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("workloads", help="list bundled benchmarks")
     p.add_argument("--suite", choices=["rodinia", "polybench"])

@@ -11,6 +11,12 @@ class Node:
     """Base class carrying the source location."""
 
     line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+    @property
+    def span(self) -> Tuple[int, int]:
+        """``(line, col)`` of the token that introduced this node."""
+        return (self.line, self.col)
 
 
 # -- expressions ----------------------------------------------------------
@@ -100,6 +106,7 @@ class Declarator:
     array_size: Optional[Expr] = None
     init: Optional[Expr] = None
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -185,6 +192,7 @@ class ParamDecl:
     pointer_depth: int = 0
     is_const: bool = False
     line: int = 0
+    col: int = 0
 
 
 @dataclass

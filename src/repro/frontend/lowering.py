@@ -142,6 +142,7 @@ class _FunctionLowering:
 
         # Parameters get private slots, Clang -O0 style.
         for arg, param in zip(fn.args, kast.params):
+            self.builder.set_span(param.line, param.col)
             slot_ptr = self.builder.alloca(arg.type, AddressSpace.PRIVATE,
                                            name=param.name)
             self.builder.store(arg, slot_ptr)
@@ -169,6 +170,8 @@ class _FunctionLowering:
     # -- statements ----------------------------------------------------------
 
     def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        if stmt is not None and getattr(stmt, "line", 0):
+            self.builder.set_span(stmt.line, stmt.col)
         if isinstance(stmt, ast.CompoundStmt):
             self.scope = _Scope(self.scope)
             for s in stmt.body:
@@ -449,6 +452,8 @@ class _FunctionLowering:
     # -- expressions ---------------------------------------------------------
 
     def _lower_expr(self, expr: ast.Expr) -> Tuple[Value, Type]:
+        if expr.line:
+            self.builder.set_span(expr.line, expr.col)
         if isinstance(expr, ast.IntLiteral):
             return Constant(INT, expr.value), INT
         if isinstance(expr, ast.FloatLiteral):
@@ -467,6 +472,8 @@ class _FunctionLowering:
             return self._lower_call(expr)
         if isinstance(expr, ast.IndexExpr):
             ptr, elem = self._lower_lvalue(expr)
+            if expr.line:
+                self.builder.set_span(expr.line, expr.col)
             return self.builder.load(ptr), elem
         if isinstance(expr, ast.CastExpr):
             return self._lower_cast(expr)
@@ -510,6 +517,8 @@ class _FunctionLowering:
                 raise LoweringError(
                     f"line {expr.line}: indexing a non-pointer ({btype})")
             index, itype = self._lower_expr(expr.index)
+            if expr.line:
+                self.builder.set_span(expr.line, expr.col)
             ptr = self.builder.gep(base, index)
             return ptr, btype.pointee
         if isinstance(expr, ast.UnaryExpr) and expr.op == "*":
@@ -677,6 +686,8 @@ class _FunctionLowering:
                 value = self.builder.binop(op, old_c, val_c, result_type)
                 vtype = result_type
         value = self._convert(value, vtype, target_type)
+        if expr.line:
+            self.builder.set_span(expr.line, expr.col)
         self.builder.store(value, ptr)
         return value, target_type
 

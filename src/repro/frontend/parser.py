@@ -93,7 +93,7 @@ class Parser:
         return unit
 
     def _parse_function(self) -> ast.FunctionDef:
-        line = self._peek().line
+        start = self._peek()
         is_kernel = False
         reqd_wgs = None
         # Leading qualifiers and attributes, in any order.
@@ -126,7 +126,7 @@ class Parser:
                 reqd_wgs = reqd
         body = self._parse_compound()
         return ast.FunctionDef(
-            line=line, name=name, return_type=ret_type,
+            line=start.line, col=start.col, name=name, return_type=ret_type,
             return_pointer_depth=ret_ptr, params=params, body=body,
             is_kernel=is_kernel, reqd_work_group_size=reqd_wgs)
 
@@ -136,7 +136,6 @@ class Parser:
         self._expect("op", "(")
         self._expect("op", "(")
         result = None
-        depth = 0
         name = self._expect("id").text
         if self._accept("op", "("):
             args: List[int] = []
@@ -144,8 +143,6 @@ class Parser:
                 tok = self._next()
                 if tok.kind == "int":
                     args.append(int(tok.value))
-                if self._check("op", "("):
-                    depth += 1
             self._expect("op", ")")
             if name == "reqd_work_group_size" and len(args) == 3:
                 result = tuple(args)
@@ -154,7 +151,7 @@ class Parser:
         return result
 
     def _parse_param(self) -> ast.ParamDecl:
-        line = self._peek().line
+        start = self._peek()
         space = "private"
         is_const = False
         while True:
@@ -185,7 +182,7 @@ class Parser:
             space = "global"
         return ast.ParamDecl(type_name=type_name, name=name, space=space,
                              pointer_depth=ptr_depth, is_const=is_const,
-                             line=line)
+                             line=start.line, col=start.col)
 
     def _parse_type_prefix(self):
         type_name = self._parse_type_name()
@@ -230,7 +227,7 @@ class Parser:
     # -- statements ------------------------------------------------------
 
     def _parse_compound(self) -> ast.CompoundStmt:
-        line = self._expect("op", "{").line
+        brace = self._expect("op", "{")
         body: List[ast.Stmt] = []
         pending_pragmas: List[str] = []
         while not self._check("op", "}"):
@@ -244,7 +241,7 @@ class Parser:
             pending_pragmas = []
             body.append(stmt)
         self._expect("op", "}")
-        return ast.CompoundStmt(line=line, body=body)
+        return ast.CompoundStmt(line=brace.line, col=brace.col, body=body)
 
     def _parse_statement(self) -> ast.Stmt:
         tok = self._peek()
@@ -252,7 +249,7 @@ class Parser:
             return self._parse_compound()
         if tok.kind == "op" and tok.text == ";":
             self._next()
-            return ast.ExprStmt(line=tok.line, expr=None)
+            return ast.ExprStmt(line=tok.line, col=tok.col, expr=None)
         if tok.kind == "keyword":
             if tok.text == "if":
                 return self._parse_if()
@@ -268,20 +265,20 @@ class Parser:
                 if not self._check("op", ";"):
                     value = self._parse_expression()
                 self._expect("op", ";")
-                return ast.ReturnStmt(line=tok.line, value=value)
+                return ast.ReturnStmt(line=tok.line, col=tok.col, value=value)
             if tok.text == "break":
                 self._next()
                 self._expect("op", ";")
-                return ast.BreakStmt(line=tok.line)
+                return ast.BreakStmt(line=tok.line, col=tok.col)
             if tok.text == "continue":
                 self._next()
                 self._expect("op", ";")
-                return ast.ContinueStmt(line=tok.line)
+                return ast.ContinueStmt(line=tok.line, col=tok.col)
         if self._starts_declaration():
             return self._parse_declaration()
         expr = self._parse_expression()
         self._expect("op", ";")
-        return ast.ExprStmt(line=tok.line, expr=expr)
+        return ast.ExprStmt(line=tok.line, col=tok.col, expr=expr)
 
     def _starts_declaration(self) -> bool:
         tok = self._peek()
@@ -299,7 +296,7 @@ class Parser:
         return False
 
     def _parse_declaration(self) -> ast.DeclStmt:
-        line = self._peek().line
+        start = self._peek()
         space = "private"
         while True:
             tok = self._peek()
@@ -332,21 +329,23 @@ class Parser:
                     extra = self._parse_expression()
                     self._expect("op", "]")
                     array_size = ast.BinaryExpr(
-                        line=name_tok.line, op="*", lhs=array_size, rhs=extra)
+                        line=name_tok.line, col=name_tok.col, op="*",
+                        lhs=array_size, rhs=extra)
             init = None
             if self._accept("op", "="):
                 init = self._parse_assignment()
             declarators.append(ast.Declarator(
                 name=name_tok.text, array_size=array_size, init=init,
-                line=name_tok.line))
+                line=name_tok.line, col=name_tok.col))
             if not self._accept("op", ","):
                 break
         self._expect("op", ";")
-        return ast.DeclStmt(line=line, type_name=type_name, space=space,
+        return ast.DeclStmt(line=start.line, col=start.col,
+                            type_name=type_name, space=space,
                             pointer_depth=ptr_depth, declarators=declarators)
 
     def _parse_if(self) -> ast.IfStmt:
-        line = self._expect("keyword", "if").line
+        kw = self._expect("keyword", "if")
         self._expect("op", "(")
         cond = self._parse_expression()
         self._expect("op", ")")
@@ -354,10 +353,11 @@ class Parser:
         els = None
         if self._accept("keyword", "else"):
             els = self._parse_statement()
-        return ast.IfStmt(line=line, cond=cond, then=then, els=els)
+        return ast.IfStmt(line=kw.line, col=kw.col, cond=cond, then=then,
+                          els=els)
 
     def _parse_for(self) -> ast.ForStmt:
-        line = self._expect("keyword", "for").line
+        kw = self._expect("keyword", "for")
         self._expect("op", "(")
         init: Optional[ast.Stmt] = None
         if not self._check("op", ";"):
@@ -366,7 +366,7 @@ class Parser:
             else:
                 expr = self._parse_expression()
                 self._expect("op", ";")
-                init = ast.ExprStmt(line=line, expr=expr)
+                init = ast.ExprStmt(line=kw.line, col=kw.col, expr=expr)
         else:
             self._next()
         cond = None
@@ -378,26 +378,27 @@ class Parser:
             step = self._parse_expression()
         self._expect("op", ")")
         body = self._parse_statement()
-        return ast.ForStmt(line=line, init=init, cond=cond, step=step,
-                           body=body)
+        return ast.ForStmt(line=kw.line, col=kw.col, init=init, cond=cond,
+                           step=step, body=body)
 
     def _parse_while(self) -> ast.WhileStmt:
-        line = self._expect("keyword", "while").line
+        kw = self._expect("keyword", "while")
         self._expect("op", "(")
         cond = self._parse_expression()
         self._expect("op", ")")
         body = self._parse_statement()
-        return ast.WhileStmt(line=line, cond=cond, body=body)
+        return ast.WhileStmt(line=kw.line, col=kw.col, cond=cond, body=body)
 
     def _parse_do_while(self) -> ast.DoWhileStmt:
-        line = self._expect("keyword", "do").line
+        kw = self._expect("keyword", "do")
         body = self._parse_statement()
         self._expect("keyword", "while")
         self._expect("op", "(")
         cond = self._parse_expression()
         self._expect("op", ")")
         self._expect("op", ";")
-        return ast.DoWhileStmt(line=line, body=body, cond=cond)
+        return ast.DoWhileStmt(line=kw.line, col=kw.col, body=body,
+                               cond=cond)
 
     # -- expressions -----------------------------------------------------
 
@@ -407,7 +408,8 @@ class Parser:
         while self._check("op", ",") and self._comma_is_operator():
             self._next()
             rhs = self._parse_assignment()
-            expr = ast.BinaryExpr(line=expr.line, op=",", lhs=expr, rhs=rhs)
+            expr = ast.BinaryExpr(line=expr.line, col=expr.col, op=",",
+                                  lhs=expr, rhs=rhs)
         return expr
 
     def _comma_is_operator(self) -> bool:
@@ -421,8 +423,8 @@ class Parser:
         if tok.kind == "op" and tok.text in _ASSIGN_OPS:
             self._next()
             rhs = self._parse_assignment()
-            return ast.AssignExpr(line=tok.line, op=tok.text, target=lhs,
-                                  value=rhs)
+            return ast.AssignExpr(line=tok.line, col=tok.col, op=tok.text,
+                                  target=lhs, value=rhs)
         return lhs
 
     def _parse_ternary(self) -> ast.Expr:
@@ -431,8 +433,8 @@ class Parser:
             then = self._parse_assignment()
             self._expect("op", ":")
             els = self._parse_assignment()
-            return ast.TernaryExpr(line=cond.line, cond=cond, then=then,
-                                   els=els)
+            return ast.TernaryExpr(line=cond.line, col=cond.col, cond=cond,
+                                   then=then, els=els)
         return cond
 
     def _parse_binary(self, min_prec: int) -> ast.Expr:
@@ -446,7 +448,8 @@ class Parser:
                 return lhs
             self._next()
             rhs = self._parse_binary(prec + 1)
-            lhs = ast.BinaryExpr(line=tok.line, op=tok.text, lhs=lhs, rhs=rhs)
+            lhs = ast.BinaryExpr(line=tok.line, col=tok.col, op=tok.text,
+                                 lhs=lhs, rhs=rhs)
 
     def _parse_unary(self) -> ast.Expr:
         tok = self._peek()
@@ -455,19 +458,20 @@ class Parser:
             operand = self._parse_unary()
             if tok.text == "+":
                 return operand
-            return ast.UnaryExpr(line=tok.line, op=tok.text, operand=operand)
+            return ast.UnaryExpr(line=tok.line, col=tok.col, op=tok.text,
+                                 operand=operand)
         if tok.kind == "op" and tok.text in ("++", "--"):
             self._next()
             operand = self._parse_unary()
-            return ast.UnaryExpr(line=tok.line, op=tok.text, operand=operand,
-                                 postfix=False)
+            return ast.UnaryExpr(line=tok.line, col=tok.col, op=tok.text,
+                                 operand=operand, postfix=False)
         if tok.kind == "keyword" and tok.text == "sizeof":
             self._next()
             self._expect("op", "(")
             from repro.ir.types import parse_type_name
             name = self._parse_type_name()
             self._expect("op", ")")
-            return ast.IntLiteral(line=tok.line,
+            return ast.IntLiteral(line=tok.line, col=tok.col,
                                   value=parse_type_name(name).bytes)
         # Cast: '(' type ')' unary
         if tok.kind == "op" and tok.text == "(" and self._looks_like_type(1):
@@ -482,7 +486,8 @@ class Parser:
                     ptr += 1
                 if self._accept("op", ")"):
                     operand = self._parse_unary()
-                    return ast.CastExpr(line=tok.line, type_name=type_name,
+                    return ast.CastExpr(line=tok.line, col=tok.col,
+                                        type_name=type_name,
                                         pointer_depth=ptr, operand=operand)
             except ParseError:
                 pass
@@ -497,7 +502,8 @@ class Parser:
                 self._next()
                 index = self._parse_expression()
                 self._expect("op", "]")
-                expr = ast.IndexExpr(line=tok.line, base=expr, index=index)
+                expr = ast.IndexExpr(line=tok.line, col=tok.col, base=expr,
+                                     index=index)
             elif tok.kind == "op" and tok.text == "(":
                 if not isinstance(expr, ast.Identifier):
                     raise ParseError("can only call named functions", tok)
@@ -509,26 +515,30 @@ class Parser:
                         if not self._accept("op", ","):
                             break
                 self._expect("op", ")")
-                expr = ast.CallExpr(line=tok.line, callee=expr.name, args=args)
+                expr = ast.CallExpr(line=tok.line, col=tok.col,
+                                    callee=expr.name, args=args)
             elif tok.kind == "op" and tok.text in ("++", "--"):
                 self._next()
-                expr = ast.UnaryExpr(line=tok.line, op=tok.text, operand=expr,
-                                     postfix=True)
+                expr = ast.UnaryExpr(line=tok.line, col=tok.col, op=tok.text,
+                                     operand=expr, postfix=True)
             elif tok.kind == "op" and tok.text == ".":
                 self._next()
                 member = self._expect("id").text
-                expr = ast.MemberExpr(line=tok.line, base=expr, member=member)
+                expr = ast.MemberExpr(line=tok.line, col=tok.col, base=expr,
+                                      member=member)
             else:
                 return expr
 
     def _parse_primary(self) -> ast.Expr:
         tok = self._next()
         if tok.kind == "int":
-            return ast.IntLiteral(line=tok.line, value=int(tok.value))
+            return ast.IntLiteral(line=tok.line, col=tok.col,
+                                  value=int(tok.value))
         if tok.kind == "float":
-            return ast.FloatLiteral(line=tok.line, value=float(tok.value))
+            return ast.FloatLiteral(line=tok.line, col=tok.col,
+                                    value=float(tok.value))
         if tok.kind == "id":
-            return ast.Identifier(line=tok.line, name=tok.text)
+            return ast.Identifier(line=tok.line, col=tok.col, name=tok.text)
         if tok.kind == "op" and tok.text == "(":
             expr = self._parse_expression()
             self._expect("op", ")")

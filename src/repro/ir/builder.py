@@ -35,10 +35,16 @@ class IRBuilder:
     def __init__(self, function: Function) -> None:
         self.function = function
         self.block: Optional[BasicBlock] = None
+        #: current source span ``(line, col)``; stamped onto every
+        #: appended instruction so diagnostics can point into the source
+        self.span = None
 
     def set_block(self, block: BasicBlock) -> BasicBlock:
         self.block = block
         return block
+
+    def set_span(self, line: int, col: int = 0) -> None:
+        self.span = (line, col) if line else None
 
     def new_block(self, name: str) -> BasicBlock:
         return self.function.new_block(name)
@@ -46,6 +52,8 @@ class IRBuilder:
     def _append(self, inst):
         if self.block is None:
             raise ValueError("no insertion block set")
+        if inst.span is None:
+            inst.span = self.span
         return self.block.append(inst)
 
     # -- arithmetic ------------------------------------------------------

@@ -10,7 +10,7 @@ DRAM bandwidth.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.ir.types import AddressSpace, PointerType, Type, VOID
 from repro.ir.values import Register, Value
@@ -42,6 +42,9 @@ class Instruction:
         self.result = result
         #: backlink, set when appended to a block
         self.parent = None
+        #: ``(line, col)`` in the OpenCL source this instruction was
+        #: lowered from; ``None`` for synthesised instructions
+        self.span: Optional[Tuple[int, int]] = None
 
     @property
     def type(self) -> Type:

@@ -1,65 +1,101 @@
 """Structural verification of IR functions.
 
 Checks the invariants the rest of the pipeline relies on: every block is
-terminated, branch targets belong to the function, operands are defined
-before use on every path, and registers have a unique defining instruction.
+terminated, block and function names are unique, branch targets and
+conditions are well formed, operands are defined before use on every
+path, and registers have a unique defining instruction.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 from repro.ir.function import Function
-from repro.ir.instructions import Branch, CondBranch, Instruction
+from repro.ir.instructions import (Branch, CondBranch, Instruction,
+                                   Terminator)
 from repro.ir.module import Module
+from repro.ir.types import BOOL
 from repro.ir.values import Argument, Constant, Register
 
 
 class IRVerificationError(Exception):
-    """Raised when a function violates an IR invariant."""
+    """Raised when a function violates an IR invariant.
+
+    Carries the offending *function* and *block* names so callers (the
+    CLI, the linter) can point at the culprit without parsing the
+    message.
+    """
+
+    def __init__(self, message: str, function: Optional[str] = None,
+                 block: Optional[str] = None) -> None:
+        self.function = function
+        self.block = block
+        where = ""
+        if function is not None:
+            where = function if block is None else f"{function}:{block}"
+            where += ": "
+        super().__init__(f"{where}{message}")
 
 
 def verify_module(module: Module) -> None:
-    """Verify every function in *module*."""
+    """Verify every function in *module*, and module-level invariants."""
+    seen: Set[str] = set()
     for fn in module:
+        if fn.name in seen:
+            raise IRVerificationError(
+                f"duplicate function name '{fn.name}' in module "
+                f"'{module.name}'", function=fn.name)
+        seen.add(fn.name)
         verify_function(fn)
 
 
 def verify_function(fn: Function) -> None:
     """Check *fn* against the IR structural invariants."""
     if not fn.blocks:
-        raise IRVerificationError(f"{fn.name}: no basic blocks")
+        raise IRVerificationError("no basic blocks", function=fn.name)
 
     block_set = {id(b) for b in fn.blocks}
+    block_names: Set[str] = set()
     defs: Dict[int, Instruction] = {}
 
     for block in fn.blocks:
+        if block.name in block_names:
+            raise IRVerificationError(
+                f"duplicate block name '{block.name}'",
+                function=fn.name, block=block.name)
+        block_names.add(block.name)
         if not block.is_terminated:
             raise IRVerificationError(
-                f"{fn.name}:{block.name}: missing terminator")
+                "missing terminator", function=fn.name, block=block.name)
         for i, inst in enumerate(block.instructions):
-            from repro.ir.instructions import Terminator
-            if isinstance(inst, Terminator) and i != len(block.instructions) - 1:
+            if isinstance(inst, Terminator) and \
+                    i != len(block.instructions) - 1:
                 raise IRVerificationError(
-                    f"{fn.name}:{block.name}: terminator not last")
+                    "terminator not last",
+                    function=fn.name, block=block.name)
             if inst.result is not None:
                 if id(inst.result) in defs:
                     raise IRVerificationError(
-                        f"{fn.name}:{block.name}: register "
-                        f"{inst.result} defined twice")
+                        f"register {inst.result} defined twice",
+                        function=fn.name, block=block.name)
                 defs[id(inst.result)] = inst
         term = block.terminator
         if isinstance(term, Branch):
             targets = [term.target]
         elif isinstance(term, CondBranch):
             targets = [term.then_block, term.else_block]
+            if term.cond.type != BOOL:
+                raise IRVerificationError(
+                    f"condition of {term!r} has type {term.cond.type}, "
+                    f"expected bool",
+                    function=fn.name, block=block.name)
         else:
             targets = []
         for target in targets:
             if id(target) not in block_set:
                 raise IRVerificationError(
-                    f"{fn.name}:{block.name}: branch to foreign block "
-                    f"{target.name}")
+                    f"branch to foreign block {target.name}",
+                    function=fn.name, block=block.name)
 
     _check_dominance(fn, defs)
 
@@ -103,8 +139,8 @@ def _check_dominance(fn: Function, defs: Dict[int, Instruction]) -> None:
                 if isinstance(op, Register) and id(op) not in defined \
                         and id(op) not in arg_ids:
                     raise IRVerificationError(
-                        f"{fn.name}:{block.name}: use of {op} before "
-                        f"definition in {inst!r}")
+                        f"use of {op} before definition in {inst!r}",
+                        function=fn.name, block=block.name)
             if inst.result is not None:
                 defined.add(id(inst.result))
 

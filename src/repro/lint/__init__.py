@@ -1,0 +1,21 @@
+"""Static kernel linter: performance-hazard diagnostics over the IR.
+
+Runs entirely at compile time — no execution, no profiling — and flags
+the hazards the analytical model prices (or assumes away): divergent
+barriers, ``__local`` races, out-of-bounds static indices, uncoalesced
+global access strides, RecMII-bounding recurrences, and dead code.
+"""
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.runner import (ALL_CHECKS, LintContext, lint_function,
+                               lint_module, lint_source)
+
+__all__ = [
+    "ALL_CHECKS",
+    "Diagnostic",
+    "LintContext",
+    "Severity",
+    "lint_function",
+    "lint_module",
+    "lint_source",
+]

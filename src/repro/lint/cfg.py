@@ -1,0 +1,150 @@
+"""CFG queries shared by the lint checks.
+
+Small, self-contained graph analyses over :class:`repro.ir.Function`:
+dominators and post-dominators (iterative set intersection — functions
+here are a few dozen blocks at most), natural-loop membership keyed on
+the loop headers recorded by the frontend (``fn.loop_meta``), and
+barrier-aware path queries used by the local-memory race check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Barrier, Instruction
+
+
+def reachable_from(block: BasicBlock) -> Set[int]:
+    """Ids of blocks reachable from *block* (excluding it unless cyclic)."""
+    seen: Set[int] = set()
+    stack = list(block.successors())
+    while stack:
+        b = stack.pop()
+        if id(b) in seen:
+            continue
+        seen.add(id(b))
+        stack.extend(b.successors())
+    return seen
+
+
+def dominators(fn: Function) -> Dict[int, Set[int]]:
+    """``dom[id(b)]`` = ids of blocks dominating *b* (including itself)."""
+    blocks = fn.reachable_blocks()
+    preds = fn.predecessors()
+    all_ids = {id(b) for b in blocks}
+    dom: Dict[int, Set[int]] = {
+        id(b): ({id(b)} if b is fn.entry else set(all_ids)) for b in blocks}
+    changed = True
+    while changed:
+        changed = False
+        for b in blocks:
+            if b is fn.entry:
+                continue
+            incoming = [dom[id(p)] for p in preds[b] if id(p) in dom]
+            new = set.intersection(*incoming) if incoming else set()
+            new = new | {id(b)}
+            if new != dom[id(b)]:
+                dom[id(b)] = new
+                changed = True
+    return dom
+
+
+def postdominators(fn: Function) -> Dict[int, Set[int]]:
+    """``pdom[id(b)]`` = ids of blocks post-dominating *b*.
+
+    Blocks with no successors (returns) post-dominate only themselves;
+    a virtual exit joins them.
+    """
+    blocks = fn.reachable_blocks()
+    all_ids = {id(b) for b in blocks}
+    succs = {id(b): b.successors() for b in blocks}
+    exits = [b for b in blocks if not succs[id(b)]]
+    pdom: Dict[int, Set[int]] = {
+        id(b): ({id(b)} if b in exits else set(all_ids)) for b in blocks}
+    changed = True
+    while changed:
+        changed = False
+        for b in blocks:
+            if b in exits:
+                continue
+            outgoing = [pdom[id(s)] for s in succs[id(b)] if id(s) in pdom]
+            new = set.intersection(*outgoing) if outgoing else set()
+            new = new | {id(b)}
+            if new != pdom[id(b)]:
+                pdom[id(b)] = new
+                changed = True
+    return pdom
+
+
+def block_by_name(fn: Function, name: str) -> Optional[BasicBlock]:
+    """Find a block by name, or ``None``."""
+    for b in fn.blocks:
+        if b.name == name:
+            return b
+    return None
+
+
+def natural_loop(fn: Function, header: BasicBlock,
+                 dom: Optional[Dict[int, Set[int]]] = None) -> Set[int]:
+    """Ids of the blocks in the natural loop with *header*.
+
+    The loop body is every block that can reach a back edge's source
+    (a latch the header dominates) without passing through the header.
+    """
+    dom = dom if dom is not None else dominators(fn)
+    preds = fn.predecessors()
+    latches = [p for p in preds.get(header, [])
+               if id(header) in dom.get(id(p), set())]
+    loop: Set[int] = {id(header)}
+    by_id = {id(b): b for b in fn.blocks}
+    stack = [id(latch) for latch in latches]
+    while stack:
+        bid = stack.pop()
+        if bid in loop:
+            continue
+        loop.add(bid)
+        for p in preds.get(by_id[bid], []):
+            stack.append(id(p))
+    return loop
+
+
+def _position(inst: Instruction) -> int:
+    return inst.parent.instructions.index(inst)
+
+
+def _has_barrier(insts) -> bool:
+    return any(isinstance(i, Barrier) for i in insts)
+
+
+def barrier_free_path(fn: Function, src: Instruction,
+                      dst: Instruction) -> bool:
+    """Is there a CFG path from *src* to *dst* crossing no barrier?
+
+    Used by the race check: two conflicting local accesses are safe
+    only when every path between them synchronises.  Intra-block
+    ordering is respected; a path may wrap around a loop back edge.
+    """
+    sblock, dblock = src.parent, dst.parent
+    si, di = _position(src), _position(dst)
+    if sblock is dblock and si < di:
+        if not _has_barrier(sblock.instructions[si + 1:di]):
+            return True
+    # Leave src's block: no barrier may sit between src and the exit.
+    if _has_barrier(sblock.instructions[si + 1:]):
+        return False
+    seen: Set[int] = set()
+    stack: List[BasicBlock] = list(sblock.successors())
+    while stack:
+        b = stack.pop()
+        if id(b) in seen:
+            continue
+        seen.add(id(b))
+        if b is dblock:
+            if not _has_barrier(b.instructions[:di]):
+                return True
+            continue  # entering past dst is useless: prefix is fixed
+        if _has_barrier(b.instructions):
+            continue  # cannot pass through
+        stack.extend(b.successors())
+    return False

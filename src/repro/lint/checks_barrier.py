@@ -1,0 +1,65 @@
+"""Barrier divergence check.
+
+OpenCL requires ``barrier()`` to be reached by either *all* work-items
+of a work-group or none (Eq. 10 of the paper prices barriers assuming
+uniform arrival; hardware deadlocks when they diverge).  A barrier
+diverges when it is control-dependent on a work-item-dependent branch:
+reachable from exactly one of the branch's successors.  (Reachable
+from both means control rejoins before the barrier — uniform; the
+asymmetric case means some work-items arrive and the rest never do.
+This formulation also handles barriers inside loops, where plain
+post-dominance fails because the loop-exit edge skips the body.)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import Function
+from repro.ir.instructions import Barrier, CondBranch
+from repro.lint.cfg import reachable_from
+from repro.lint.diagnostics import Diagnostic, Severity, span_of
+
+CHECK_ID = "barrier-divergence"
+
+
+def check_barrier_divergence(fn: Function, ctx) -> List[Diagnostic]:
+    """Flag barriers reachable under work-item-dependent control flow."""
+    diags: List[Diagnostic] = []
+    barriers = [inst for inst in fn.instructions()
+                if isinstance(inst, Barrier)]
+    if not barriers:
+        return diags
+    divergent_branches = []
+    for block in fn.reachable_blocks():
+        term = block.terminator
+        if isinstance(term, CondBranch) and \
+                ctx.affine.value_is_tainted(term.cond):
+            divergent_branches.append((block, term))
+    for barrier in barriers:
+        bblock = barrier.parent
+        for branch_block, term in divergent_branches:
+            if bblock is branch_block:
+                continue
+            via_then = bblock is term.then_block or \
+                id(bblock) in reachable_from(term.then_block)
+            via_else = bblock is term.else_block or \
+                id(bblock) in reachable_from(term.else_block)
+            if via_then == via_else:
+                # Unreachable from the branch, or control rejoins
+                # before the barrier: arrival is uniform either way.
+                continue
+            line, col = span_of(barrier)
+            bline, bcol = span_of(term)
+            diags.append(Diagnostic(
+                check=CHECK_ID, severity=Severity.ERROR,
+                message=(
+                    f"barrier() is reachable under a work-item-dependent "
+                    f"branch (condition at line {bline}): work-items may "
+                    f"diverge at the barrier and deadlock the work-group"),
+                function=fn.name, line=line, col=col,
+                hint="hoist the barrier out of the divergent region or "
+                     "make the condition uniform across the work-group",
+                related=[(bline, bcol)]))
+            break  # one report per barrier is enough
+    return diags

@@ -1,0 +1,81 @@
+"""Static coalescing / stride hazard check for global accesses.
+
+Classifies every ``__global`` load/store by the element stride between
+consecutive work-items, derived from the access's affine index form —
+the static counterpart of the profiled classification in
+:mod:`repro.analysis.memtrace`:
+
+- stride 1 (unit): consecutive work-items touch consecutive elements —
+  SDAccel coalesces these into wide bursts; row-buffer hits dominate.
+- stride 0 (broadcast): every work-item reads the same element — a
+  single request serves the group.
+- stride > 1 or unknown: requests cannot be merged; the DRAM stream
+  degrades towards the row-miss rows of Table 1
+  (:class:`repro.dram.patterns.AccessPattern`), each paying the full
+  activate+CAS penalty.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dram.patterns import AccessPattern
+from repro.ir.function import Function
+from repro.ir.instructions import Load, Store
+from repro.ir.types import AddressSpace, PointerType
+from repro.lint.diagnostics import Diagnostic, Severity, span_of
+
+CHECK_ID = "global-stride"
+
+
+def check_global_strides(fn: Function, ctx) -> List[Diagnostic]:
+    """Classify each __global access by inter-work-item stride."""
+    diags: List[Diagnostic] = []
+    seen = set()
+    for inst in fn.instructions():
+        if isinstance(inst, Load):
+            pointer, kind = inst.pointer, "read"
+        elif isinstance(inst, Store):
+            pointer, kind = inst.pointer, "write"
+        else:
+            continue
+        ptr_type = pointer.type
+        if not isinstance(ptr_type, PointerType) or \
+                ptr_type.space != AddressSpace.GLOBAL:
+            continue
+        root, index = ctx.affine.pointer_root(pointer)
+        buffer = ctx.affine.buffer_name(root)
+        elem_bytes = ptr_type.pointee.bytes
+        stride = ctx.affine.wi_stride(index)
+        miss = (AccessPattern.RAR_MISS if kind == "read"
+                else AccessPattern.WAW_MISS)
+        if stride is None:
+            if index is not None and not ctx.affine.expr_is_per_wi(index):
+                continue  # uniform but opaque: a broadcast, coalescible
+            message = (
+                f"{kind} of __global '{buffer}' has a data-dependent "
+                f"(irregular) index across work-items: accesses cannot "
+                f"be coalesced and DRAM traffic degrades towards "
+                f"'{miss.value}' (Table 1)")
+            hint = ("stage the data through __local memory or restructure "
+                    "the index to be affine in get_global_id")
+        elif stride in (0, 1):
+            continue  # broadcast / unit-stride: coalescible
+        else:
+            message = (
+                f"{kind} of __global '{buffer}' is strided across "
+                f"work-items ({stride} elements = "
+                f"{abs(stride) * elem_bytes} B between neighbours): "
+                f"coalescing is defeated and row misses "
+                f"('{miss.value}', Table 1) dominate")
+            hint = ("transpose the access so consecutive work-items touch "
+                    "consecutive elements, or tile through __local memory")
+        line, col = span_of(inst)
+        key = (line, col, kind, buffer)
+        if key in seen:
+            continue
+        seen.add(key)
+        diags.append(Diagnostic(
+            check=CHECK_ID, severity=Severity.WARNING, message=message,
+            function=fn.name, line=line, col=col, hint=hint))
+    return diags

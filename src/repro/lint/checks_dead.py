@@ -1,0 +1,135 @@
+"""Dead stores and unused kernel arguments.
+
+Clang-style -O0 lowering gives every variable and parameter a private
+stack slot, so both checks reduce to slot dataflow: a slot that is
+written but never read is a dead store (wasted ALU work and, for
+arrays, wasted BRAM); an argument whose slot is never read is dead
+interface — often a sign the kernel was edited but the signature was
+not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.function import Function
+from repro.ir.instructions import (Alloca, Cast, GetElementPtr, Load, Store)
+from repro.ir.types import AddressSpace
+from repro.ir.values import Argument
+from repro.lint.diagnostics import Diagnostic, Severity, span_of
+
+DEAD_CHECK_ID = "dead-store"
+UNUSED_ARG_CHECK_ID = "unused-arg"
+
+
+class _SlotUsage:
+    """Loads/stores/escapes of one alloca slot and its derived pointers."""
+
+    def __init__(self, alloca: Alloca) -> None:
+        self.alloca = alloca
+        self.pointers: Set[int] = {id(alloca.result)}
+        self.loads: int = 0
+        self.stores: List[Store] = []
+        self.escapes: bool = False
+
+
+def _slot_usage(fn: Function) -> Dict[int, _SlotUsage]:
+    slots: Dict[int, _SlotUsage] = {}
+    by_pointer: Dict[int, _SlotUsage] = {}
+    for inst in fn.instructions():
+        if isinstance(inst, Alloca):
+            usage = _SlotUsage(inst)
+            slots[id(inst)] = usage
+            by_pointer[id(inst.result)] = usage
+            continue
+        # Derived pointers keep pointing at the same slot.
+        if isinstance(inst, GetElementPtr) and id(inst.base) in by_pointer:
+            usage = by_pointer[id(inst.base)]
+            usage.pointers.add(id(inst.result))
+            by_pointer[id(inst.result)] = usage
+            # The gep's *index* operand may itself be a tracked pointer
+            # (pathological, but would be an escape) — fall through.
+        if isinstance(inst, Cast) and id(inst.value) in by_pointer and \
+                inst.kind in ("bitcast", "ptrcast"):
+            usage = by_pointer[id(inst.value)]
+            usage.pointers.add(id(inst.result))
+            by_pointer[id(inst.result)] = usage
+        for op in inst.operands:
+            usage = by_pointer.get(id(op))
+            if usage is None:
+                continue
+            if isinstance(inst, Load) and op is inst.pointer:
+                usage.loads += 1
+            elif isinstance(inst, Store) and op is inst.pointer:
+                usage.stores.append(inst)
+            elif isinstance(inst, (GetElementPtr, Cast)) and \
+                    id(inst.result) in usage.pointers:
+                pass  # address arithmetic we already follow
+            else:
+                # Passed to a call, stored as data, compared, ... — the
+                # address leaves our sight, so assume it is read.
+                usage.escapes = True
+    return slots
+
+
+def _param_names(fn: Function) -> Set[str]:
+    return {arg.name for arg in fn.args}
+
+
+def check_dead_stores(fn: Function, ctx) -> List[Diagnostic]:
+    """Flag private variables that are written but never read."""
+    params = _param_names(fn)
+    diags: List[Diagnostic] = []
+    for usage in _slot_usage(fn).values():
+        alloca = usage.alloca
+        if alloca.space != AddressSpace.PRIVATE:
+            continue
+        if alloca.var_name in params:
+            continue  # parameter copies are handled by unused-arg
+        if usage.escapes or usage.loads or not usage.stores:
+            continue
+        line, col = span_of(usage.stores[0])
+        related = [span_of(s) for s in usage.stores[1:]]
+        diags.append(Diagnostic(
+            check=DEAD_CHECK_ID, severity=Severity.WARNING,
+            message=(
+                f"value stored to '{alloca.var_name}' is never read "
+                f"({len(usage.stores)} dead "
+                f"store{'s' if len(usage.stores) != 1 else ''})"),
+            function=fn.name, line=line, col=col,
+            hint=f"remove '{alloca.var_name}' or use its value",
+            related=related))
+    return diags
+
+
+def check_unused_args(fn: Function, ctx) -> List[Diagnostic]:
+    """Flag kernel arguments whose values are never consumed."""
+    # Map each parameter to its stack slot via the argument-init store.
+    slot_of: Dict[str, _SlotUsage] = {}
+    direct_uses: Dict[str, int] = {arg.name: 0 for arg in fn.args}
+    usages = _slot_usage(fn)
+    for usage in usages.values():
+        for store in usage.stores:
+            if isinstance(store.value, Argument) and \
+                    usage.alloca.var_name == store.value.name:
+                slot_of[store.value.name] = usage
+    for inst in fn.instructions():
+        for op in inst.operands:
+            if isinstance(op, Argument) and op.name in direct_uses:
+                direct_uses[op.name] += 1
+    diags: List[Diagnostic] = []
+    for arg in fn.args:
+        usage = slot_of.get(arg.name)
+        if usage is None:
+            continue  # no init store — synthesised IR, stay silent
+        uses_beyond_init = direct_uses[arg.name] - 1
+        if uses_beyond_init > 0 or usage.escapes or usage.loads:
+            continue
+        line, col = span_of(usage.alloca)
+        diags.append(Diagnostic(
+            check=UNUSED_ARG_CHECK_ID, severity=Severity.NOTE,
+            message=f"kernel argument '{arg.name}' is never used",
+            function=fn.name, line=line, col=col,
+            hint="drop the argument (host-side setKernelArg indices "
+                 "shift) or wire it into the kernel"))
+    return diags

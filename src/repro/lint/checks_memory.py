@@ -1,0 +1,135 @@
+"""Local-memory race and static bounds checks.
+
+*Race*: two work-items touching the same ``__local`` element with at
+least one write and no intervening ``barrier()`` is undefined behaviour
+— and invisible to the performance model, which assumes the profiled
+work-group is representative.  The check compares the
+``get_local_id``-affine index forms of every conflicting access pair
+and asks the CFG whether a barrier-free path connects them.
+
+*Bounds*: affine index ranges are intersected with the declared
+``__local``/``__private`` array extents; definite out-of-range accesses
+(constant indices, or ``lid``-affine forms with a declared
+``reqd_work_group_size``) are errors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Load, Store
+from repro.ir.types import AddressSpace, ArrayType
+from repro.lint.affine import AffineExpr, has_id_symbol
+from repro.lint.cfg import barrier_free_path
+from repro.lint.diagnostics import Diagnostic, Severity, span_of
+
+RACE_CHECK_ID = "local-race"
+BOUNDS_CHECK_ID = "array-bounds"
+
+
+def _array_accesses(fn: Function, ctx) -> Dict[int, List[Tuple]]:
+    """id(alloca result) -> [(inst, kind, index expr)] for array allocas."""
+    accesses: Dict[int, List[Tuple]] = {}
+    for inst in fn.instructions():
+        if isinstance(inst, Load):
+            pointer, kind = inst.pointer, "read"
+        elif isinstance(inst, Store):
+            pointer, kind = inst.pointer, "write"
+        else:
+            continue
+        root, index = ctx.affine.pointer_root(pointer)
+        alloca = ctx.affine.alloca_of(root)
+        if alloca is None or not isinstance(alloca.allocated, ArrayType):
+            continue
+        accesses.setdefault(id(root), []).append((inst, kind, index, alloca))
+    return accesses
+
+
+def check_local_races(fn: Function, ctx) -> List[Diagnostic]:
+    """Flag un-synchronised cross-work-item conflicts on __local arrays."""
+    diags: List[Diagnostic] = []
+    for entries in _array_accesses(fn, ctx).values():
+        alloca = entries[0][3]
+        if alloca.space != AddressSpace.LOCAL:
+            continue
+        writes = [e for e in entries if e[1] == "write"]
+        for w_inst, _, w_idx, _ in writes:
+            conflict = _find_conflict(fn, ctx, w_inst, w_idx, entries)
+            if conflict is None:
+                continue
+            other, o_kind = conflict
+            line, col = span_of(w_inst)
+            oline, ocol = span_of(other)
+            pair = ("another work-item's write"
+                    if o_kind == "write" else "a read by another work-item")
+            diags.append(Diagnostic(
+                check=RACE_CHECK_ID, severity=Severity.WARNING,
+                message=(
+                    f"write to __local '{alloca.var_name}' may race with "
+                    f"{pair} of the same element (line {oline}): no barrier "
+                    f"separates the two accesses"),
+                function=fn.name, line=line, col=col,
+                hint="insert barrier(CLK_LOCAL_MEM_FENCE) between the "
+                     "conflicting accesses",
+                related=[(oline, ocol)]))
+    return diags
+
+
+def _find_conflict(fn: Function, ctx, w_inst: Instruction,
+                   w_idx: Optional[AffineExpr], entries):
+    for o_inst, o_kind, o_idx, _ in entries:
+        if o_inst is w_inst:
+            continue
+        if not _may_overlap_across_wi(ctx, w_idx, o_idx):
+            continue
+        if barrier_free_path(fn, w_inst, o_inst) or \
+                barrier_free_path(fn, o_inst, w_inst):
+            return o_inst, o_kind
+    return None
+
+
+def _may_overlap_across_wi(ctx, ia: Optional[AffineExpr],
+                           ib: Optional[AffineExpr]) -> bool:
+    """Can two *different* work-items produce the same element index?"""
+    if ia is None or ib is None:
+        return True
+    if ia == ib:
+        # Identical forms: each work-item touches its own element iff
+        # the form actually distinguishes work-items.
+        if any(sym in ctx.affine.tainted_symbols for sym, _ in ia.terms):
+            return True  # varies per work-item in an unknown way
+        return not has_id_symbol(ia)
+    return True
+
+
+def check_array_bounds(fn: Function, ctx) -> List[Diagnostic]:
+    """Flag statically out-of-range indices into declared arrays."""
+    diags: List[Diagnostic] = []
+    seen_spans = set()
+    for entries in _array_accesses(fn, ctx).values():
+        for inst, kind, index, alloca in entries:
+            extent = alloca.allocated.count
+            lo, hi = ctx.affine.expr_bounds(index)
+            # Work-item ids span their whole range, so a finite bound
+            # past the extent means some work-item is out of bounds on
+            # every launch — a definite error, not a may-happen.
+            over = hi is not None and hi >= extent
+            under = lo is not None and lo < 0
+            if not (over or under):
+                continue
+            line, col = span_of(inst)
+            key = (line, col, id(alloca))
+            if key in seen_spans:
+                continue
+            seen_spans.add(key)
+            bound = f"{lo}" if lo == hi else f"[{lo}, {hi}]"
+            diags.append(Diagnostic(
+                check=BOUNDS_CHECK_ID, severity=Severity.ERROR,
+                message=(
+                    f"{kind} of '{alloca.var_name}' at index {bound} is "
+                    f"out of bounds for extent {extent}"),
+                function=fn.name, line=line, col=col,
+                hint=f"'{alloca.var_name}' has {extent} elements; "
+                     f"valid indices are 0..{extent - 1}"))
+    return diags

@@ -1,0 +1,133 @@
+"""RecMII hazard check: loop-carried dependences that bound II.
+
+The paper's Eqs. 2–4 bound the initiation interval by
+``RecMII = max over cycles of ceil(latency / distance)``.  The profiler
+discovers inter-work-item recurrences dynamically; this check finds the
+*static* recurrences every pipelined loop carries — an accumulator read
+and rewritten each iteration, or a read-modify-write of the same local/
+global element — and prices the dependence chain with the nominal op
+latencies so the user sees *why* II is bounded before ever profiling.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import Load, Store
+from repro.ir.types import ArrayType
+from repro.latency.optable import OpLatencyTable
+from repro.lint.cfg import block_by_name, dominators, natural_loop
+from repro.lint.diagnostics import Diagnostic, Severity, span_of
+
+CHECK_ID = "recmii-hazard"
+
+#: chains at or below this RecMII are the trivial induction-variable
+#: update every loop has; reporting them would be noise
+TRIVIAL_RECMII = 1.0
+
+
+def check_recmii_hazards(fn: Function, ctx) -> List[Diagnostic]:
+    """Flag loop-carried dependence chains that bound RecMII above 1."""
+    loop_meta = getattr(fn, "loop_meta", [])
+    if not loop_meta:
+        return []
+    table = OpLatencyTable()
+    dom = dominators(fn)
+    diags: List[Diagnostic] = []
+    reported: Set[Tuple[int, str]] = set()
+    for meta in loop_meta:
+        header = block_by_name(fn, meta.header)
+        if header is None:
+            continue
+        loop = natural_loop(fn, header, dom)
+        if len(loop) <= 1:
+            continue
+        for name, load, store, latency in _loop_carried(fn, ctx, loop, table):
+            rec_mii = math.ceil(latency)
+            if rec_mii <= TRIVIAL_RECMII:
+                continue
+            key = (meta.line, name)
+            if key in reported:
+                continue
+            reported.add(key)
+            line, col = span_of(store)
+            lline, lcol = span_of(load)
+            diags.append(Diagnostic(
+                check=CHECK_ID, severity=Severity.NOTE,
+                message=(
+                    f"loop at line {meta.line} carries a dependence on "
+                    f"'{name}' (read at line {lline}, rewritten here; "
+                    f"chain ≈ {latency:.0f} cycles): RecMII ≥ {rec_mii}, "
+                    f"so II cannot drop below {rec_mii} (Eqs. 2-4)"),
+                function=fn.name, line=line, col=col,
+                hint="break the recurrence (e.g. partial sums) to let the "
+                     "pipeline reach II=1",
+                related=[(lline, lcol)]))
+    return diags
+
+
+def _loop_carried(fn: Function, ctx, loop: Set[int], table: OpLatencyTable):
+    """Yield ``(var name, load, store, chain latency)`` dependences."""
+    loads: List[Load] = []
+    stores: List[Store] = []
+    for block in fn.blocks:
+        if id(block) not in loop:
+            continue
+        for inst in block.instructions:
+            if isinstance(inst, Load):
+                loads.append(inst)
+            elif isinstance(inst, Store):
+                stores.append(inst)
+    for store in stores:
+        s_root, s_idx = ctx.affine.pointer_root(store.pointer)
+        for load in loads:
+            l_root, l_idx = ctx.affine.pointer_root(load.pointer)
+            if l_root is not s_root:
+                continue
+            name = ctx.affine.buffer_name(s_root)
+            alloca = ctx.affine.alloca_of(s_root)
+            if alloca is not None and not isinstance(alloca.allocated,
+                                                     ArrayType):
+                # Scalar slot: same address by construction.
+                same_address = True
+            else:
+                # Array / pointer: the address must be provably the
+                # same every iteration — equal affine forms with no
+                # loop-variable symbol (those advance per iteration).
+                if s_idx is None or l_idx is None or s_idx != l_idx:
+                    continue
+                if any(sym.startswith("var:") for sym in s_idx.symbols()):
+                    continue
+                same_address = True
+            if not same_address:
+                continue
+            chain = _chain_latency(fn, loop, load, store, table)
+            if chain is None:
+                continue
+            yield name, load, store, chain
+
+
+def _chain_latency(fn: Function, loop: Set[int], load: Load, store: Store,
+                   table: OpLatencyTable) -> Optional[float]:
+    """Longest register path load -> store.value, in cycles.
+
+    ``None`` when the stored value does not depend on the load — then
+    there is no recurrence, just a dead read-write pair.
+    """
+    best: Dict[int, float] = {id(load.result): table.latency(load)}
+    for block in fn.blocks:
+        if id(block) not in loop:
+            continue
+        for inst in block.instructions:
+            if inst.result is None or id(inst.result) in best:
+                continue
+            reaching = [best[id(op)] for op in inst.operands
+                        if id(op) in best]
+            if reaching:
+                best[id(inst.result)] = max(reaching) + table.latency(inst)
+    chain = best.get(id(store.value))
+    if chain is None:
+        return None
+    return chain + table.latency(store)

@@ -1,0 +1,94 @@
+"""Structured, source-located diagnostics.
+
+Every lint check produces :class:`Diagnostic` records.  A diagnostic
+carries the check id (stable, kebab-case — the CLI's ``--check`` filter
+and the JSON output key on it), a severity, a human message, and the
+``(line, col)`` source span propagated from the lexer through the AST
+into the IR.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings are definite correctness violations (the model's
+    prediction for such a kernel is meaningless); ``WARNING`` findings
+    are probable correctness or performance hazards; ``NOTE`` findings
+    explain model behaviour (e.g. why II is bounded) without implying
+    anything is wrong.
+    """
+
+    NOTE = "note"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return {"note": 0, "warning": 1, "error": 2}[self.value]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class Diagnostic:
+    """One finding, located in the kernel source."""
+
+    check: str                       # stable check id, e.g. 'local-race'
+    severity: Severity
+    message: str
+    function: str = ""               # kernel the finding is in
+    line: int = 0                    # 1-based; 0 = no source location
+    col: int = 0
+    hint: str = ""                   # optional remediation advice
+    #: spans of other involved sites (e.g. the divergent branch for a
+    #: barrier, the racing read for a write)
+    related: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def span(self) -> Tuple[int, int]:
+        return (self.line, self.col)
+
+    def sort_key(self):
+        return (self.line, self.col, -self.severity.rank, self.check)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (round-trips through ``json``)."""
+        out: Dict[str, object] = {
+            "check": self.check,
+            "severity": self.severity.value,
+            "message": self.message,
+            "function": self.function,
+            "line": self.line,
+            "col": self.col,
+        }
+        if self.hint:
+            out["hint"] = self.hint
+        if self.related:
+            out["related"] = [list(span) for span in self.related]
+        return out
+
+    def format(self, source_name: str = "<kernel>") -> str:
+        """gcc-style one-line rendering."""
+        loc = f"{source_name}:{self.line}:{self.col}"
+        text = f"{loc}: {self.severity}: [{self.check}] {self.message}"
+        if self.hint:
+            text += f" ({self.hint})"
+        return text
+
+
+def span_of(inst) -> Tuple[int, int]:
+    """The ``(line, col)`` of an IR instruction, or ``(0, 0)``."""
+    span: Optional[Tuple[int, int]] = getattr(inst, "span", None)
+    return span if span else (0, 0)
+
+
+def sort_diagnostics(diags: List[Diagnostic]) -> List[Diagnostic]:
+    """Order diagnostics by source position, then severity, then check."""
+    return sorted(diags, key=Diagnostic.sort_key)

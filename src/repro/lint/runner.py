@@ -1,0 +1,105 @@
+"""Lint driver: run the registered checks over IR and collect findings.
+
+The entry points mirror the compilation pipeline:
+
+- :func:`lint_function` — checks over one already-compiled kernel;
+- :func:`lint_module` — every kernel in a module;
+- :func:`lint_source` — compile OpenCL C and lint it, converting
+  frontend/verifier failures into ``frontend`` diagnostics instead of
+  exceptions, so callers always get a diagnostic list back.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.frontend.lexer import LexerError
+from repro.frontend.lowering import LoweringError, compile_opencl
+from repro.frontend.parser import ParseError
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.verify import IRVerificationError
+from repro.lint.affine import AffineAnalysis
+from repro.lint.checks_barrier import check_barrier_divergence
+from repro.lint.checks_coalesce import check_global_strides
+from repro.lint.checks_dead import check_dead_stores, check_unused_args
+from repro.lint.checks_memory import check_array_bounds, check_local_races
+from repro.lint.checks_pipeline import check_recmii_hazards
+from repro.lint.diagnostics import Diagnostic, Severity, sort_diagnostics
+
+FRONTEND_CHECK_ID = "frontend"
+
+
+class LintContext:
+    """Shared per-function analyses, built once and passed to each check."""
+
+    def __init__(self, fn: Function) -> None:
+        self.function = fn
+        self.affine = AffineAnalysis(fn)
+
+
+#: check id -> check function.  Registration order is the documentation
+#: order; output order is by source position regardless.
+ALL_CHECKS: Dict[str, Callable[[Function, LintContext], List[Diagnostic]]] = {
+    "barrier-divergence": check_barrier_divergence,
+    "local-race": check_local_races,
+    "array-bounds": check_array_bounds,
+    "global-stride": check_global_strides,
+    "recmii-hazard": check_recmii_hazards,
+    "dead-store": check_dead_stores,
+    "unused-arg": check_unused_args,
+}
+
+
+def _select(checks: Optional[Iterable[str]]) -> Dict[str, Callable]:
+    if checks is None:
+        return ALL_CHECKS
+    unknown = sorted(set(checks) - set(ALL_CHECKS))
+    if unknown:
+        raise ValueError(
+            f"unknown lint check(s): {', '.join(unknown)}; "
+            f"known: {', '.join(ALL_CHECKS)}")
+    return {cid: ALL_CHECKS[cid] for cid in ALL_CHECKS if cid in set(checks)}
+
+
+def lint_function(fn: Function,
+                  checks: Optional[Iterable[str]] = None) -> List[Diagnostic]:
+    """Run *checks* (default: all) over one compiled kernel function."""
+    ctx = LintContext(fn)
+    diags: List[Diagnostic] = []
+    for check in _select(checks).values():
+        diags.extend(check(fn, ctx))
+    return sort_diagnostics(diags)
+
+
+def lint_module(module: Module,
+                checks: Optional[Iterable[str]] = None) -> List[Diagnostic]:
+    """Lint every kernel in *module*."""
+    diags: List[Diagnostic] = []
+    for fn in module.kernels:
+        diags.extend(lint_function(fn, checks))
+    return sort_diagnostics(diags)
+
+
+def lint_source(source: str, name: str = "kernel",
+                checks: Optional[Iterable[str]] = None) -> List[Diagnostic]:
+    """Compile OpenCL C *source* and lint it.
+
+    Frontend and verifier failures come back as ``frontend``
+    diagnostics rather than raising, so a lint run always yields a
+    report.
+    """
+    try:
+        module = compile_opencl(source, name=name)
+    except LexerError as exc:
+        return [_frontend_diag(str(exc), exc.line, exc.col)]
+    except ParseError as exc:
+        return [_frontend_diag(str(exc), exc.token.line, exc.token.col)]
+    except (LoweringError, IRVerificationError) as exc:
+        return [_frontend_diag(str(exc), 0, 0)]
+    return lint_module(module, checks)
+
+
+def _frontend_diag(message: str, line: int, col: int) -> Diagnostic:
+    return Diagnostic(check=FRONTEND_CHECK_ID, severity=Severity.ERROR,
+                      message=message, line=line, col=col)

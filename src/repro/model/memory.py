@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.analysis.kernel_info import KernelInfo
-from repro.dram.coalesce import coalesce_stream, interleave_work_items
+from repro.dram.coalesce import coalesce_stream
 from repro.dram.mapping import BankMapping
 from repro.dram.microbench import (
     PatternLatencyTable,

@@ -96,7 +96,6 @@ def _longest_path(fn: Function, block_latencies: Dict[str, float],
             return 0.0
         on_stack = on_stack | {name}
 
-        innermost = loop_nest.innermost.get(name)
         # Collapse a loop when we stand at its header from outside it.
         header_loop = loop_nest.by_header(name)
         if header_loop is not None and header_loop is not current_loop \

@@ -15,6 +15,7 @@ from typing import Callable, List, Optional
 
 from repro.analysis.kernel_info import KernelInfo
 from repro.dse.explorer import ExplorationResult
+from repro.lint.diagnostics import Diagnostic
 from repro.model import FlexCL
 from repro.model.area import estimate_area
 
@@ -28,8 +29,14 @@ class ReportOptions:
 def exploration_report(result: ExplorationResult,
                        analyzer: Callable[[int], Optional[KernelInfo]],
                        model: FlexCL,
-                       options: Optional[ReportOptions] = None) -> str:
-    """Render *result* (from :func:`repro.dse.explore`) as Markdown."""
+                       options: Optional[ReportOptions] = None,
+                       diagnostics: Optional[List[Diagnostic]] = None) -> str:
+    """Render *result* (from :func:`repro.dse.explore`) as Markdown.
+
+    Pass the kernel's lint *diagnostics* (from
+    :func:`repro.lint.lint_function`) to append a Diagnostics section —
+    the static hazards a reviewer should weigh next to the numbers.
+    """
     options = options or ReportOptions()
     lines: List[str] = [f"# {options.title}", ""]
 
@@ -54,7 +61,19 @@ def exploration_report(result: ExplorationResult,
                   ""]
     if rejected:
         lines += _rejections(rejected)
+    if diagnostics:
+        lines += _diagnostics(diagnostics)
     return "\n".join(lines)
+
+
+def _diagnostics(diagnostics: List[Diagnostic]) -> List[str]:
+    lines = ["## Diagnostics", "",
+             "| where | severity | check | message |", "|---|---|---|---|"]
+    for d in diagnostics:
+        lines.append(f"| {d.line}:{d.col} | {d.severity} | `{d.check}` "
+                     f"| {d.message} |")
+    lines.append("")
+    return lines
 
 
 def _kernel_summary(info: Optional[KernelInfo]) -> List[str]:

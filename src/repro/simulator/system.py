@@ -27,12 +27,10 @@ from repro.devices.device import Device
 from repro.dram.coalesce import (
     CoalescedRequest,
     coalesce_stream,
-    interleave_work_items,
 )
 from repro.dram.controller import DRAMController
 from repro.dram.mapping import BankMapping
 from repro.dse.space import Design
-from repro.interp.executor import MemAccess
 from repro.latency.microbench import _stable_hash
 from repro.simulator.synthesis import SynthesizedDesign, synthesize
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Optional
 
 from repro.ir.function import Function
@@ -20,7 +19,7 @@ from repro.ir.instructions import (
     Store,
     Terminator,
 )
-from repro.ir.values import Constant, Register, Value
+from repro.ir.values import Constant
 
 _INT_FOLDS = {
     "add": lambda a, b: a + b,

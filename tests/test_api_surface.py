@@ -1,7 +1,6 @@
 """Public API surface checks: the names README documents must exist
 and the package-level exports must stay importable."""
 
-import pytest
 
 
 class TestPublicImports:

@@ -1,7 +1,6 @@
 """Tests for the area estimation model."""
 
 import numpy as np
-import pytest
 
 from repro.analysis import analyze_kernel
 from repro.devices import VIRTEX7

@@ -1,6 +1,5 @@
 """Tests for the command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -88,3 +87,94 @@ class TestOtherCommands:
         out = capsys.readouterr().out
         assert "top 3" in out
         assert "feasible" in out
+
+
+@pytest.fixture
+def hazard_file(tmp_path):
+    path = tmp_path / "hazard.cl"
+    path.write_text("""
+    __kernel void k(__global float *a, __global float *b, int n) {
+        int gid = get_global_id(0);
+        float tmp = a[gid] * 2.0f;
+        b[gid] = a[gid * 8];
+    }
+    """)
+    return str(path)
+
+
+class TestLint:
+    def test_text_output(self, hazard_file, capsys):
+        rc = main(["lint", hazard_file])
+        assert rc == 0   # warnings/notes do not fail the build
+        out = capsys.readouterr().out
+        assert "[global-stride]" in out
+        assert "[dead-store]" in out
+        assert "[unused-arg]" in out
+        assert "hazard.cl:" in out
+        assert "diagnostic(s)" in out
+
+    def test_json_schema_round_trips(self, hazard_file, capsys):
+        import json
+        rc = main(["lint", hazard_file, "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["source"] == hazard_file
+        diags = payload["diagnostics"]
+        assert diags
+        for d in diags:
+            assert set(d) >= {"check", "severity", "message",
+                              "function", "line", "col"}
+            assert isinstance(d["line"], int)
+            assert d["severity"] in ("note", "warning", "error")
+        checks = {d["check"] for d in diags}
+        assert "global-stride" in checks
+
+    def test_error_severity_sets_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "oob.cl"
+        path.write_text("""
+        __kernel void k(__global float *a) {
+            __private float buf[4];
+            buf[9] = 1.0f;
+            a[get_global_id(0)] = buf[0];
+        }
+        """)
+        rc = main(["lint", str(path)])
+        assert rc == 1
+        assert "[array-bounds]" in capsys.readouterr().out
+
+    def test_check_filter(self, hazard_file, capsys):
+        rc = main(["lint", hazard_file, "--check", "dead-store"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[dead-store]" in out
+        assert "[global-stride]" not in out
+
+    def test_unknown_check_is_usage_error(self, hazard_file, capsys):
+        rc = main(["lint", hazard_file, "--check", "nope"])
+        assert rc == 2
+        assert "unknown lint check" in capsys.readouterr().err
+
+    def test_syntax_error_reported_as_frontend(self, tmp_path, capsys):
+        path = tmp_path / "broken.cl"
+        path.write_text("__kernel void k( {")
+        rc = main(["lint", str(path)])
+        assert rc == 1
+        assert "[frontend]" in capsys.readouterr().out
+
+    def test_predict_prints_diagnostics(self, tmp_path, capsys):
+        # In-bounds kernel (predict executes it) that still lints dirty.
+        path = tmp_path / "deadtmp.cl"
+        path.write_text("""
+        __kernel void k(__global float *a, __global float *b, int n) {
+            int gid = get_global_id(0);
+            float tmp = a[gid] * 2.0f;
+            b[gid] = a[gid];
+        }
+        """)
+        rc = main(["predict", str(path), "--global-size", "256"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "diagnostics:" in out
+        assert "[dead-store]" in out
+        # predictions still come out above the lint findings
+        assert out.index("cycles") < out.index("diagnostics:")

@@ -10,11 +10,10 @@ from repro.ir import (
     Call,
     CondBranch,
     GetElementPtr,
-    Load,
     Store,
     verify_function,
 )
-from repro.ir.types import AddressSpace, FLOAT, INT, PointerType
+from repro.ir.types import AddressSpace
 
 
 def lower(body, params="__global float* a, int n", helpers=""):

@@ -1,0 +1,66 @@
+"""Source spans must survive the trip lexer -> AST -> IR."""
+
+from repro.frontend import compile_opencl, parse
+from repro.ir.instructions import Load, Store
+
+SOURCE = """\
+__kernel void saxpy(__global const float *x, __global float *y,
+                    float a, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        y[i] = a * x[i] + y[i];
+    }
+}
+"""
+
+
+class TestAstSpans:
+    def test_function_and_params_carry_spans(self):
+        unit = parse(SOURCE)
+        fdef = unit.functions[0]
+        assert fdef.line == 1
+        assert [p.line for p in fdef.params] == [1, 1, 2, 2]
+        assert all(p.col > 0 for p in fdef.params)
+
+    def test_statement_spans(self):
+        unit = parse(SOURCE)
+        body = unit.functions[0].body.body
+        decl, if_stmt = body
+        assert decl.line == 3
+        assert if_stmt.line == 4
+
+    def test_expression_spans_have_columns(self):
+        unit = parse(SOURCE)
+        if_stmt = unit.functions[0].body.body[1]
+        cond = if_stmt.cond
+        # Binary expressions are stamped at their operator token.
+        assert (cond.line, cond.col) == (4, 11)
+
+
+class TestIrSpans:
+    def test_every_memory_instruction_has_a_span(self):
+        fn = compile_opencl(SOURCE).kernels[0]
+        mem = [i for i in fn.instructions()
+               if isinstance(i, (Load, Store))]
+        assert mem
+        assert all(i.span is not None for i in mem)
+
+    def test_store_carries_assignment_line(self):
+        fn = compile_opencl(SOURCE).kernels[0]
+        # The store into y[...] in the if body is the only global store.
+        stores = [i for i in fn.instructions()
+                  if isinstance(i, Store) and
+                  i.pointer.type.space.name == "GLOBAL"]
+        assert len(stores) == 1
+        line, col = stores[0].span
+        assert line == 5
+        assert col > 0
+
+    def test_spans_are_monotone_enough(self):
+        # Instruction spans all point inside the kernel's source extent.
+        fn = compile_opencl(SOURCE).kernels[0]
+        lines = [i.span[0] for i in fn.instructions()
+                 if i.span is not None]
+        assert lines
+        assert min(lines) >= 1
+        assert max(lines) <= SOURCE.count("\n") + 1

@@ -10,7 +10,6 @@ from repro.frontend import compile_opencl
 from repro.interp import Buffer, NDRange
 from repro.model import FlexCL
 from repro.model.gpu_compare import (
-    DEFAULT_GPU,
     GPUDevice,
     compare,
     estimate_gpu_time,

@@ -220,7 +220,6 @@ class TestTracing:
 
     def test_trace_addresses_stride(self):
         res = self._result()
-        reads = [t.traces[0].addr if False else None for t in []]
         addr0 = res.traces[0][0].addr
         addr1 = res.traces[1][0].addr
         assert addr1 - addr0 == 4

@@ -2,7 +2,6 @@
 launches even though the FPGA design space flattens to 1-D)."""
 
 import numpy as np
-import pytest
 
 from repro.frontend import compile_opencl
 from repro.interp import Buffer, KernelExecutor, NDRange

@@ -1,9 +1,7 @@
 """Interpreter coverage for OpenCL builtins and conversions."""
 
-import math
 
 import numpy as np
-import pytest
 
 from repro.frontend import compile_opencl
 from repro.interp import Buffer, KernelExecutor, NDRange

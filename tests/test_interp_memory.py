@@ -58,7 +58,7 @@ class TestGlobalMemory:
 
     def test_find_resolves(self):
         mem = GlobalMemory()
-        a = mem.bind(Buffer("a", np.zeros(8, np.float32)))
+        mem.bind(Buffer("a", np.zeros(8, np.float32)))
         b = mem.bind(Buffer("b", np.zeros(8, np.float32)))
         found, off = mem.find(b.base + 12)
         assert found is b and off == 12

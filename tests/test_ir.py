@@ -4,7 +4,6 @@ import pytest
 
 from repro.ir import (
     Branch,
-    CondBranch,
     Constant,
     Function,
     IRBuilder,
@@ -214,3 +213,65 @@ class TestPrinter:
         assert "kernel @f" in text
         assert "entry:" in text
         assert "add" in text
+
+
+class TestVerifierStrengthening:
+    def test_error_names_function_and_block(self):
+        fn = Function("badfn", [], [])
+        fn.new_block("entry")
+        with pytest.raises(IRVerificationError) as exc:
+            verify_function(fn)
+        assert exc.value.function == "badfn"
+        assert exc.value.block == "entry"
+        assert "badfn" in str(exc.value)
+
+    def test_rejects_duplicate_block_names(self):
+        fn = Function("f", [], [])
+        a = fn.new_block("entry")
+        b = fn.new_block("other")
+        b.name = "entry"   # defeat new_block's uniquification
+        b.append(Return())
+        a.append(Branch(b))
+        with pytest.raises(IRVerificationError) as exc:
+            verify_function(fn)
+        assert "duplicate block name" in str(exc.value)
+
+    def test_rejects_non_bool_condition(self):
+        fn = Function("f", [INT], ["n"])
+        entry = fn.new_block("entry")
+        then = fn.new_block("then")
+        other = fn.new_block("other")
+        from repro.ir.instructions import CondBranch as CB
+        entry.append(CB(fn.arg("n"), then, other))
+        then.append(Return())
+        other.append(Return())
+        with pytest.raises(IRVerificationError) as exc:
+            verify_function(fn)
+        assert "expected bool" in str(exc.value)
+        assert exc.value.block == "entry"
+
+    def test_rejects_duplicate_function_names(self):
+        from repro.ir.verify import verify_module
+        module = Module("m")
+        f = Function("k", [], [])
+        f.new_block("entry").append(Return())
+        module.add(f)
+        twin = Function("k", [], [])
+        twin.new_block("entry").append(Return())
+        module._functions = {"k": f, "k2": twin}
+        twin.name = "k"   # same name under a different registry key
+        with pytest.raises(IRVerificationError) as exc:
+            verify_module(module)
+        assert "duplicate function name" in str(exc.value)
+
+    def test_compile_opencl_verify_raises_dedicated_error(self):
+        from repro.frontend import compile_opencl
+        module = compile_opencl(
+            "__kernel void k(__global float *a) "
+            "{ a[get_global_id(0)] = 1.0f; }")
+        fn = module.kernels[0]
+        fn.blocks[0].instructions.pop()  # drop the terminator
+        from repro.ir.verify import verify_module
+        with pytest.raises(IRVerificationError) as exc:
+            verify_module(module)
+        assert exc.value.function == "k"

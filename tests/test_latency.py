@@ -8,8 +8,6 @@ from repro.ir.instructions import (
     Barrier,
     BinaryOp,
     Call,
-    Cast,
-    GetElementPtr,
     Load,
     Store,
 )

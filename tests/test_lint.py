@@ -1,0 +1,293 @@
+"""Tests for the static kernel linter: one positive and one negative
+kernel per check, plus span and infrastructure coverage."""
+
+import json
+
+import pytest
+
+from repro.lint import (ALL_CHECKS, Diagnostic, Severity, lint_function,
+                        lint_source)
+from repro.frontend import compile_opencl
+
+
+def diags_for(source, check):
+    return [d for d in lint_source(source) if d.check == check]
+
+
+class TestBarrierDivergence:
+    BAD = """
+    __kernel void k(__global float *a) {
+        int lid = get_local_id(0);
+        if (lid < 16) {
+            barrier(CLK_LOCAL_MEM_FENCE);
+        }
+        a[get_global_id(0)] = 1.0f;
+    }
+    """
+    GOOD = """
+    __kernel void k(__global float *a, int n) {
+        int gid = get_global_id(0);
+        if (n > 16) {
+            barrier(CLK_LOCAL_MEM_FENCE);
+        }
+        a[gid] = 1.0f;
+    }
+    """
+
+    def test_divergent_barrier_flagged(self):
+        found = diags_for(self.BAD, "barrier-divergence")
+        assert len(found) == 1
+        d = found[0]
+        assert d.severity is Severity.ERROR
+        assert d.line == 5          # the barrier() call
+        assert d.related[0][0] == 4     # the `if (lid < 16)` condition
+
+    def test_uniform_branch_is_clean(self):
+        # n is a kernel argument: every work-item sees the same value,
+        # so all of them reach (or skip) the barrier together.
+        assert diags_for(self.GOOD, "barrier-divergence") == []
+
+
+class TestLocalRace:
+    BAD = """
+    __kernel void k(__global float *a) {
+        __local float tile[64];
+        int lid = get_local_id(0);
+        tile[lid] = a[get_global_id(0)];
+        a[get_global_id(0)] = tile[63 - lid];
+    }
+    """
+    GOOD = BAD.replace("a[get_global_id(0)] = tile",
+                       "barrier(CLK_LOCAL_MEM_FENCE);\n"
+                       "        a[get_global_id(0)] = tile")
+
+    def test_unbarriered_exchange_flagged(self):
+        found = diags_for(self.BAD, "local-race")
+        assert found
+        d = found[0]
+        assert d.severity is Severity.WARNING
+        assert "tile" in d.message
+        assert d.line == 5          # the write into tile
+
+    def test_barrier_separates_accesses(self):
+        assert diags_for(self.GOOD, "local-race") == []
+
+    def test_own_element_access_is_clean(self):
+        src = """
+        __kernel void k(__global float *a) {
+            __local float tile[64];
+            int lid = get_local_id(0);
+            tile[lid] = a[get_global_id(0)];
+            a[get_global_id(0)] = tile[lid] * 2.0f;
+        }
+        """
+        # Every work-item reads back exactly the element it wrote.
+        assert diags_for(src, "local-race") == []
+
+
+class TestArrayBounds:
+    BAD = """
+    __attribute__((reqd_work_group_size(64, 1, 1)))
+    __kernel void k(__global float *a) {
+        __local float tile[32];
+        int lid = get_local_id(0);
+        tile[lid] = a[get_global_id(0)];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        a[get_global_id(0)] = tile[0];
+    }
+    """
+
+    def test_wg_larger_than_extent_flagged(self):
+        found = diags_for(self.BAD, "array-bounds")
+        assert len(found) == 1
+        d = found[0]
+        assert d.severity is Severity.ERROR
+        assert "extent 32" in d.message
+        assert d.line == 6
+
+    def test_matching_extent_is_clean(self):
+        good = self.BAD.replace("tile[32]", "tile[64]")
+        assert diags_for(good, "array-bounds") == []
+
+    def test_constant_overrun_flagged_without_wg_attribute(self):
+        src = """
+        __kernel void k(__global float *a) {
+            __private float buf[4];
+            buf[7] = a[get_global_id(0)];
+            a[get_global_id(0)] = buf[0];
+        }
+        """
+        found = diags_for(src, "array-bounds")
+        assert len(found) == 1
+        assert "index 7" in found[0].message
+
+
+class TestGlobalStride:
+    BAD = """
+    __kernel void k(__global float *a, __global float *b) {
+        int gid = get_global_id(0);
+        b[gid] = a[gid * 8];
+    }
+    """
+    GOOD = BAD.replace("a[gid * 8]", "a[gid]")
+
+    def test_strided_read_flagged(self):
+        found = diags_for(self.BAD, "global-stride")
+        assert len(found) == 1
+        d = found[0]
+        assert d.severity is Severity.WARNING
+        assert "8 elements" in d.message
+        assert "32 B" in d.message          # float stride in bytes
+        assert "Table 1" in d.message
+
+    def test_unit_stride_is_clean(self):
+        assert diags_for(self.GOOD, "global-stride") == []
+
+    def test_irregular_gather_flagged(self):
+        src = """
+        __kernel void k(__global int *idx, __global float *a,
+                        __global float *b) {
+            int gid = get_global_id(0);
+            b[gid] = a[idx[gid]];
+        }
+        """
+        found = diags_for(src, "global-stride")
+        assert len(found) == 1
+        assert "irregular" in found[0].message
+
+    def test_broadcast_is_clean(self):
+        src = """
+        __kernel void k(__global float *a, __global float *b) {
+            b[get_global_id(0)] = a[0];
+        }
+        """
+        assert diags_for(src, "global-stride") == []
+
+
+class TestRecMIIHazard:
+    BAD = """
+    __kernel void k(__global float *a, __global float *out, int n) {
+        float sum = 0.0f;
+        for (int i = 0; i < n; i++) {
+            sum += a[i];
+        }
+        out[get_global_id(0)] = sum;
+    }
+    """
+    GOOD = """
+    __kernel void k(__global float *a, __global float *out, int n) {
+        for (int i = 0; i < n; i++) {
+            out[i] = a[i] * 2.0f;
+        }
+    }
+    """
+
+    def test_float_accumulator_flagged(self):
+        found = diags_for(self.BAD, "recmii-hazard")
+        assert len(found) == 1
+        d = found[0]
+        assert d.severity is Severity.NOTE
+        assert "'sum'" in d.message
+        assert "RecMII" in d.message
+
+    def test_streaming_loop_is_clean(self):
+        # The only recurrence is the i++ update: RecMII 1, not reported.
+        assert diags_for(self.GOOD, "recmii-hazard") == []
+
+
+class TestDeadCode:
+    BAD = """
+    __kernel void k(__global float *a, __global float *b) {
+        int gid = get_global_id(0);
+        float tmp = a[gid] * 2.0f;
+        b[gid] = a[gid];
+    }
+    """
+    GOOD = BAD.replace("b[gid] = a[gid];", "b[gid] = tmp;")
+
+    def test_dead_store_flagged(self):
+        found = diags_for(self.BAD, "dead-store")
+        assert len(found) == 1
+        d = found[0]
+        assert d.severity is Severity.WARNING
+        assert "tmp" in d.message
+        assert d.line == 4
+
+    def test_used_value_is_clean(self):
+        assert diags_for(self.GOOD, "dead-store") == []
+
+    def test_unused_argument_flagged(self):
+        src = """
+        __kernel void k(__global float *a, __global float *b, int n) {
+            int gid = get_global_id(0);
+            b[gid] = a[gid];
+        }
+        """
+        found = diags_for(src, "unused-arg")
+        assert len(found) == 1
+        assert "'n'" in found[0].message
+        assert found[0].severity is Severity.NOTE
+
+    def test_all_arguments_used_is_clean(self):
+        src = """
+        __kernel void k(__global float *a, __global float *b, int n) {
+            int gid = get_global_id(0);
+            if (gid < n) b[gid] = a[gid];
+        }
+        """
+        assert diags_for(src, "unused-arg") == []
+
+
+class TestRunner:
+    def test_frontend_error_becomes_diagnostic(self):
+        diags = lint_source("__kernel void k( {")
+        assert len(diags) == 1
+        assert diags[0].check == "frontend"
+        assert diags[0].severity is Severity.ERROR
+        assert diags[0].line > 0
+
+    def test_unknown_check_rejected(self):
+        with pytest.raises(ValueError, match="unknown lint check"):
+            lint_source("__kernel void k() {}", checks=["bogus"])
+
+    def test_check_filter(self):
+        diags = lint_source(TestGlobalStride.BAD, checks=["unused-arg"])
+        assert diags == []
+
+    def test_lint_function_entry_point(self):
+        module = compile_opencl(TestDeadCode.BAD)
+        diags = lint_function(module.kernels[0])
+        assert any(d.check == "dead-store" for d in diags)
+
+    def test_diagnostics_sorted_by_position(self):
+        src = TestBarrierDivergence.BAD + TestDeadCode.BAD.replace(
+            "void k", "void k2")
+        diags = lint_source(src)
+        assert diags == sorted(diags, key=lambda d: d.sort_key())
+
+    def test_all_checks_registry_complete(self):
+        assert set(ALL_CHECKS) == {
+            "barrier-divergence", "local-race", "array-bounds",
+            "global-stride", "recmii-hazard", "dead-store", "unused-arg"}
+
+
+class TestDiagnosticType:
+    def test_to_dict_round_trips_through_json(self):
+        d = Diagnostic(check="local-race", severity=Severity.WARNING,
+                       message="m", function="k", line=3, col=7,
+                       hint="h", related=[(1, 2)])
+        payload = json.loads(json.dumps(d.to_dict()))
+        assert payload["check"] == "local-race"
+        assert payload["severity"] == "warning"
+        assert payload["line"] == 3 and payload["col"] == 7
+        assert payload["related"] == [[1, 2]]
+
+    def test_format_contains_position_and_check(self):
+        d = Diagnostic(check="array-bounds", severity=Severity.ERROR,
+                       message="boom", line=9, col=4)
+        text = d.format("k.cl")
+        assert text.startswith("k.cl:9:4: error: [array-bounds] boom")
+
+    def test_severity_ordering(self):
+        assert Severity.ERROR.rank > Severity.WARNING.rank > \
+            Severity.NOTE.rank

@@ -16,7 +16,6 @@ from repro.model.integrate import integrate
 from repro.model.kernel import kernel_computation_model
 from repro.model.memory import MemoryModelResult
 from repro.model.pe import PEModelResult
-from repro.scheduling import ResourceBudget
 
 
 def make_info(src=None, n=512, wg=64, name="k"):

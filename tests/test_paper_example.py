@@ -47,7 +47,7 @@ class TestFigure3Structure:
         graph = DataFlowGraph()
         nodes = []
         ld = _node(graph, 1.0, OpClass.LOCAL_READ, [], nodes)
-        add = _node(graph, 1.0, OpClass.INT_ALU, [0], nodes)
+        _node(graph, 1.0, OpClass.INT_ALU, [0], nodes)
         st = _node(graph, 1.0, OpClass.LOCAL_WRITE, [1], nodes)
         _node(graph, 1.0, OpClass.INT_ALU, [1], nodes)
         _node(graph, 1.0, OpClass.INT_ALU, [3], nodes)

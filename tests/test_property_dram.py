@@ -4,7 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.dram import BankMapping, classify_bank_stream, coalesce_stream
-from repro.dram.coalesce import CoalescedRequest, coalescing_factor
+from repro.dram.coalesce import coalescing_factor
 from repro.dram.controller import DRAMController
 from repro.devices.device import DRAMTiming
 from repro.interp.executor import MemAccess

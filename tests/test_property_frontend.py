@@ -8,7 +8,7 @@ from repro.frontend import compile_opencl
 from repro.frontend.lexer import Lexer
 from repro.interp import Buffer, KernelExecutor, NDRange
 from repro.interp.executor import _c_div, _c_rem, _mask_int
-from repro.ir.types import INT, UINT, common_type, parse_type_name
+from repro.ir.types import common_type, parse_type_name
 
 int32 = st.integers(-(2**31), 2**31 - 1)
 nonzero32 = int32.filter(lambda v: v != 0)

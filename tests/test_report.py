@@ -49,3 +49,28 @@ class TestReport:
         for line in report.splitlines():
             if line.startswith("|"):
                 assert line.rstrip().endswith("|")
+
+
+class TestDiagnosticsSection:
+    def test_diagnostics_rendered_when_passed(self, report):
+        from repro.lint import Diagnostic, Severity
+        diags = [Diagnostic(check="global-stride",
+                            severity=Severity.WARNING,
+                            message="strided read", function="nn",
+                            line=4, col=9)]
+        workload = get_workload("rodinia", "nn", "nn")
+        analyzer = make_analyzer(workload, VIRTEX7)
+        model = FlexCL(VIRTEX7)
+        space = DesignSpace(work_group_sizes=(64,), pe_counts=(1,),
+                            cu_counts=(1,), vector_widths=(1,))
+        result = explore(space, analyzer,
+                         lambda info, d: model.predict(info, d).cycles,
+                         VIRTEX7)
+        text = exploration_report(result, analyzer, model,
+                                  diagnostics=diags)
+        assert "## Diagnostics" in text
+        assert "`global-stride`" in text
+        assert "strided read" in text
+
+    def test_no_section_without_diagnostics(self, report):
+        assert "## Diagnostics" not in report

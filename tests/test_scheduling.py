@@ -2,18 +2,16 @@
 
 import math
 
-import pytest
 
 from repro.analysis.dfg import DataFlowGraph, build_block_dfg
-from repro.analysis.memtrace import Recurrence, TraceAnalysis
+from repro.analysis.memtrace import Recurrence
 from repro.frontend import compile_opencl
 from repro.ir.instructions import BinaryOp
-from repro.ir.types import FLOAT, INT
+from repro.ir.types import INT
 from repro.ir.values import Constant, Register
 from repro.latency.optable import OpClass, OpLatencyTable
 from repro.scheduling import (
     ResourceBudget,
-    compute_mii,
     compute_rec_mii,
     compute_res_mii,
     list_schedule,

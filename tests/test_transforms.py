@@ -1,7 +1,6 @@
 """Tests for the optional IR simplification passes."""
 
 import numpy as np
-import pytest
 
 from repro.frontend import compile_opencl
 from repro.interp import Buffer, KernelExecutor, NDRange

@@ -1,7 +1,6 @@
 """Tests for the #pragma unroll AST transformation."""
 
 import numpy as np
-import pytest
 
 from repro.frontend import compile_opencl
 from repro.interp import Buffer, KernelExecutor, NDRange

@@ -1,7 +1,6 @@
 """Tests for the work-group pipelining optimisation."""
 
 import numpy as np
-import pytest
 
 from repro.analysis import analyze_kernel
 from repro.devices import VIRTEX7

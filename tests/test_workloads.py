@@ -83,7 +83,6 @@ class TestWorkloadBehaviours:
         the diffusion update keeps values finite and near the input."""
         srad = get_workload("rodinia", "srad", "srad")
         bufs = srad.make_buffers()
-        image = bufs["image"].data.copy()
         ex = KernelExecutor(srad.function(), bufs, srad.scalars)
         ex.run(srad.ndrange())
         c = bufs["c"].data
