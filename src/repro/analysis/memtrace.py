@@ -161,20 +161,29 @@ def _inner_stride(per_wi: List[List[int]]) -> Optional[int]:
 def _find_recurrences(site_addrs, site_proto,
                       n_wi: int) -> List[Recurrence]:
     """Find (load site, store site) pairs where work-item i reads what
-    work-item i-d wrote, with a consistent distance d."""
+    work-item i-d wrote, with a consistent distance d.
+
+    The per-work-item address sets are materialised once per site, so
+    the O(sites² × distance × work-items) pair search only intersects
+    prebuilt sets instead of rebuilding them in its innermost loop.
+    """
     recurrences: List[Recurrence] = []
     loads = {s: a for s, a in site_addrs.items()
              if site_proto[s].kind == "read"}
     stores = {s: a for s, a in site_addrs.items()
               if site_proto[s].kind == "write"}
-    for ls, l_addrs in loads.items():
+    load_sets = {s: [frozenset(a) for a in per_wi]
+                 for s, per_wi in loads.items()}
+    store_sets = {s: [frozenset(a) for a in per_wi]
+                  for s, per_wi in stores.items()}
+    for ls, l_sets in load_sets.items():
         l_proto = site_proto[ls]
-        for ss, s_addrs in stores.items():
+        for ss, s_sets in store_sets.items():
             s_proto = site_proto[ss]
             if s_proto.buffer != l_proto.buffer \
                     or s_proto.space != l_proto.space:
                 continue
-            d = _recurrence_distance(l_addrs, s_addrs, n_wi)
+            d = _recurrence_distance(l_sets, s_sets, n_wi)
             if d is not None:
                 recurrences.append(Recurrence(
                     load_site=ls, store_site=ss, space=l_proto.space,
@@ -182,18 +191,22 @@ def _find_recurrences(site_addrs, site_proto,
     return recurrences
 
 
-def _recurrence_distance(l_addrs: List[List[int]],
-                         s_addrs: List[List[int]],
+def _recurrence_distance(l_sets: List[frozenset],
+                         s_sets: List[frozenset],
                          n_wi: int) -> Optional[int]:
+    """Smallest consistent read-after-write distance between two sites'
+    per-work-item address sets (pre-hoisted by the caller — the sets are
+    shared across every candidate distance rather than rebuilt per
+    (distance, work-item) step)."""
     for d in range(1, min(MAX_RECURRENCE_DISTANCE, n_wi - 1) + 1):
         matched = 0
         failed = False
         for i in range(d, n_wi):
-            reads = set(l_addrs[i])
-            writes = set(s_addrs[i - d])
+            reads = l_sets[i]
+            writes = s_sets[i - d]
             if not reads or not writes:
                 continue
-            if reads & writes:
+            if not reads.isdisjoint(writes):
                 matched += 1
             else:
                 failed = True

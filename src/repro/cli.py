@@ -6,7 +6,7 @@
         [--wg 64 --pe 2 --cu 2 --vector 1 --mode pipeline --no-pipeline]
         [--device virtex7] [--simulate]
     python -m repro explore KERNEL.cl --kernel saxpy --global-size 4096
-        [--top 5] [--device virtex7]
+        [--top 5] [--device virtex7] [--jobs N|auto]
     python -m repro lint KERNEL.cl [--json] [--check ID] [--kernel saxpy]
     python -m repro workloads [--suite rodinia]
     python -m repro patterns [--device virtex7]
@@ -26,6 +26,20 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 import numpy as np
+
+
+def _jobs_arg(value: str):
+    """Parse --jobs: a positive int or the literal 'auto'."""
+    if value == "auto":
+        return "auto"
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}")
+    if jobs < 1:
+        raise argparse.ArgumentTypeError("--jobs must be >= 1")
+    return jobs
 
 
 def _build_buffers(fn, global_size: int, overrides: Dict[str, float]):
@@ -57,11 +71,11 @@ def _build_buffers(fn, global_size: int, overrides: Dict[str, float]):
     return buffers, scalars
 
 
-def _analyze(args, wg: Optional[int] = None):
-    from repro.analysis import analyze_kernel
+def _frontend(args):
+    """Run the profile-independent front half once: read the source,
+    lex/parse/lower it, and resolve the device and scalar overrides."""
     from repro.devices import device_by_name
     from repro.frontend import compile_opencl
-    from repro.interp import NDRange
 
     source = Path(args.source).read_text()
     module = compile_opencl(source)
@@ -73,10 +87,23 @@ def _analyze(args, wg: Optional[int] = None):
     overrides = dict(
         kv.split("=", 1) for kv in (args.arg or []))
     overrides = {k: float(v) for k, v in overrides.items()}
+    return fn, device, overrides
+
+
+def _analyze_wg(fn, device, args, overrides, wg: int):
+    """Run the profile-dependent half for one work-group size: fresh
+    synthetic buffers (profiling mutates them) + kernel analysis."""
+    from repro.analysis import analyze_kernel
+    from repro.interp import NDRange
+
     buffers, scalars = _build_buffers(fn, args.global_size, overrides)
-    info = analyze_kernel(fn, buffers, scalars,
-                          NDRange(args.global_size,
-                                  wg or args.wg), device)
+    return analyze_kernel(fn, buffers, scalars,
+                          NDRange(args.global_size, wg), device)
+
+
+def _analyze(args, wg: Optional[int] = None):
+    fn, device, overrides = _frontend(args)
+    info = _analyze_wg(fn, device, args, overrides, wg or args.wg)
     return fn, info, device
 
 
@@ -176,11 +203,13 @@ def cmd_explore(args) -> int:
     from repro.dse import DesignSpace, explore
     from repro.model import FlexCL
 
-    fn, _, device = _analyze(args)   # validates source; device reused
+    # The frontend (lex/parse/lower) runs once; per work-group size only
+    # the profile-dependent half of the analysis is re-run.
+    fn, device, overrides = _frontend(args)
 
     def analyzer(wg):
         try:
-            return _analyze(args, wg=wg)[1]
+            return _analyze_wg(fn, device, args, overrides, wg)
         except Exception:
             return None
 
@@ -188,11 +217,15 @@ def cmd_explore(args) -> int:
     space = DesignSpace.default_for(args.global_size)
     result = explore(space, analyzer,
                      lambda info, d: model.predict(info, d).cycles,
-                     device)
-    feasible = sorted(result.feasible, key=lambda e: e.cycles)
+                     device, jobs=args.jobs,
+                     cache_stats=lambda: model.cache_stats)
+    feasible = result.ranked()
+    workers = f" on {result.jobs} workers" if result.jobs > 1 else ""
     print(f"explored {len(result.evaluated)} designs "
           f"({len(feasible)} feasible) in "
-          f"{result.elapsed_seconds:.1f}s")
+          f"{result.elapsed_seconds:.1f}s{workers}")
+    if result.cache_stats is not None and result.cache_stats.lookups:
+        print(result.cache_stats.summary())
     print(f"\ntop {args.top}:")
     for entry in feasible[:args.top]:
         print(f"  {entry.design!s:<46} {entry.cycles:>12,.0f} cycles")
@@ -261,6 +294,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("explore", help="sweep the design space")
     add_kernel_args(p)
     p.add_argument("--top", type=int, default=5)
+    p.add_argument("--jobs", "-j", type=_jobs_arg, default=None,
+                   metavar="N",
+                   help="worker processes for the sweep "
+                        "('auto' = one per core; default: serial)")
     p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser("lint", help="static kernel diagnostics "

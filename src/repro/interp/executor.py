@@ -8,13 +8,21 @@ when all items have arrived, matching the OpenCL execution model.
 While executing it records the artefacts the FlexCL kernel analysis
 needs (paper §3.2): per-loop trip counts and the per-work-item global
 memory access trace.
+
+The executor is the profiling hot path, so instruction dispatch is
+resolved once at construction: every instruction is compiled into a
+closure with its operand lookups, opcode function, type masking, and
+trace site id pre-bound, and every basic block becomes a flat op list.
+The phase loop then only threads (tag, payload) tuples — no per-step
+``isinstance`` chains or dictionary rebuilds.
 """
 
 from __future__ import annotations
 
 import math
+import operator
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -35,13 +43,12 @@ from repro.ir.instructions import (
     CompareOp,
     CondBranch,
     GetElementPtr,
-    Instruction,
     Load,
     Return,
     Select,
     Store,
 )
-from repro.ir.types import AddressSpace, ArrayType, PointerType, Type
+from repro.ir.types import AddressSpace, ArrayType, PointerType
 from repro.ir.values import Argument, Constant, Register, Value
 
 
@@ -124,9 +131,13 @@ class LaunchResult:
 
 
 class _WorkItemState:
-    """Execution state of one work-item (supports barrier suspension)."""
+    """Execution state of one work-item (supports barrier suspension).
 
-    __slots__ = ("block", "index", "regs", "private", "done", "barrier_hits")
+    Instances are pooled by the executor and reset between work-groups
+    instead of reallocated."""
+
+    __slots__ = ("block", "index", "regs", "private", "done",
+                 "barrier_hits", "trace", "lid", "gid")
 
     def __init__(self, entry: BasicBlock) -> None:
         self.block = entry
@@ -135,6 +146,21 @@ class _WorkItemState:
         self.private = FlatSpace()
         self.done = False
         self.barrier_hits = 0
+        self.trace: List[MemAccess] = []
+        self.lid: Tuple[int, ...] = (0,)
+        self.gid: Tuple[int, ...] = (0,)
+
+    def reset(self, entry: BasicBlock, lid: Tuple[int, ...],
+              gid: Tuple[int, ...]) -> None:
+        self.block = entry
+        self.index = 0
+        self.regs.clear()
+        self.private.reset()
+        self.done = False
+        self.barrier_hits = 0
+        self.trace = []
+        self.lid = lid
+        self.gid = gid
 
 
 def _mask_int(value: int, bits: int, signed: bool) -> int:
@@ -180,6 +206,72 @@ _MATH_2 = {
     "native_divide": lambda a, b: a / b,
     "step": lambda edge, x: 0.0 if x < edge else 1.0,
 }
+
+_CMP_FNS = {
+    "eq": operator.eq, "ne": operator.ne, "lt": operator.lt,
+    "le": operator.le, "gt": operator.gt, "ge": operator.ge,
+}
+
+
+def _int_div(a, b):
+    if b == 0:
+        raise ExecutionError("integer division by zero")
+    return _c_div(int(a), int(b))
+
+
+def _int_rem(a, b):
+    if b == 0:
+        raise ExecutionError("integer remainder by zero")
+    return _c_rem(int(a), int(b))
+
+
+def _float_div(a, b):
+    if b == 0.0:
+        return math.inf if a > 0 else (-math.inf if a < 0 else math.nan)
+    return float(a) / float(b)
+
+
+def _bin_fn(opcode: str, t) -> Optional[Callable]:
+    """Resolve a BinaryOp opcode into an (a, b) -> result callable
+    (None when the opcode is unknown)."""
+    if opcode == "add":
+        return operator.add
+    if opcode == "sub":
+        return operator.sub
+    if opcode == "mul":
+        return operator.mul
+    if opcode == "div":
+        return _int_div
+    if opcode == "rem":
+        return _int_rem
+    if opcode == "and":
+        return lambda a, b: int(a) & int(b)
+    if opcode == "or":
+        return lambda a, b: int(a) | int(b)
+    if opcode == "xor":
+        return lambda a, b: int(a) ^ int(b)
+    if opcode == "shl":
+        return lambda a, b: int(a) << (int(b) & 63)
+    if opcode == "shr":
+        if t.is_signed:
+            return lambda a, b: int(a) >> (int(b) & 63)
+        bits = t.bits
+        return lambda a, b: (int(a) & ((1 << bits) - 1)) >> (int(b) & 63)
+    if opcode == "fadd":
+        return lambda a, b: float(a) + float(b)
+    if opcode == "fsub":
+        return lambda a, b: float(a) - float(b)
+    if opcode == "fmul":
+        return lambda a, b: float(a) * float(b)
+    if opcode == "fdiv":
+        return _float_div
+    if opcode == "frem":
+        return lambda a, b: math.fmod(float(a), float(b))
+    return None
+
+
+#: compiled-op tags (first tuple element of each block-code entry)
+_OP_EXEC, _OP_BARRIER, _OP_RETURN, _OP_BR, _OP_CBR = range(5)
 
 
 class KernelExecutor:
@@ -232,6 +324,18 @@ class KernelExecutor:
         self._site_of: Dict[int, int] = {
             id(inst): i for i, inst in enumerate(fn.instructions())
         }
+        # Per-group execution environment, rebound by _run_group; the
+        # compiled closures read these through self so one compilation
+        # serves every group.
+        self._ndrange: Optional[NDRange] = None
+        self._local_mem = FlatSpace()
+        self._local_allocas: Dict[int, int] = {}
+        self._state_pool: List[_WorkItemState] = []
+        self._lid_cache: Dict[Tuple[int, ...], List[Tuple[int, ...]]] = {}
+        #: id(block) -> flat list of compiled (tag, ...) ops
+        self._code: Dict[int, list] = {
+            id(block): self._compile_block(block) for block in fn.blocks
+        }
 
     # -- public API --------------------------------------------------------
 
@@ -240,6 +344,7 @@ class KernelExecutor:
         """Execute the NDRange (optionally only the first *max_groups*
         work-groups, as the paper's profiler does) and collect traces."""
         result = LaunchResult()
+        self._ndrange = ndrange
         group_list = list(ndrange.group_ids())
         if max_groups is not None:
             group_list = group_list[:max_groups]
@@ -252,19 +357,27 @@ class KernelExecutor:
 
     # -- execution ---------------------------------------------------------
 
+    def _local_ids(self, ndrange: NDRange) -> List[Tuple[int, ...]]:
+        lids = self._lid_cache.get(ndrange.local_size)
+        if lids is None:
+            lids = [tuple(reversed(rev_lid)) for rev_lid in
+                    np.ndindex(*reversed(ndrange.local_size))]
+            self._lid_cache[ndrange.local_size] = lids
+        return lids
+
     def _run_group(self, group_id: Tuple[int, ...], ndrange: NDRange,
                    result: LaunchResult, record: bool) -> None:
-        local_mem = FlatSpace()
-        local_allocas: Dict[int, int] = {}   # alloca inst id -> base addr
-        states: List[_WorkItemState] = []
-        contexts: List[Dict[str, Tuple[int, ...]]] = []
+        self._local_mem = FlatSpace()
+        self._local_allocas = {}
+        entry = self.fn.entry
+        lids = self._local_ids(ndrange)
+        pool = self._state_pool
+        while len(pool) < len(lids):
+            pool.append(_WorkItemState(entry))
+        states = pool[:len(lids)]
+        for state, lid in zip(states, lids):
+            state.reset(entry, lid, group_id)
 
-        for rev_lid in np.ndindex(*reversed(ndrange.local_size)):
-            lid = tuple(reversed(rev_lid))
-            states.append(_WorkItemState(self.fn.entry))
-            contexts.append({"local_id": lid, "group_id": group_id})
-
-        traces: List[List[MemAccess]] = [[] for _ in states]
         block_counts: Dict[str, int] = {}
 
         # Phase execution: run every item until barrier/finish, repeat.
@@ -277,15 +390,13 @@ class KernelExecutor:
                                      "(runaway barrier loop?)")
             arrived: List[int] = []
             for i in live:
-                reason = self._run_until_barrier(
-                    states[i], contexts[i], ndrange, local_mem,
-                    local_allocas, traces[i], block_counts)
+                reason = self._run_until_barrier(states[i], block_counts)
                 if reason == "barrier":
                     arrived.append(i)
             live = arrived
 
         if record:
-            result.traces.extend(traces)
+            result.traces.extend(s.trace for s in states)
             for name, count in block_counts.items():
                 result.block_counts[name] = (
                     result.block_counts.get(name, 0) + count)
@@ -293,48 +404,89 @@ class KernelExecutor:
                 result.barriers_per_item, states[0].barrier_hits)
         result.work_items_executed += len(states)
 
-    def _run_until_barrier(self, state: _WorkItemState, context,
-                           ndrange: NDRange, local_mem: FlatSpace,
-                           local_allocas: Dict[int, int],
-                           trace: List[MemAccess],
+    def _run_until_barrier(self, state: _WorkItemState,
                            block_counts: Dict[str, int]) -> str:
         if state.done:
             return "done"
+        code_of = self._code
+        block = state.block
+        ops = code_of[id(block)]
+        index = state.index
         steps = 0
+        max_steps = self.max_steps
+        get_count = block_counts.get
         while True:
             steps += 1
-            if steps > self.max_steps:
+            if steps > max_steps:
                 raise ExecutionError("work-item exceeded step limit "
                                      "(infinite loop?)")
-            block = state.block
-            if state.index == 0:
-                block_counts[block.name] = block_counts.get(block.name, 0) + 1
-            if state.index >= len(block.instructions):
+            if index == 0:
+                name = block.name
+                block_counts[name] = get_count(name, 0) + 1
+            if index >= len(ops):
                 raise ExecutionError(f"fell off the end of {block.name}")
-            inst = block.instructions[state.index]
-            state.index += 1
-
-            if isinstance(inst, Barrier):
+            op = ops[index]
+            index += 1
+            tag = op[0]
+            if tag == _OP_EXEC:
+                op[1](state)
+            elif tag == _OP_BR:
+                block = op[1]
+                ops = code_of[id(block)]
+                index = 0
+            elif tag == _OP_CBR:
+                block = op[2] if op[1](state) else op[3]
+                ops = code_of[id(block)]
+                index = 0
+            elif tag == _OP_BARRIER:
                 state.barrier_hits += 1
+                state.block = block
+                state.index = index
                 return "barrier"
-            if isinstance(inst, Return):
+            else:   # _OP_RETURN
                 state.done = True
                 return "done"
-            if isinstance(inst, Branch):
-                state.block = inst.target
-                state.index = 0
-                continue
-            if isinstance(inst, CondBranch):
-                cond = self._value(state, inst.cond)
-                state.block = inst.then_block if cond else inst.else_block
-                state.index = 0
-                continue
-            self._execute(inst, state, context, ndrange, local_mem,
-                          local_allocas, trace)
 
-    # -- instruction semantics ----------------------------------------------
+    # -- instruction compilation --------------------------------------------
+
+    def _compile_block(self, block: BasicBlock) -> list:
+        ops = []
+        for inst in block.instructions:
+            if isinstance(inst, Barrier):
+                ops.append((_OP_BARRIER,))
+            elif isinstance(inst, Return):
+                ops.append((_OP_RETURN,))
+            elif isinstance(inst, Branch):
+                ops.append((_OP_BR, inst.target))
+            elif isinstance(inst, CondBranch):
+                ops.append((_OP_CBR, self._getter(inst.cond),
+                            inst.then_block, inst.else_block))
+            else:
+                ops.append((_OP_EXEC, self._compile(inst)))
+        return ops
+
+    def _getter(self, v: Value) -> Callable[[_WorkItemState], object]:
+        """Pre-resolve one operand into a ``state -> value`` callable."""
+        if isinstance(v, Constant):
+            value = v.value
+            return lambda state: value
+        if isinstance(v, Argument):
+            value = self._arg_values[id(v)]
+            return lambda state: value
+        if isinstance(v, Register):
+            key = id(v)
+
+            def get_register(state, _key=key, _v=v):
+                try:
+                    return state.regs[_key]
+                except KeyError:
+                    raise ExecutionError(
+                        f"use of undefined register {_v}") from None
+            return get_register
+        raise ExecutionError(f"cannot evaluate {v!r}")
 
     def _value(self, state: _WorkItemState, v: Value):
+        """Evaluate one operand (slow path kept for introspection)."""
         if isinstance(v, Constant):
             return v.value
         if isinstance(v, Argument):
@@ -345,143 +497,152 @@ class KernelExecutor:
             return state.regs[id(v)]
         raise ExecutionError(f"cannot evaluate {v!r}")
 
-    def _execute(self, inst: Instruction, state: _WorkItemState, context,
-                 ndrange: NDRange, local_mem: FlatSpace,
-                 local_allocas: Dict[int, int],
-                 trace: List[MemAccess]) -> None:
-        if isinstance(inst, Alloca):
-            self._exec_alloca(inst, state, local_mem, local_allocas)
-        elif isinstance(inst, BinaryOp):
-            state.regs[id(inst.result)] = self._exec_binop(inst, state)
-        elif isinstance(inst, CompareOp):
-            lhs = self._value(state, inst.lhs)
-            rhs = self._value(state, inst.rhs)
-            state.regs[id(inst.result)] = self._exec_compare(inst.pred,
-                                                             lhs, rhs)
-        elif isinstance(inst, Cast):
-            state.regs[id(inst.result)] = self._exec_cast(inst, state)
-        elif isinstance(inst, Select):
-            cond, a, b = (self._value(state, o) for o in inst.operands)
-            state.regs[id(inst.result)] = a if cond else b
-        elif isinstance(inst, Load):
-            state.regs[id(inst.result)] = self._exec_load(
-                inst, state, local_mem, trace)
-        elif isinstance(inst, Store):
-            self._exec_store(inst, state, local_mem, trace)
-        elif isinstance(inst, GetElementPtr):
-            base = self._value(state, inst.base)
-            index = self._value(state, inst.index)
-            elem: Type = inst.base.type.pointee  # type: ignore[union-attr]
-            if isinstance(elem, ArrayType):
-                elem = elem.element
-            state.regs[id(inst.result)] = base.offset(
-                int(index) * max(elem.bytes, 1))
-        elif isinstance(inst, Call):
-            value = self._exec_call(inst, state, context, ndrange,
-                                    local_mem, trace)
-            if inst.result is not None:
-                state.regs[id(inst.result)] = value
-        else:
-            raise ExecutionError(f"cannot execute {inst!r}")
-
-    def _exec_alloca(self, inst: Alloca, state: _WorkItemState,
-                     local_mem: FlatSpace,
-                     local_allocas: Dict[int, int]) -> None:
-        nbytes = max(inst.allocated.bytes, 1)
-        if inst.space == AddressSpace.LOCAL:
-            # Local allocas are shared: allocate once per work-group.
-            if id(inst) not in local_allocas:
-                local_allocas[id(inst)] = local_mem.allocate(nbytes)
-            addr = local_allocas[id(inst)]
-        else:
-            addr = state.private.allocate(nbytes)
-        state.regs[id(inst.result)] = PointerValue(inst.space, addr)
-
-    def _exec_binop(self, inst: BinaryOp, state: _WorkItemState):
-        a = self._value(state, inst.lhs)
-        b = self._value(state, inst.rhs)
-        op = inst.opcode
-        # Pointer arithmetic only arrives via gep, so operands are numbers.
-        if op == "add":
-            r = a + b
-        elif op == "sub":
-            r = a - b
-        elif op == "mul":
-            r = a * b
-        elif op == "div":
-            if b == 0:
-                raise ExecutionError("integer division by zero")
-            r = _c_div(int(a), int(b))
-        elif op == "rem":
-            if b == 0:
-                raise ExecutionError("integer remainder by zero")
-            r = _c_rem(int(a), int(b))
-        elif op == "and":
-            r = int(a) & int(b)
-        elif op == "or":
-            r = int(a) | int(b)
-        elif op == "xor":
-            r = int(a) ^ int(b)
-        elif op == "shl":
-            r = int(a) << (int(b) & 63)
-        elif op == "shr":
-            if inst.type.is_signed:
-                r = int(a) >> (int(b) & 63)
-            else:
-                bits = inst.type.bits
-                r = (int(a) & ((1 << bits) - 1)) >> (int(b) & 63)
-        elif op == "fadd":
-            r = float(a) + float(b)
-        elif op == "fsub":
-            r = float(a) - float(b)
-        elif op == "fmul":
-            r = float(a) * float(b)
-        elif op == "fdiv":
-            if b == 0.0:
-                r = math.inf if a > 0 else (-math.inf if a < 0 else math.nan)
-            else:
-                r = float(a) / float(b)
-        elif op == "frem":
-            r = math.fmod(float(a), float(b))
-        else:
-            raise ExecutionError(f"unknown binop {op}")
-        t = inst.type
-        if t.is_integer and not isinstance(r, float):
-            r = _mask_int(int(r), t.bits, t.is_signed)
-        return r
-
     @staticmethod
-    def _exec_compare(pred: str, lhs, rhs) -> int:
-        table = {
-            "eq": lhs == rhs, "ne": lhs != rhs, "lt": lhs < rhs,
-            "le": lhs <= rhs, "gt": lhs > rhs, "ge": lhs >= rhs,
-        }
-        return 1 if table[pred] else 0
+    def _raiser(message: str) -> Callable[[_WorkItemState], None]:
+        """A compiled op that fails at execution time (not at
+        compilation), matching the interpreter's old error timing."""
+        def step(state):
+            raise ExecutionError(message)
+        return step
 
-    def _exec_cast(self, inst: Cast, state: _WorkItemState):
-        v = self._value(state, inst.value)
+    def _compile(self, inst) -> Callable[[_WorkItemState], None]:
+        if isinstance(inst, Alloca):
+            return self._compile_alloca(inst)
+        if isinstance(inst, BinaryOp):
+            return self._compile_binop(inst)
+        if isinstance(inst, CompareOp):
+            return self._compile_compare(inst)
+        if isinstance(inst, Cast):
+            return self._compile_cast(inst)
+        if isinstance(inst, Select):
+            return self._compile_select(inst)
+        if isinstance(inst, Load):
+            return self._compile_load(inst)
+        if isinstance(inst, Store):
+            return self._compile_store(inst)
+        if isinstance(inst, GetElementPtr):
+            return self._compile_gep(inst)
+        if isinstance(inst, Call):
+            return self._compile_call(inst)
+        return self._raiser(f"cannot execute {inst!r}")
+
+    def _compile_alloca(self, inst: Alloca) -> Callable:
+        nbytes = max(inst.allocated.bytes, 1)
+        rid = id(inst.result)
+        space = inst.space
+        if space == AddressSpace.LOCAL:
+            # Local allocas are shared: allocate once per work-group.
+            key = id(inst)
+
+            def step(state):
+                allocas = self._local_allocas
+                addr = allocas.get(key)
+                if addr is None:
+                    addr = self._local_mem.allocate(nbytes)
+                    allocas[key] = addr
+                state.regs[rid] = PointerValue(space, addr)
+        else:
+            def step(state):
+                state.regs[rid] = PointerValue(
+                    space, state.private.allocate(nbytes))
+        return step
+
+    def _compile_binop(self, inst: BinaryOp) -> Callable:
+        get_a = self._getter(inst.lhs)
+        get_b = self._getter(inst.rhs)
+        fn = _bin_fn(inst.opcode, inst.type)
+        if fn is None:
+            return self._raiser(f"unknown binop {inst.opcode}")
+        t = inst.type
+        rid = id(inst.result)
+        if t.is_integer:
+            bits, signed = t.bits, t.is_signed
+
+            def step(state):
+                r = fn(get_a(state), get_b(state))
+                if not isinstance(r, float):
+                    r = _mask_int(int(r), bits, signed)
+                state.regs[rid] = r
+        else:
+            def step(state):
+                state.regs[rid] = fn(get_a(state), get_b(state))
+        return step
+
+    def _compile_compare(self, inst: CompareOp) -> Callable:
+        fn = _CMP_FNS.get(inst.pred)
+        if fn is None:
+            return self._raiser(f"unknown compare {inst.pred!r}")
+        get_a = self._getter(inst.lhs)
+        get_b = self._getter(inst.rhs)
+        rid = id(inst.result)
+
+        def step(state):
+            state.regs[rid] = 1 if fn(get_a(state), get_b(state)) else 0
+        return step
+
+    def _compile_cast(self, inst: Cast) -> Callable:
+        get_v = self._getter(inst.value)
+        rid = id(inst.result)
         kind = inst.kind
         t = inst.type
-        if kind in ("ptrcast",):
-            return v
-        if kind == "bitcast":
+        if kind == "ptrcast":
+            def step(state):
+                state.regs[rid] = get_v(state)
+        elif kind == "bitcast":
             # Same-width integer reinterpretation (int <-> uint):
             # re-mask under the target's signedness.  Bit-level float
             # punning is outside the supported subset.
-            if t.is_integer and not isinstance(v, float):
-                return _mask_int(int(v), t.bits, t.is_signed)
-            return v
-        if kind in ("sitofp", "uitofp"):
-            return float(v)
-        if kind in ("fptosi", "fptoui"):
-            return _mask_int(int(v), t.bits, t.is_signed)
-        if kind in ("fpext", "fptrunc"):
+            if t.is_integer:
+                bits, signed = t.bits, t.is_signed
+
+                def step(state):
+                    v = get_v(state)
+                    state.regs[rid] = (v if isinstance(v, float)
+                                       else _mask_int(int(v), bits, signed))
+            else:
+                def step(state):
+                    state.regs[rid] = get_v(state)
+        elif kind in ("sitofp", "uitofp"):
+            def step(state):
+                state.regs[rid] = float(get_v(state))
+        elif kind in ("fptosi", "fptoui", "trunc", "zext", "sext"):
+            bits, signed = t.bits, t.is_signed
+
+            def step(state):
+                state.regs[rid] = _mask_int(int(get_v(state)), bits, signed)
+        elif kind in ("fpext", "fptrunc"):
             if t.bits == 32:
-                return float(np.float32(v))
-            return float(v)
-        if kind in ("trunc", "zext", "sext"):
-            return _mask_int(int(v), t.bits, t.is_signed)
-        raise ExecutionError(f"unknown cast {kind}")
+                def step(state):
+                    state.regs[rid] = float(np.float32(get_v(state)))
+            else:
+                def step(state):
+                    state.regs[rid] = float(get_v(state))
+        else:
+            return self._raiser(f"unknown cast {kind}")
+        return step
+
+    def _compile_select(self, inst: Select) -> Callable:
+        get_c, get_a, get_b = (self._getter(o) for o in inst.operands)
+        rid = id(inst.result)
+
+        def step(state):
+            cond, a, b = get_c(state), get_a(state), get_b(state)
+            state.regs[rid] = a if cond else b
+        return step
+
+    def _compile_gep(self, inst: GetElementPtr) -> Callable:
+        get_base = self._getter(inst.base)
+        get_index = self._getter(inst.index)
+        elem = inst.base.type.pointee  # type: ignore[union-attr]
+        if isinstance(elem, ArrayType):
+            elem = elem.element
+        scale = max(elem.bytes, 1)
+        rid = id(inst.result)
+
+        def step(state):
+            state.regs[rid] = get_base(state).offset(
+                int(get_index(state)) * scale)
+        return step
 
     def _buffer_name(self, addr: int) -> str:
         for lo, hi, name in self._addr_to_buffer:
@@ -489,103 +650,202 @@ class KernelExecutor:
                 return name
         return "?"
 
-    def _exec_load(self, inst: Load, state: _WorkItemState,
-                   local_mem: FlatSpace, trace: List[MemAccess]):
-        ptr = self._value(state, inst.pointer)
+    def _compile_load(self, inst: Load) -> Callable:
+        get_ptr = self._getter(inst.pointer)
         nbytes = max(inst.type.bytes, 1)
         site = self._site_of.get(id(inst), -1)
-        if ptr.space == AddressSpace.PRIVATE:
-            return state.private.load(ptr.addr)
-        if ptr.space in (AddressSpace.LOCAL, AddressSpace.CONSTANT):
-            trace.append(MemAccess("read", ptr.addr, nbytes, "__local",
-                                   space="local", site=site))
-            return local_mem.load(ptr.addr, default=0)
-        value = self.memory.load(ptr.addr, nbytes)
-        trace.append(MemAccess("read", ptr.addr, nbytes,
-                               self._buffer_name(ptr.addr), site=site))
-        return value
+        rid = id(inst.result)
+        memory = self.memory
 
-    def _exec_store(self, inst: Store, state: _WorkItemState,
-                    local_mem: FlatSpace, trace: List[MemAccess]) -> None:
-        ptr = self._value(state, inst.pointer)
-        value = self._value(state, inst.value)
+        def step(state):
+            ptr = get_ptr(state)
+            space = ptr.space
+            if space == AddressSpace.PRIVATE:
+                state.regs[rid] = state.private.load(ptr.addr)
+            elif space == AddressSpace.LOCAL \
+                    or space == AddressSpace.CONSTANT:
+                state.trace.append(MemAccess(
+                    "read", ptr.addr, nbytes, "__local",
+                    space="local", site=site))
+                state.regs[rid] = self._local_mem.load(ptr.addr, default=0)
+            else:
+                value = memory.load(ptr.addr, nbytes)
+                state.trace.append(MemAccess(
+                    "read", ptr.addr, nbytes,
+                    self._buffer_name(ptr.addr), site=site))
+                state.regs[rid] = value
+        return step
+
+    def _compile_store(self, inst: Store) -> Callable:
+        get_ptr = self._getter(inst.pointer)
+        get_value = self._getter(inst.value)
         nbytes = max(inst.value.type.bytes, 1)
         site = self._site_of.get(id(inst), -1)
-        if ptr.space == AddressSpace.PRIVATE:
-            state.private.store(ptr.addr, value)
-            return
-        if ptr.space in (AddressSpace.LOCAL, AddressSpace.CONSTANT):
-            trace.append(MemAccess("write", ptr.addr, nbytes, "__local",
-                                   space="local", site=site))
-            local_mem.store(ptr.addr, value)
-            return
-        self.memory.store(ptr.addr, nbytes, value)
-        trace.append(MemAccess("write", ptr.addr, nbytes,
-                               self._buffer_name(ptr.addr), site=site))
+        memory = self.memory
 
-    def _exec_call(self, inst: Call, state: _WorkItemState, context,
-                   ndrange: NDRange, local_mem: FlatSpace,
-                   trace: List[MemAccess]):
+        def step(state):
+            ptr = get_ptr(state)
+            value = get_value(state)
+            space = ptr.space
+            if space == AddressSpace.PRIVATE:
+                state.private.store(ptr.addr, value)
+            elif space == AddressSpace.LOCAL \
+                    or space == AddressSpace.CONSTANT:
+                state.trace.append(MemAccess(
+                    "write", ptr.addr, nbytes, "__local",
+                    space="local", site=site))
+                self._local_mem.store(ptr.addr, value)
+            else:
+                memory.store(ptr.addr, nbytes, value)
+                state.trace.append(MemAccess(
+                    "write", ptr.addr, nbytes,
+                    self._buffer_name(ptr.addr), site=site))
+        return step
+
+    def _compile_call(self, inst: Call) -> Callable:
         name = inst.callee
-        args = [self._value(state, a) for a in inst.operands]
-        lid = context["local_id"]
-        gid = context["group_id"]
-        if name == "get_local_id":
-            d = int(args[0])
-            return lid[d] if d < len(lid) else 0
-        if name == "get_group_id":
-            d = int(args[0])
-            return gid[d] if d < len(gid) else 0
-        if name == "get_global_id":
-            d = int(args[0])
-            if d >= ndrange.dims:
-                return 0
-            return gid[d] * ndrange.local_size[d] + lid[d]
-        if name == "get_global_size":
-            d = int(args[0])
-            return ndrange.global_size[d] if d < ndrange.dims else 1
-        if name == "get_local_size":
-            d = int(args[0])
-            return ndrange.local_size[d] if d < ndrange.dims else 1
-        if name == "get_num_groups":
-            d = int(args[0])
-            return ndrange.num_groups[d] if d < ndrange.dims else 1
-        if name == "get_global_offset":
-            return 0
-        if name == "get_work_dim":
-            return ndrange.dims
-        if name in _MATH_1:
-            return _MATH_1[name](float(args[0]))
-        if name in _MATH_2:
-            return _MATH_2[name](float(args[0]), float(args[1]))
-        if name in ("mad", "fma"):
-            return float(args[0]) * float(args[1]) + float(args[2])
-        if name == "clamp":
-            return min(max(args[0], args[1]), args[2])
-        if name == "mix":
-            return args[0] + (args[1] - args[0]) * args[2]
-        if name == "min":
-            return min(args[0], args[1])
-        if name == "max":
-            return max(args[0], args[1])
-        if name == "abs":
-            return abs(args[0])
-        if name in ("mul24",):
-            return _mask_int(int(args[0]) * int(args[1]), 32, True)
-        if name in ("mad24",):
-            return _mask_int(int(args[0]) * int(args[1]) + int(args[2]),
-                             32, True)
-        if name.startswith("atomic_"):
-            return self._exec_atomic(name, inst, args, local_mem, trace)
-        raise ExecutionError(f"unknown builtin {name!r}")
+        getters = [self._getter(a) for a in inst.operands]
+        value_fn = self._compile_builtin(name, inst, getters)
+        if value_fn is None:
+            return self._raiser(f"unknown builtin {name!r}")
+        if inst.result is None:
+            def step(state):
+                value_fn(state)
+        else:
+            rid = id(inst.result)
 
-    def _exec_atomic(self, name: str, inst: Call, args, local_mem: FlatSpace,
-                     trace: List[MemAccess]):
+            def step(state):
+                state.regs[rid] = value_fn(state)
+        return step
+
+    def _compile_builtin(self, name: str, inst: Call,
+                         getters: List[Callable]) -> Optional[Callable]:
+        """Resolve one builtin call into a ``state -> value`` closure
+        (None when the builtin is unknown)."""
+        if name == "get_local_id":
+            get_d = getters[0]
+
+            def value_fn(state):
+                d = int(get_d(state))
+                lid = state.lid
+                return lid[d] if d < len(lid) else 0
+        elif name == "get_group_id":
+            get_d = getters[0]
+
+            def value_fn(state):
+                d = int(get_d(state))
+                gid = state.gid
+                return gid[d] if d < len(gid) else 0
+        elif name == "get_global_id":
+            get_d = getters[0]
+
+            def value_fn(state):
+                d = int(get_d(state))
+                nd = self._ndrange
+                if d >= nd.dims:
+                    return 0
+                return state.gid[d] * nd.local_size[d] + state.lid[d]
+        elif name == "get_global_size":
+            get_d = getters[0]
+
+            def value_fn(state):
+                d = int(get_d(state))
+                nd = self._ndrange
+                return nd.global_size[d] if d < nd.dims else 1
+        elif name == "get_local_size":
+            get_d = getters[0]
+
+            def value_fn(state):
+                d = int(get_d(state))
+                nd = self._ndrange
+                return nd.local_size[d] if d < nd.dims else 1
+        elif name == "get_num_groups":
+            get_d = getters[0]
+
+            def value_fn(state):
+                d = int(get_d(state))
+                nd = self._ndrange
+                return nd.num_groups[d] if d < nd.dims else 1
+        elif name == "get_global_offset":
+            def value_fn(state):
+                return 0
+        elif name == "get_work_dim":
+            def value_fn(state):
+                return self._ndrange.dims
+        elif name in _MATH_1:
+            fn = _MATH_1[name]
+            get_x = getters[0]
+
+            def value_fn(state):
+                return fn(float(get_x(state)))
+        elif name in _MATH_2:
+            fn = _MATH_2[name]
+            get_x, get_y = getters[0], getters[1]
+
+            def value_fn(state):
+                return fn(float(get_x(state)), float(get_y(state)))
+        elif name in ("mad", "fma"):
+            get_x, get_y, get_z = getters
+
+            def value_fn(state):
+                return (float(get_x(state)) * float(get_y(state))
+                        + float(get_z(state)))
+        elif name == "clamp":
+            get_x, get_lo, get_hi = getters
+
+            def value_fn(state):
+                return min(max(get_x(state), get_lo(state)),
+                           get_hi(state))
+        elif name == "mix":
+            get_x, get_y, get_t = getters
+
+            def value_fn(state):
+                x = get_x(state)
+                return x + (get_y(state) - x) * get_t(state)
+        elif name == "min":
+            get_x, get_y = getters
+
+            def value_fn(state):
+                return min(get_x(state), get_y(state))
+        elif name == "max":
+            get_x, get_y = getters
+
+            def value_fn(state):
+                return max(get_x(state), get_y(state))
+        elif name == "abs":
+            get_x = getters[0]
+
+            def value_fn(state):
+                return abs(get_x(state))
+        elif name == "mul24":
+            get_x, get_y = getters
+
+            def value_fn(state):
+                return _mask_int(int(get_x(state)) * int(get_y(state)),
+                                 32, True)
+        elif name == "mad24":
+            get_x, get_y, get_z = getters
+
+            def value_fn(state):
+                return _mask_int(
+                    int(get_x(state)) * int(get_y(state))
+                    + int(get_z(state)), 32, True)
+        elif name.startswith("atomic_"):
+            def value_fn(state):
+                args = [g(state) for g in getters]
+                return self._exec_atomic(name, inst, args, state)
+        else:
+            return None
+        return value_fn
+
+    def _exec_atomic(self, name: str, inst: Call, args,
+                     state: _WorkItemState):
         ptr: PointerValue = args[0]
         nbytes = 4
         site = self._site_of.get(id(inst), -1)
+        trace = state.trace
         if ptr.space == AddressSpace.LOCAL:
-            old = local_mem.load(ptr.addr, default=0)
+            old = self._local_mem.load(ptr.addr, default=0)
         else:
             old = self.memory.load(ptr.addr, nbytes)
             trace.append(MemAccess("read", ptr.addr, nbytes,
@@ -609,7 +869,7 @@ class KernelExecutor:
         else:
             raise ExecutionError(f"unknown atomic {name!r}")
         if ptr.space == AddressSpace.LOCAL:
-            local_mem.store(ptr.addr, new)
+            self._local_mem.store(ptr.addr, new)
         else:
             self.memory.store(ptr.addr, nbytes, new)
             trace.append(MemAccess("write", ptr.addr, nbytes,

@@ -132,6 +132,12 @@ class FlatSpace:
         self._values: Dict[int, object] = {}
         self._next = 64  # keep 0 invalid
 
+    def reset(self) -> None:
+        """Forget every value and allocation (cheaper than a new
+        instance when the executor reuses work-item state)."""
+        self._values.clear()
+        self._next = 64
+
     def allocate(self, nbytes: int, align: int = 8) -> int:
         self._next = -(-self._next // align) * align
         addr = self._next

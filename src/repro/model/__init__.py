@@ -11,23 +11,27 @@ The model composes bottom-up (Figure 2):
   Eq. 9;
 - :mod:`repro.model.integrate` — barrier / pipeline communication modes,
   Eqs. 10–12;
+- :mod:`repro.model.memo` — sub-model memoization for fast sweeps;
 - :class:`repro.model.FlexCL` — the public entry point.
 """
 
 from repro.model.pe import PEModelResult, pe_model
 from repro.model.cu import CUModelResult, cu_model, effective_pe_parallelism
 from repro.model.kernel import KernelModelResult, kernel_computation_model
+from repro.model.memo import CacheStats, SubModelCache
 from repro.model.memory import MemoryModelResult, memory_model
 from repro.model.integrate import integrate
 from repro.model.flexcl import FlexCL, Prediction
 
 __all__ = [
     "CUModelResult",
+    "CacheStats",
     "FlexCL",
     "KernelModelResult",
     "MemoryModelResult",
     "PEModelResult",
     "Prediction",
+    "SubModelCache",
     "cu_model",
     "effective_pe_parallelism",
     "integrate",

@@ -22,6 +22,7 @@ from repro.dse.space import Design
 from repro.model.cu import CUModelResult, cu_model
 from repro.model.integrate import IntegrationResult, integrate
 from repro.model.kernel import KernelModelResult, kernel_computation_model
+from repro.model.memo import CacheStats, SubModelCache
 from repro.model.memory import (
     MemoryModelResult,
     memory_model,
@@ -73,16 +74,25 @@ class FlexCL:
     full model: *model_scheduling_overhead* (Eqs. 7–8's ΔL term),
     *model_coalescing* (§3.4), *model_patterns* (Table 1; when off, a
     single average latency prices every request).
+
+    With *memoize* (the default) the expensive sub-models are cached on
+    the parameters they actually depend on — the PE schedule on
+    ``(wg_size, budget, pipelined)``, the memory model on
+    ``(wg_size, pipelined, coalescing)`` — which makes full design-space
+    sweeps many times faster without changing a single predicted cycle.
+    ``cache_stats`` reports the hit/miss counts.
     """
 
     def __init__(self, device,
                  model_scheduling_overhead: bool = True,
                  model_coalescing: bool = True,
-                 model_patterns: bool = True) -> None:
+                 model_patterns: bool = True,
+                 memoize: bool = True) -> None:
         self.device = device
         self.model_scheduling_overhead = model_scheduling_overhead
         self.model_coalescing = model_coalescing
         self.model_patterns = model_patterns
+        self._cache = SubModelCache() if memoize else None
         self._pattern_table = pattern_table_for(device)
         if not model_patterns:
             avg = (sum(self._pattern_table.latencies.values())
@@ -90,6 +100,48 @@ class FlexCL:
             flat = {p: avg for p in self._pattern_table.latencies}
             from repro.dram.microbench import PatternLatencyTable
             self._pattern_table = PatternLatencyTable(latencies=flat)
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss counters of the sub-model memo (zeros when
+        memoization is disabled)."""
+        if self._cache is None:
+            return CacheStats()
+        return self._cache.stats.copy()
+
+    def clear_cache(self) -> None:
+        """Drop memoized sub-model results (e.g. between kernels)."""
+        if self._cache is not None:
+            self._cache.clear()
+
+    def _pe_model(self, info: KernelInfo, design: Design,
+                  budget: ResourceBudget) -> PEModelResult:
+        """PE schedule, memoized on what it reads: the analysed kernel,
+        the per-PE resource budget, pipelining, and work-group size."""
+        pipelined = design.work_item_pipeline
+        wg = design.work_group_size
+        if self._cache is None:
+            return pe_model(info, budget, pipelined=pipelined, wg_size=wg)
+        return self._cache.get(
+            "pe", info, (wg, budget, pipelined),
+            lambda: pe_model(info, budget, pipelined=pipelined,
+                             wg_size=wg))
+
+    def _memory_model(self, info: KernelInfo,
+                      design: Design) -> MemoryModelResult:
+        """Memory model, memoized on the analysed kernel, work-group
+        size, pipelining, and the coalescing ablation switch."""
+        pipelined = design.work_item_pipeline
+        if self._cache is None:
+            return memory_model(info, self.device, pipelined=pipelined,
+                                coalescing=self.model_coalescing,
+                                table=self._pattern_table)
+        return self._cache.get(
+            "memory", info,
+            (design.work_group_size, pipelined, self.model_coalescing),
+            lambda: memory_model(info, self.device, pipelined=pipelined,
+                                 coalescing=self.model_coalescing,
+                                 table=self._pattern_table))
 
     def predict(self, info: KernelInfo, design: Design) -> Prediction:
         """Estimate the cycles of *design* for the analysed kernel."""
@@ -102,8 +154,7 @@ class FlexCL:
         budget = ResourceBudget.for_pe(
             device, design.effective_pe_slots, design.num_cu)
 
-        pe = pe_model(info, budget, pipelined=design.work_item_pipeline,
-                      wg_size=design.work_group_size)
+        pe = self._pe_model(info, design, budget)
         cu = cu_model(info, device, pe, design.effective_pe_slots,
                       design.num_cu, design.work_group_size)
         overhead = (device.schedule_overhead_cycles
@@ -112,9 +163,7 @@ class FlexCL:
             cu, design.num_cu, info.total_work_items,
             design.work_group_size, overhead,
             work_group_pipeline=design.work_group_pipeline)
-        memory = memory_model(
-            info, device, pipelined=design.work_item_pipeline,
-            coalescing=self.model_coalescing, table=self._pattern_table)
+        memory = self._memory_model(info, design)
         result = integrate(design.comm_mode, pe, cu, kernel, memory,
                            info.total_work_items, design.work_group_size,
                            work_group_pipeline=design.work_group_pipeline,

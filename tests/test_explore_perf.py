@@ -1,0 +1,278 @@
+"""Tests for the high-throughput DSE engine: parallel exploration,
+sub-model memoization, and exploration-result caching."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_kernel
+from repro.devices import VIRTEX7
+from repro.dse import DesignSpace, EvaluatedDesign, ExplorationResult, explore
+from repro.dse.explorer import resolve_jobs
+from repro.dse.space import Design
+from repro.frontend import compile_opencl
+from repro.interp import Buffer, NDRange
+from repro.model import CacheStats, FlexCL
+from repro.scheduling import ResourceBudget
+
+SRC = r"""
+__kernel void k(__global const float* a, __global float* b, int n) {
+    int i = get_global_id(0);
+    if (i < n) b[i] = a[i] * 2.0f + 1.0f;
+}
+"""
+
+
+def _analyzer(n=256):
+    fn = compile_opencl(SRC).get("k")
+
+    def analyze(wg):
+        try:
+            return analyze_kernel(
+                fn,
+                {"a": Buffer("a", np.arange(n, dtype=np.float32)),
+                 "b": Buffer("b", np.zeros(n, np.float32))},
+                {"n": n}, NDRange(n, wg), VIRTEX7)
+        except Exception:
+            return None
+
+    return analyze
+
+
+SPACE = DesignSpace(work_group_sizes=(16, 32, 64),
+                    pe_counts=(1, 2), cu_counts=(1, 2),
+                    vector_widths=(1,))
+
+
+class TestParallelExplore:
+    def test_parallel_matches_serial_exactly(self):
+        """Same designs, same cycles, same order — bit-identical."""
+        analyze = _analyzer()
+        model = FlexCL(VIRTEX7)
+
+        def evaluator(info, d):
+            return model.predict(info, d).cycles
+
+        serial = explore(SPACE, analyze, evaluator, VIRTEX7)
+        parallel = explore(SPACE, analyze, evaluator, VIRTEX7, jobs=3)
+        assert len(serial.evaluated) == len(parallel.evaluated)
+        for s, p in zip(serial.evaluated, parallel.evaluated):
+            assert s.design == p.design
+            assert s.cycles == p.cycles          # exact, not approx
+            assert s.feasible == p.feasible
+            assert s.reject_reason == p.reject_reason
+        assert parallel.jobs > 1
+
+    def test_parallel_infeasible_wg_matches_serial(self):
+        analyze = _analyzer(n=256)
+        model = FlexCL(VIRTEX7)
+        space = DesignSpace(work_group_sizes=(48, 64),  # 48 ∤ 256
+                            pe_counts=(1,), cu_counts=(1,),
+                            vector_widths=(1,))
+
+        def evaluator(info, d):
+            return model.predict(info, d).cycles
+
+        serial = explore(space, analyze, evaluator, VIRTEX7)
+        parallel = explore(space, analyze, evaluator, VIRTEX7, jobs=2)
+        assert [(e.design, e.cycles, e.feasible, e.reject_reason)
+                for e in serial.evaluated] \
+            == [(e.design, e.cycles, e.feasible, e.reject_reason)
+                for e in parallel.evaluated]
+
+    def test_single_wg_size_falls_back_to_serial(self):
+        analyze = _analyzer()
+        model = FlexCL(VIRTEX7)
+        space = DesignSpace(work_group_sizes=(64,), pe_counts=(1,),
+                            cu_counts=(1,), vector_widths=(1,))
+        result = explore(space, analyze,
+                         lambda info, d: model.predict(info, d).cycles,
+                         VIRTEX7, jobs=4)
+        assert result.jobs == 1          # nothing to shard
+        assert result.evaluated
+
+    def test_parallel_collects_cache_stats(self):
+        analyze = _analyzer()
+        model = FlexCL(VIRTEX7)
+        result = explore(SPACE, analyze,
+                         lambda info, d: model.predict(info, d).cycles,
+                         VIRTEX7, jobs=3,
+                         cache_stats=lambda: model.cache_stats)
+        assert result.cache_stats is not None
+        stats = result.cache_stats
+        n_feasible = len(result.feasible)
+        # One PE and one memory lookup per feasible (evaluated) design.
+        assert stats.pe_hits + stats.pe_misses == n_feasible
+        assert stats.memory_hits + stats.memory_misses == n_feasible
+        assert stats.hits > 0
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs("auto") >= 1
+        assert resolve_jobs(0) >= 1
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestMemoization:
+    def _info(self, wg=64):
+        return _analyzer()(wg)
+
+    def test_memoized_prediction_identical(self):
+        info = self._info()
+        plain = FlexCL(VIRTEX7, memoize=False)
+        memo = FlexCL(VIRTEX7, memoize=True)
+        for d in (Design(work_group_size=64),
+                  Design(work_group_size=64, num_pe=2),
+                  Design(work_group_size=64, comm_mode="barrier",
+                         work_item_pipeline=False)):
+            assert memo.predict(info, d).cycles \
+                == plain.predict(info, d).cycles
+
+    def test_repeat_prediction_hits_both_caches(self):
+        info = self._info()
+        model = FlexCL(VIRTEX7)
+        d = Design(work_group_size=64)
+        model.predict(info, d)
+        before = model.cache_stats
+        model.predict(info, d)
+        delta = model.cache_stats - before
+        assert delta.pe_hits == 1 and delta.pe_misses == 0
+        assert delta.memory_hits == 1 and delta.memory_misses == 0
+
+    def test_unkeyed_parameter_change_hits_cache(self):
+        """comm_mode and work_group_pipeline feed only the cheap
+        sub-models; changing them must not bust the memo."""
+        info = self._info()
+        model = FlexCL(VIRTEX7)
+        model.predict(info, Design(work_group_size=64))
+        before = model.cache_stats
+        model.predict(info, Design(work_group_size=64,
+                                   comm_mode="barrier"))
+        model.predict(info, Design(work_group_size=64,
+                                   work_group_pipeline=True))
+        delta = model.cache_stats - before
+        assert delta.misses == 0
+        assert delta.hits == 4
+
+    def test_budget_change_busts_pe_cache_only(self):
+        """num_pe/num_cu/vector_width change the PE budget, but not the
+        memory model's key."""
+        info = self._info()
+        model = FlexCL(VIRTEX7)
+        model.predict(info, Design(work_group_size=64))
+        before = model.cache_stats
+        model.predict(info, Design(work_group_size=64, num_pe=2))
+        delta = model.cache_stats - before
+        assert delta.pe_misses == 1
+        assert delta.memory_hits == 1 and delta.memory_misses == 0
+
+    def test_pipeline_change_busts_both(self):
+        info = self._info()
+        model = FlexCL(VIRTEX7)
+        model.predict(info, Design(work_group_size=64))
+        before = model.cache_stats
+        model.predict(info, Design(work_group_size=64,
+                                   work_item_pipeline=False,
+                                   comm_mode="barrier"))
+        delta = model.cache_stats - before
+        assert delta.pe_misses == 1
+        assert delta.memory_misses == 1
+
+    def test_distinct_infos_do_not_alias(self):
+        """Two analyses of the same kernel are distinct cache rows."""
+        model = FlexCL(VIRTEX7)
+        d = Design(work_group_size=64)
+        a, b = self._info(), self._info()
+        model.predict(a, d)
+        before = model.cache_stats
+        model.predict(b, d)
+        delta = model.cache_stats - before
+        assert delta.pe_misses == 1 and delta.memory_misses == 1
+
+    def test_clear_cache(self):
+        info = self._info()
+        model = FlexCL(VIRTEX7)
+        d = Design(work_group_size=64)
+        model.predict(info, d)
+        model.clear_cache()
+        before = model.cache_stats
+        model.predict(info, d)
+        delta = model.cache_stats - before
+        assert delta.misses == 2
+
+    def test_memoize_disabled_reports_zero_stats(self):
+        info = self._info()
+        model = FlexCL(VIRTEX7, memoize=False)
+        model.predict(info, Design(work_group_size=64))
+        assert model.cache_stats.lookups == 0
+
+
+class TestCacheStats:
+    def test_arithmetic_and_rates(self):
+        a = CacheStats(pe_hits=3, pe_misses=1, memory_hits=4,
+                       memory_misses=0)
+        b = CacheStats(pe_hits=1, pe_misses=1, memory_hits=1,
+                       memory_misses=1)
+        total = a + b
+        assert total.pe_hits == 4 and total.memory_misses == 1
+        assert (total - b).pe_hits == a.pe_hits
+        assert a.hit_rate == pytest.approx(7 / 8)
+        assert a.rate("pe") == pytest.approx(3 / 4)
+        assert CacheStats().hit_rate == 0.0
+
+    def test_to_dict_and_summary(self):
+        stats = CacheStats(pe_hits=1, pe_misses=1)
+        d = stats.to_dict()
+        assert d["pe_hits"] == 1 and "hit_rate" in d
+        assert "PE 1/2" in stats.summary()
+
+
+class TestResultCaching:
+    def _entry(self, cycles, feasible=True, wg=64):
+        pe = int(cycles) % 8 + 1 if feasible else 1
+        return EvaluatedDesign(Design(work_group_size=wg, num_pe=pe),
+                               cycles, feasible=feasible)
+
+    def test_ranked_cached_and_invalidated_on_append(self):
+        result = ExplorationResult()
+        result.append(self._entry(30.0))
+        result.append(self._entry(10.0))
+        first = result.ranked()
+        assert result.ranked() is first          # cached object
+        assert result.best.cycles == 10.0
+        result.append(self._entry(5.0))          # invalidates
+        assert result.ranked() is not first
+        assert result.best.cycles == 5.0
+
+    def test_rank_uses_cached_order(self):
+        result = ExplorationResult()
+        e1, e2 = self._entry(20.0), self._entry(10.0)
+        result.append(e1)
+        result.append(e2)
+        assert result.rank(e2.design) == 1
+        assert result.rank(e1.design) == 2
+        assert result.rank(Design(work_group_size=128)) is None
+
+    def test_infeasible_excluded(self):
+        result = ExplorationResult()
+        result.append(self._entry(float("inf"), feasible=False))
+        assert result.best is None
+        assert result.feasible == []
+
+    def test_invalidate_after_direct_mutation(self):
+        result = ExplorationResult()
+        result.append(self._entry(10.0))
+        assert result.best.cycles == 10.0
+        result.evaluated.append(self._entry(1.0))
+        result.invalidate()
+        assert result.best.cycles == 1.0
+
+
+class TestMemoizedBudgetKey:
+    def test_budget_is_hashable_cache_key(self):
+        b1 = ResourceBudget.for_pe(VIRTEX7, 2, 2)
+        b2 = ResourceBudget.for_pe(VIRTEX7, 2, 2)
+        assert b1 == b2 and hash(b1) == hash(b2)
+        assert len({b1, b2}) == 1
