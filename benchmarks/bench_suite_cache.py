@@ -1,0 +1,143 @@
+"""Suite-cache benchmark: cold vs warm batch evaluation.
+
+Runs the workload-catalog batch evaluator
+(:func:`repro.evaluation.run_suite`) three ways —
+
+- ``uncached``: no persistent cache at all (the pre-cache behaviour);
+- ``cold``    : a fresh, empty cache directory — pays the full
+  analyse/schedule/memory-model cost once while populating the store;
+- ``warm``    : a second, fresh *process-equivalent* run against the
+  now-populated store (new ``ArtifactCache`` instance, in-process
+  pattern memo cleared) — every expensive stage loads from disk;
+
+asserts the three runs' predictions are row-for-row **bit-identical**
+and that the warm run's disk hit rate exceeds 0.9, and writes the wall
+times, speedups, and hit rates to ``BENCH_suite_cache.json``.  The full
+run additionally asserts the ISSUE-4 acceptance bar of a >= 5x
+warm-vs-cold speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_suite_cache.py           # full catalog
+    PYTHONPATH=src python benchmarks/bench_suite_cache.py --small   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_suite_cache.py --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cache import ArtifactCache                      # noqa: E402
+from repro.devices import VIRTEX7                          # noqa: E402
+from repro.evaluation import (                             # noqa: E402
+    default_suite_workloads,
+    run_suite,
+)
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_suite_cache.json"
+
+
+def _fresh_process_state() -> None:
+    """Drop in-process memos so a run measures what a new process pays
+    (the disk store is the only thing that persists)."""
+    import repro.model.memory as model_memory
+    model_memory._PATTERN_CACHE.clear()
+
+
+def _run(workloads, jobs, designs, cache):
+    _fresh_process_state()
+    t0 = time.perf_counter()
+    result = run_suite(workloads, VIRTEX7, jobs=jobs, cache=cache,
+                       designs_per_kernel=designs)
+    return result, time.perf_counter() - t0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--small", action="store_true",
+                    help="CI smoke: first 6 kernels, relaxed speedup bar")
+    ap.add_argument("--jobs", default=2,
+                    help="worker processes (int or 'auto')")
+    ap.add_argument("--designs", type=int, default=8,
+                    help="sampled design points per kernel")
+    ap.add_argument("--suite", choices=["rodinia", "polybench"],
+                    default=None)
+    args = ap.parse_args()
+    jobs = args.jobs if args.jobs == "auto" else int(args.jobs)
+
+    limit = 6 if args.small else 0
+    workloads = default_suite_workloads(args.suite, limit)
+    print(f"suite-cache benchmark: {len(workloads)} workloads, "
+          f"{args.designs} designs/kernel, jobs={jobs}")
+
+    cache_root = Path(tempfile.mkdtemp(prefix="repro-suite-cache-"))
+    try:
+        # 1. No cache at all: the reference behaviour and timings.
+        uncached, t_uncached = _run(workloads, jobs, args.designs, None)
+        print(f"uncached : {t_uncached:7.2f}s "
+              f"({len(uncached.predictions)} predictions)")
+
+        # 2. Cold: empty store, populate while evaluating.
+        cold_cache = ArtifactCache(cache_root)
+        cold, t_cold = _run(workloads, jobs, args.designs, cold_cache)
+        print(f"cold     : {t_cold:7.2f}s "
+              f"({cold.store_stats.summary()})")
+
+        # 3. Warm: what every later process pays.
+        warm_cache = ArtifactCache(cache_root)
+        warm, t_warm = _run(workloads, jobs, args.designs, warm_cache)
+        hit_rate = warm.store_stats.hit_rate
+        print(f"warm     : {t_warm:7.2f}s "
+              f"({warm.store_stats.summary()})")
+
+        assert uncached.rows() == cold.rows() == warm.rows(), \
+            "cached predictions diverged from uncached ones"
+        assert hit_rate > 0.9, \
+            f"warm hit rate {hit_rate:.2f} <= 0.9"
+        speedup = t_cold / t_warm if t_warm > 0 else float("inf")
+        uncached_speedup = (t_uncached / t_warm if t_warm > 0
+                            else float("inf"))
+        print(f"warm-vs-cold speedup: {speedup:.1f}x "
+              f"(vs uncached: {uncached_speedup:.1f}x), "
+              f"hit rate {hit_rate:.1%}")
+        if not args.small:
+            assert speedup >= 5.0, \
+                f"warm speedup {speedup:.1f}x below the 5x acceptance bar"
+
+        payload = {
+            "benchmark": "suite_cache",
+            "small": args.small,
+            "jobs": max(cold.jobs, 1),
+            "workloads": len(workloads),
+            "designs_per_kernel": args.designs,
+            "predictions": len(cold.predictions),
+            "uncached_seconds": round(t_uncached, 3),
+            "cold_seconds": round(t_cold, 3),
+            "warm_seconds": round(t_warm, 3),
+            "warm_vs_cold_speedup": round(speedup, 2),
+            "warm_vs_uncached_speedup": round(uncached_speedup, 2),
+            "warm_hit_rate": round(hit_rate, 4),
+            "warm_store_stats": warm.store_stats.to_dict(),
+            "cold_store_stats": cold.store_stats.to_dict(),
+            "identical_predictions": True,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        }
+        OUT.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"[written to {OUT}]")
+        return 0
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,11 @@ class KernelInfo:
     ndrange: NDRange
     device: object
     table: OpLatencyTable
+    #: content hash of the analysis inputs (kernel IR, launch signature,
+    #: buffer contents, device, profiling depth) — the persistent cache
+    #: key this analysis was (or would be) stored under, and the kernel
+    #: identity the sub-model caches spill their rows against
+    fingerprint: Optional[str] = None
     loop_nest: LoopNest = None
     traces: TraceAnalysis = None
     function_dfg: DataFlowGraph = None
@@ -86,15 +91,45 @@ class KernelInfo:
                 + self.traces.global_writes_per_wi)
 
 
+def analysis_fingerprint(fn: Function, buffers: Dict[str, Buffer],
+                         scalars: Dict[str, object], ndrange: NDRange,
+                         device, table: OpLatencyTable,
+                         profile_groups: int) -> str:
+    """Content hash of one analysis run's inputs (the persistent cache
+    key): kernel IR, buffer contents, scalars, NDRange, the full device
+    configuration, the op-latency table, and the profiling depth."""
+    from repro.cache import analysis_key, digest
+    table_part = digest(sorted((cls.name, lat) for cls, lat
+                               in table.latencies.items()), table.scale)
+    return analysis_key(fn, buffers, scalars, ndrange, device,
+                        (profile_groups, table_part))
+
+
 def analyze_kernel(fn: Function, buffers: Dict[str, Buffer],
                    scalars: Dict[str, object], ndrange: NDRange,
                    device, table: Optional[OpLatencyTable] = None,
-                   profile_groups: int = DEFAULT_PROFILE_GROUPS
-                   ) -> KernelInfo:
+                   profile_groups: int = DEFAULT_PROFILE_GROUPS,
+                   cache=None) -> KernelInfo:
     """Run FlexCL kernel analysis.  *buffers* are consumed (the profiling
-    run mutates them); pass fresh copies if the caller needs the data."""
+    run mutates them); pass fresh copies if the caller needs the data.
+
+    With a :class:`repro.cache.ArtifactCache` as *cache*, the analysis
+    is content-addressed: a prior run with the same kernel, inputs, and
+    device (in any process) is loaded from disk instead of re-profiled,
+    and a cache hit leaves *buffers* untouched.  The result is
+    bit-identical either way.
+    """
     if table is None:
         table = OpLatencyTable.for_device(device)
+
+    # Hash the inputs before profiling mutates the buffers; the key
+    # doubles as the KernelInfo fingerprint the sub-model caches use.
+    fingerprint = analysis_fingerprint(fn, buffers, scalars, ndrange,
+                                       device, table, profile_groups)
+    if cache is not None:
+        found, cached = cache.get("analysis", fingerprint)
+        if found and isinstance(cached, KernelInfo):
+            return cached
 
     # Stable site ids shared with the executor's trace records.
     for i, inst in enumerate(fn.instructions()):
@@ -124,6 +159,7 @@ def analyze_kernel(fn: Function, buffers: Dict[str, Buffer],
 
     info = KernelInfo(
         name=fn.name, fn=fn, ndrange=ndrange, device=device, table=table,
+        fingerprint=fingerprint,
         loop_nest=loop_nest, traces=trace_analysis,
         function_dfg=function_dfg, block_dfgs=block_dfgs,
         block_weights=block_weights,
@@ -133,6 +169,8 @@ def analyze_kernel(fn: Function, buffers: Dict[str, Buffer],
         local_mem_bytes=_local_mem_bytes(fn),
         barriers_per_wi=launch.barriers_per_item,
     )
+    if cache is not None:
+        cache.put("analysis", fingerprint, info)
     return info
 
 

@@ -1,0 +1,57 @@
+"""Persistent, content-addressed artifact cache (``repro.cache``).
+
+PR 3's in-process memoization made repeated predictions cheap *within*
+one process; this package makes them cheap *across* processes: every
+expensive pipeline stage — kernel analysis (profiling interpreter +
+trace statistics), PE schedules, memory-model results, and the
+per-device Table-1 pattern tables — can be warm-started from an on-disk
+store shared by CLI invocations, benchmark scripts, DSE workers, and CI
+runs.
+
+Keys are content hashes (:mod:`repro.cache.keys`): kernel IR + launch
+signature + full device configuration + a per-layer schema version.
+The store (:mod:`repro.cache.store`) writes atomically, treats
+corruption as a miss, and LRU-caps its size.
+
+Nothing in the cache changes a predicted cycle: a warm prediction is
+bit-identical to a cold one, and the test suite and
+``benchmarks/bench_suite_cache.py`` assert exactly that.
+"""
+
+from repro.cache.keys import (
+    SCHEMA_VERSIONS,
+    analysis_key,
+    buffers_fingerprint,
+    device_fingerprint,
+    digest,
+    function_fingerprint,
+    ndrange_fingerprint,
+    scalars_fingerprint,
+    submodel_key,
+    table1_key,
+)
+from repro.cache.store import (
+    DEFAULT_CACHE_DIR,
+    ArtifactCache,
+    StoreStats,
+    open_cache,
+    resolve_cache_dir,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "DEFAULT_CACHE_DIR",
+    "SCHEMA_VERSIONS",
+    "StoreStats",
+    "analysis_key",
+    "buffers_fingerprint",
+    "device_fingerprint",
+    "digest",
+    "function_fingerprint",
+    "ndrange_fingerprint",
+    "open_cache",
+    "resolve_cache_dir",
+    "scalars_fingerprint",
+    "submodel_key",
+    "table1_key",
+]

@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.cache.store import StoreStats
 from repro.dse.space import Design, DesignSpace, check_feasibility
 from repro.model.memo import CacheStats
 
@@ -52,6 +53,9 @@ class ExplorationResult:
     #: sub-model cache hit/miss counters of the sweep (None when the
     #: evaluator exposed no cache)
     cache_stats: Optional[CacheStats] = None
+    #: persistent (on-disk) cache activity of the sweep, aggregated
+    #: across workers (None when no persistent cache was in play)
+    store_stats: Optional[StoreStats] = None
     #: worker processes the sweep ran on (1 == serial)
     jobs: int = 1
     _feasible: Optional[List[EvaluatedDesign]] = field(
@@ -128,15 +132,18 @@ _WORKER_STATE: Optional[tuple] = None
 
 
 def _run_shard(shard: List[Tuple[int, Design]]
-               ) -> Tuple[List[Tuple[int, EvaluatedDesign]], CacheStats]:
+               ) -> Tuple[List[Tuple[int, EvaluatedDesign]],
+                          CacheStats, StoreStats]:
     """Evaluate one work-group-size shard in a worker process.
 
     All designs in a shard share one work-group size, so the kernel is
     analysed exactly once per worker task.  Returns the evaluated points
-    tagged with their enumeration index plus the shard's cache activity.
+    tagged with their enumeration index plus the shard's cache activity
+    (in-memory memo and persistent store).
     """
-    analyze, evaluator, device, stats_fn = _WORKER_STATE
+    analyze, evaluator, device, stats_fn, store_fn = _WORKER_STATE
     before = stats_fn() if stats_fn is not None else CacheStats()
+    store_before = store_fn() if store_fn is not None else StoreStats()
     try:
         info = analyze(shard[0][1].work_group_size)
     except Exception:
@@ -144,7 +151,8 @@ def _run_shard(shard: List[Tuple[int, Design]]
     out = [(index, _evaluate_design(info, design, evaluator, device))
            for index, design in shard]
     after = stats_fn() if stats_fn is not None else CacheStats()
-    return out, after - before
+    store_after = store_fn() if store_fn is not None else StoreStats()
+    return out, after - before, store_after - store_before
 
 
 def _explore_serial(designs: List[Design], analyze, evaluator, device,
@@ -162,8 +170,8 @@ def _explore_serial(designs: List[Design], analyze, evaluator, device,
 
 
 def _explore_parallel(designs: List[Design], analyze, evaluator, device,
-                      stats_fn, jobs: int,
-                      result: ExplorationResult) -> Optional[CacheStats]:
+                      stats_fn, store_fn, jobs: int,
+                      result: ExplorationResult) -> None:
     """Fan work-group-size shards out over a forked process pool and
     merge the results back into enumeration order."""
     import concurrent.futures
@@ -175,7 +183,7 @@ def _explore_parallel(designs: List[Design], analyze, evaluator, device,
             (index, design))
 
     ctx = multiprocessing.get_context("fork")
-    _WORKER_STATE = (analyze, evaluator, device, stats_fn)
+    _WORKER_STATE = (analyze, evaluator, device, stats_fn, store_fn)
     try:
         with concurrent.futures.ProcessPoolExecutor(
                 max_workers=min(jobs, len(shards)),
@@ -186,19 +194,23 @@ def _explore_parallel(designs: List[Design], analyze, evaluator, device,
 
     merged: List[Optional[EvaluatedDesign]] = [None] * len(designs)
     total_stats = CacheStats()
-    for entries, stats in outcomes:
+    total_store = StoreStats()
+    for entries, stats, store in outcomes:
         total_stats = total_stats + stats
+        total_store = total_store + store
         for index, entry in entries:
             merged[index] = entry
     for entry in merged:
         result.append(entry)
-    return total_stats if stats_fn is not None else None
+    result.cache_stats = total_stats if stats_fn is not None else None
+    result.store_stats = total_store if store_fn is not None else None
 
 
 def explore(space: DesignSpace, analyze: Callable[[int], object],
             evaluator: Callable[[object, Design], float],
             device, jobs=None,
-            cache_stats: Optional[Callable[[], CacheStats]] = None
+            cache_stats: Optional[Callable[[], CacheStats]] = None,
+            store_stats: Optional[Callable[[], StoreStats]] = None
             ) -> ExplorationResult:
     """Exhaustively evaluate every feasible design in *space*.
 
@@ -206,7 +218,11 @@ def explore(space: DesignSpace, analyze: Callable[[int], object],
     fans out over that many forked processes, ``'auto'`` uses one per
     core.  Parallel results are bit-identical to serial ones.  Pass
     *cache_stats* (e.g. ``lambda: model.cache_stats``) to record the
-    sweep's sub-model cache activity in the result.
+    sweep's sub-model cache activity in the result, and *store_stats*
+    (e.g. ``lambda: cache.stats.copy()``) to record the persistent
+    store's.  Forked workers inherit the analyze/evaluator closures and
+    share one on-disk store, so a sweep that warmed the cache speeds up
+    every later process, not just this one.
     """
     start = time.perf_counter()
     result = ExplorationResult()
@@ -218,14 +234,16 @@ def explore(space: DesignSpace, analyze: Callable[[int], object],
 
     if use_parallel:
         result.jobs = min(n_jobs, wg_count)
-        result.cache_stats = _explore_parallel(
-            designs, analyze, evaluator, device, cache_stats,
-            n_jobs, result)
+        _explore_parallel(designs, analyze, evaluator, device,
+                          cache_stats, store_stats, n_jobs, result)
     else:
         before = cache_stats() if cache_stats is not None else None
+        store_before = store_stats() if store_stats is not None else None
         _explore_serial(designs, analyze, evaluator, device, result)
         if before is not None:
             result.cache_stats = cache_stats() - before
+        if store_before is not None:
+            result.store_stats = store_stats() - store_before
     result.elapsed_seconds = time.perf_counter() - start
     return result
 

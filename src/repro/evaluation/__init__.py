@@ -14,14 +14,24 @@ from repro.evaluation.harness import (
     sample_designs,
 )
 from repro.evaluation.dse_study import DSEStudy, run_dse_study
+from repro.evaluation.suite import (
+    SuitePrediction,
+    SuiteResult,
+    default_suite_workloads,
+    run_suite,
+)
 
 __all__ = [
     "DSEStudy",
     "DesignRecord",
     "KernelAccuracy",
+    "SuitePrediction",
+    "SuiteResult",
+    "default_suite_workloads",
     "estimate_synthesis_time",
     "evaluate_accuracy",
     "make_analyzer",
     "run_dse_study",
+    "run_suite",
     "sample_designs",
 ]

@@ -17,26 +17,29 @@ from repro.workloads.base import Workload
 
 
 def make_analyzer(workload: Workload, device,
-                  profile_groups: Optional[int] = None
-                  ) -> Callable[[int], Optional[KernelInfo]]:
+                  profile_groups: Optional[int] = None,
+                  cache=None) -> Callable[[int], Optional[KernelInfo]]:
     """Returns a cached ``analyze(wg_size) -> KernelInfo`` for one
     workload.  Returns None for work-group sizes the kernel cannot run
     at (analysis raising is treated as 'this configuration does not
-    build')."""
-    cache: Dict[int, Optional[KernelInfo]] = {}
+    build').  With a persistent *cache*
+    (:class:`repro.cache.ArtifactCache`), analyses are additionally
+    content-addressed on disk and shared across processes."""
+    memo: Dict[int, Optional[KernelInfo]] = {}
 
     def analyze(wg_size: int) -> Optional[KernelInfo]:
-        if wg_size not in cache:
+        if wg_size not in memo:
             try:
-                cache[wg_size] = analyze_kernel(
+                memo[wg_size] = analyze_kernel(
                     workload.function(), workload.make_buffers(),
                     workload.scalars, workload.ndrange(wg_size),
                     device,
                     profile_groups=(profile_groups
-                                    or DEFAULT_PROFILE_GROUPS))
+                                    or DEFAULT_PROFILE_GROUPS),
+                    cache=cache)
             except Exception:
-                cache[wg_size] = None
-        return cache[wg_size]
+                memo[wg_size] = None
+        return memo[wg_size]
 
     return analyze
 
@@ -143,17 +146,19 @@ def estimate_synthesis_time(workload: Workload, n_designs: int,
 
 def evaluate_accuracy(workload: Workload, device,
                       space: Optional[DesignSpace] = None,
-                      max_designs: Optional[int] = 24) -> KernelAccuracy:
+                      max_designs: Optional[int] = 24,
+                      cache=None) -> KernelAccuracy:
     """Evaluate FlexCL and the SDAccel estimator against System Run on
-    a (sub)sampled design space of one kernel."""
-    analyzer = make_analyzer(workload, device)
+    a (sub)sampled design space of one kernel.  *cache* warm-starts the
+    kernel analyses and model sub-results from disk."""
+    analyzer = make_analyzer(workload, device, cache=cache)
     if space is None:
         space = DesignSpace.default_for(workload.global_size)
     all_feasible = sample_designs(workload, device, space, None, analyzer)
     designs = sample_designs(workload, device, space, max_designs,
                              analyzer)
 
-    model = FlexCL(device)
+    model = FlexCL(device, cache=cache)
     estimator = SDAccelEstimator(device)
     simulator = SystemRun(device)
     result = KernelAccuracy(workload=workload,

@@ -81,19 +81,35 @@ class FlexCL:
     ``(wg_size, pipelined, coalescing)`` — which makes full design-space
     sweeps many times faster without changing a single predicted cycle.
     ``cache_stats`` reports the hit/miss counts.
+
+    With a persistent *cache* (:class:`repro.cache.ArtifactCache`), the
+    memoized rows and the profiled Table-1 pattern table are also read
+    from / written through to disk, so a fresh process warm-starts from
+    earlier runs (again without changing a single predicted cycle).
     """
 
     def __init__(self, device,
                  model_scheduling_overhead: bool = True,
                  model_coalescing: bool = True,
                  model_patterns: bool = True,
-                 memoize: bool = True) -> None:
+                 memoize: bool = True,
+                 cache=None) -> None:
         self.device = device
         self.model_scheduling_overhead = model_scheduling_overhead
         self.model_coalescing = model_coalescing
         self.model_patterns = model_patterns
-        self._cache = SubModelCache() if memoize else None
-        self._pattern_table = pattern_table_for(device)
+        self.persistent_cache = cache
+        if memoize:
+            # The spill salt scopes persistent rows to this model
+            # context: full device identity plus the one ablation switch
+            # (model_patterns) that changes sub-model inputs without
+            # appearing in the memo keys.
+            from repro.cache import device_fingerprint, digest
+            salt = digest(device_fingerprint(device), model_patterns)
+            self._cache = SubModelCache(store=cache, salt=salt)
+        else:
+            self._cache = None
+        self._pattern_table = pattern_table_for(device, cache=cache)
         if not model_patterns:
             avg = (sum(self._pattern_table.latencies.values())
                    / len(self._pattern_table.latencies))

@@ -98,10 +98,20 @@ class CacheStats:
 
 
 class SubModelCache:
-    """Per-``KernelInfo`` memo tables for the expensive sub-models."""
+    """Per-``KernelInfo`` memo tables for the expensive sub-models.
 
-    def __init__(self) -> None:
+    With a persistent *store* (:class:`repro.cache.ArtifactCache`), rows
+    are spilled to disk keyed on the kernel's content fingerprint plus
+    *salt* (the model context: device identity and ablation switches):
+    an in-memory miss first consults the store, and computed rows are
+    written through, so a later process warm-starts its sweep.  Kernels
+    analysed without a fingerprint simply skip the persistent layer.
+    """
+
+    def __init__(self, store=None, salt: str = "") -> None:
         self.stats = CacheStats()
+        self._store = store
+        self._salt = salt
         #: id(info) -> (info, {key: result}); the stored info reference
         #: pins the id so identity validation is exact.
         self._tables: Dict[int, Tuple[object, Dict[tuple, object]]] = {}
@@ -125,7 +135,19 @@ class SubModelCache:
             return table[full_key]
         setattr(self.stats, f"{sub_model}_misses",
                 getattr(self.stats, f"{sub_model}_misses") + 1)
+        skey = None
+        if self._store is not None \
+                and getattr(info, "fingerprint", None):
+            from repro.cache import submodel_key
+            skey = submodel_key(sub_model, info.fingerprint,
+                                self._salt, key)
+            found, value = self._store.get(sub_model, skey)
+            if found:
+                table[full_key] = value
+                return value
         result = compute()
+        if skey is not None:
+            self._store.put(sub_model, skey, result)
         table[full_key] = result
         return result
 

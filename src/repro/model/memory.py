@@ -24,15 +24,30 @@ from repro.dram.microbench import (
 )
 from repro.dram.patterns import PatternCounts, classify_bank_stream
 
-#: memoised per-device pattern tables (profiling is deterministic)
+#: memoised per-device pattern tables (profiling is deterministic),
+#: keyed on the full device identity — never on ``device.name``, which
+#: would alias two boards that share a name but differ in DRAM timing
+#: or clock configuration
 _PATTERN_CACHE: Dict[str, PatternLatencyTable] = {}
 
 
-def pattern_table_for(device) -> PatternLatencyTable:
-    """The (cached) profiled Table 1 latencies for *device*."""
-    key = device.name
+def pattern_table_for(device, cache=None) -> PatternLatencyTable:
+    """The (cached) profiled Table 1 latencies for *device*.
+
+    Memoised in-process on the device's content fingerprint; with a
+    persistent *cache* (:class:`repro.cache.ArtifactCache`) the profiled
+    table is also stored on disk so later processes skip the DRAM
+    micro-benchmarks entirely.
+    """
+    from repro.cache import device_fingerprint, table1_key
+    key = device_fingerprint(device)
     if key not in _PATTERN_CACHE:
-        _PATTERN_CACHE[key] = profile_pattern_latencies(device)
+        if cache is not None:
+            _PATTERN_CACHE[key] = cache.get_or_compute(
+                "table1", table1_key(device),
+                lambda: profile_pattern_latencies(device))
+        else:
+            _PATTERN_CACHE[key] = profile_pattern_latencies(device)
     return _PATTERN_CACHE[key]
 
 
@@ -41,7 +56,7 @@ class MemoryModelResult:
     """Eq. 9's output plus its ingredients, for diagnostics/ablation."""
 
     latency_per_wi: float          # L_mem^wi
-    pattern_counts: PatternCounts = None
+    pattern_counts: Optional[PatternCounts] = None
     requests_per_group: int = 0
     accesses_per_group: int = 0
 

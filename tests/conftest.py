@@ -1,0 +1,16 @@
+"""Shared test configuration.
+
+Every test gets a private, empty ``REPRO_CACHE_DIR`` so the suite is
+hermetic: no test reads warm state another test (or an earlier checkout
+of the code) wrote, and nothing touches the user's real
+``~/.cache/repro-flexcl``.  Tests that exercise warm-start behaviour
+explicitly share a directory inside their own tmp path.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR",
+                       str(tmp_path / "repro-cache"))
