@@ -10,11 +10,20 @@ Runs the workload-catalog batch evaluator
   now-populated store (new ``ArtifactCache`` instance, in-process
   pattern memo cleared) — every expensive stage loads from disk;
 
-asserts the three runs' predictions are row-for-row **bit-identical**
-and that the warm run's disk hit rate exceeds 0.9, and writes the wall
-times, speedups, and hit rates to ``BENCH_suite_cache.json``.  The full
-run additionally asserts the ISSUE-4 acceptance bar of a >= 5x
-warm-vs-cold speedup.
+All three runs use the static access-summary engine
+(``static_trace='auto'``): kernels proved STATIC have their traces
+synthesized analytically instead of interpreted.  A fourth run —
+
+- ``interp``  : uncached with ``static_trace='never'`` — the pre-static
+  interpreter-only cold path, the ISSUE-6 baseline;
+
+measures what synthesis buys on the cold path.  The script asserts all
+runs' predictions are row-for-row **bit-identical**, that the warm
+run's disk hit rate exceeds 0.9, and writes the wall times, speedups,
+and hit rates to ``BENCH_suite_cache.json``.  The full run additionally
+asserts the ISSUE-4 acceptance bar of a >= 5x warm-vs-cold speedup and
+the ISSUE-6 bar of a >= 10x interpreter-vs-synthesis cold-path speedup
+over the static subset.
 
 Usage::
 
@@ -53,12 +62,21 @@ def _fresh_process_state() -> None:
     model_memory._PATTERN_CACHE.clear()
 
 
-def _run(workloads, jobs, designs, cache):
+def _run(workloads, jobs, designs, cache, static_trace="auto"):
     _fresh_process_state()
     t0 = time.perf_counter()
     result = run_suite(workloads, VIRTEX7, jobs=jobs, cache=cache,
-                       designs_per_kernel=designs)
+                       designs_per_kernel=designs,
+                       static_trace=static_trace)
     return result, time.perf_counter() - t0
+
+
+def _static_subset(workloads):
+    """The workloads the summary engine proves STATIC (the ones trace
+    synthesis accelerates)."""
+    from repro.lint.summary import VERDICT_STATIC, summarize_kernel
+    return [w for w in workloads
+            if summarize_kernel(w.function()).verdict == VERDICT_STATIC]
 
 
 def main() -> int:
@@ -81,6 +99,13 @@ def main() -> int:
 
     cache_root = Path(tempfile.mkdtemp(prefix="repro-suite-cache-"))
     try:
+        # 0. Interpreter-only cold path: the pre-static baseline.
+        interp, t_interp = _run(workloads, jobs, args.designs, None,
+                                static_trace="never")
+        print(f"interp   : {t_interp:7.2f}s "
+              f"({len(interp.predictions)} predictions, "
+              f"static_trace=never)")
+
         # 1. No cache at all: the reference behaviour and timings.
         uncached, t_uncached = _run(workloads, jobs, args.designs, None)
         print(f"uncached : {t_uncached:7.2f}s "
@@ -99,19 +124,41 @@ def main() -> int:
         print(f"warm     : {t_warm:7.2f}s "
               f"({warm.store_stats.summary()})")
 
-        assert uncached.rows() == cold.rows() == warm.rows(), \
-            "cached predictions diverged from uncached ones"
+        assert interp.rows() == uncached.rows() == cold.rows() \
+            == warm.rows(), \
+            "cached/synthesized predictions diverged from interpreted"
         assert hit_rate > 0.9, \
             f"warm hit rate {hit_rate:.2f} <= 0.9"
         speedup = t_cold / t_warm if t_warm > 0 else float("inf")
         uncached_speedup = (t_uncached / t_warm if t_warm > 0
                             else float("inf"))
+        synth_speedup = (t_interp / t_uncached if t_uncached > 0
+                         else float("inf"))
         print(f"warm-vs-cold speedup: {speedup:.1f}x "
               f"(vs uncached: {uncached_speedup:.1f}x), "
               f"hit rate {hit_rate:.1%}")
+        print(f"synthesis cold-path speedup (full catalog): "
+              f"{synth_speedup:.1f}x")
+
+        # The static subset is where synthesis applies; measure its
+        # cold-path win in isolation (irregular kernels interpret in
+        # both modes and dilute the full-catalog ratio).
+        static_wl = _static_subset(workloads)
+        s_interp, t_s_interp = _run(static_wl, jobs, args.designs, None,
+                                    static_trace="never")
+        s_auto, t_s_auto = _run(static_wl, jobs, args.designs, None)
+        assert s_interp.rows() == s_auto.rows()
+        static_speedup = (t_s_interp / t_s_auto if t_s_auto > 0
+                          else float("inf"))
+        print(f"synthesis cold-path speedup ({len(static_wl)} static "
+              f"kernels): {static_speedup:.1f}x "
+              f"({t_s_interp:.2f}s -> {t_s_auto:.2f}s)")
         if not args.small:
             assert speedup >= 5.0, \
                 f"warm speedup {speedup:.1f}x below the 5x acceptance bar"
+            assert static_speedup >= 10.0, \
+                (f"static-subset synthesis speedup {static_speedup:.1f}x"
+                 " below the 10x acceptance bar")
 
         payload = {
             "benchmark": "suite_cache",
@@ -120,11 +167,17 @@ def main() -> int:
             "workloads": len(workloads),
             "designs_per_kernel": args.designs,
             "predictions": len(cold.predictions),
+            "interp_seconds": round(t_interp, 3),
             "uncached_seconds": round(t_uncached, 3),
             "cold_seconds": round(t_cold, 3),
             "warm_seconds": round(t_warm, 3),
             "warm_vs_cold_speedup": round(speedup, 2),
             "warm_vs_uncached_speedup": round(uncached_speedup, 2),
+            "synthesis_speedup_full": round(synth_speedup, 2),
+            "synthesis_speedup_static_subset": round(static_speedup, 2),
+            "static_kernels": len(static_wl),
+            "static_interp_seconds": round(t_s_interp, 3),
+            "static_synth_seconds": round(t_s_auto, 3),
             "warm_hit_rate": round(hit_rate, 4),
             "warm_store_stats": warm.store_stats.to_dict(),
             "cold_store_stats": cold.store_stats.to_dict(),

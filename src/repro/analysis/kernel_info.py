@@ -18,6 +18,7 @@ work-group size: the model and baselines schedule it per design point.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -28,6 +29,7 @@ from repro.analysis.dfg import (
 )
 from repro.analysis.loops import LoopNest, find_loops
 from repro.analysis.memtrace import TraceAnalysis, analyze_traces
+from repro.analysis.packed import pack_traces
 from repro.interp.executor import Buffer, KernelExecutor, NDRange
 from repro.ir.function import Function
 from repro.ir.instructions import Alloca
@@ -39,6 +41,74 @@ from repro.latency.optable import OpLatencyTable
 #: (non-boundary) inter-group deltas even when the active-work-item
 #: shape varies with a short row period (guarded stencils).
 DEFAULT_PROFILE_GROUPS = 4
+
+#: ``static_trace`` modes accepted by :func:`analyze_kernel`.
+STATIC_TRACE_MODES = ("auto", "always", "never")
+
+
+class StaticTraceUnavailable(RuntimeError):
+    """Raised by ``static_trace='always'`` when the kernel's access
+    summary is IRREGULAR (or synthesis fails at runtime)."""
+
+
+class StaticTraceMismatch(AssertionError):
+    """Raised by ``verify=True`` when a synthesized trace disagrees
+    with the interpreter — always a bug in the summary engine or the
+    synthesizer, never expected in normal operation."""
+
+
+# Per-function memoization for work the explorer repeats across
+# work-group sizes.  Weak keys: entries die with the Function object,
+# and nothing here ends up inside pickled KernelInfos beyond the shared
+# (read-only) DFG dicts themselves.
+_BLOCK_DFG_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_SYNTH_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _table_key(table: OpLatencyTable) -> tuple:
+    # ``OpLatencyTable.for_device`` builds a fresh object per call, so
+    # identity is useless as a memo key; hash the contents instead.
+    return (table.scale, tuple(sorted(
+        (cls.name, lat) for cls, lat in table.latencies.items())))
+
+
+def _block_dfgs_for(fn: Function, table: OpLatencyTable
+                    ) -> Dict[str, DataFlowGraph]:
+    """Per-block DFGs depend only on the IR and the latency table —
+    not on the NDRange — so one build serves every work-group size.
+    Consumers (the list scheduler, baselines) never mutate them."""
+    per_fn = _BLOCK_DFG_MEMO.setdefault(fn, {})
+    key = _table_key(table)
+    dfgs = per_fn.get(key)
+    if dfgs is None:
+        dfgs = {block.name: build_block_dfg(block, table)
+                for block in fn.reachable_blocks()}
+        per_fn[key] = dfgs
+    return dfgs
+
+
+def _synthesizer_for(fn: Function, buffers: Dict[str, Buffer],
+                     scalars: Dict[str, object]):
+    """A compiled :class:`TraceSynthesizer` depends on the kernel and
+    the binding signature (buffer sizes and order, scalar values) but
+    never on buffer contents or the NDRange: reuse one compilation for
+    every work-group size the explorer probes.  ``GlobalMemory``
+    allocation is deterministic in the sizes and bind order, so the
+    memoized instance sees the same base addresses a fresh one would."""
+    from repro.interp.synth import TraceSynthesizer
+    try:
+        sig = (tuple((name, b.nbytes, b.elem_size)
+                     for name, b in buffers.items()),
+               tuple(sorted(scalars.items())))
+        hash(sig)
+    except TypeError:
+        return TraceSynthesizer(fn, buffers, scalars)
+    per_fn = _SYNTH_MEMO.setdefault(fn, {})
+    synthesizer = per_fn.get(sig)
+    if synthesizer is None:
+        synthesizer = TraceSynthesizer(fn, buffers, scalars)
+        per_fn[sig] = synthesizer
+    return synthesizer
 
 
 @dataclass
@@ -69,6 +139,12 @@ class KernelInfo:
     #: bytes of __local memory declared by the kernel (per CU)
     local_mem_bytes: int = 0
     barriers_per_wi: int = 0
+    #: True when the traces came from the static synthesizer rather
+    #: than the profiling interpreter
+    static_trace_used: bool = False
+    #: access-summary verdict ("static" / "irregular"), when computed
+    summary_verdict: Optional[str] = None
+    summary_fingerprint: Optional[str] = None
 
     @property
     def work_group_size(self) -> int:
@@ -94,49 +170,123 @@ class KernelInfo:
 def analysis_fingerprint(fn: Function, buffers: Dict[str, Buffer],
                          scalars: Dict[str, object], ndrange: NDRange,
                          device, table: OpLatencyTable,
-                         profile_groups: int) -> str:
+                         profile_groups: int,
+                         summary_fingerprint: Optional[str] = None
+                         ) -> str:
     """Content hash of one analysis run's inputs (the persistent cache
     key): kernel IR, buffer contents, scalars, NDRange, the full device
-    configuration, the op-latency table, and the profiling depth."""
+    configuration, the op-latency table, and the profiling depth.
+
+    When the traces are synthesized statically, the summary engine's
+    version and fingerprint join the key (pass *summary_fingerprint*),
+    so a summary-engine change invalidates only synthesized entries."""
     from repro.cache import analysis_key, digest
     table_part = digest(sorted((cls.name, lat) for cls, lat
                                in table.latencies.items()), table.scale)
-    return analysis_key(fn, buffers, scalars, ndrange, device,
-                        (profile_groups, table_part))
+    extra: tuple = (profile_groups, table_part)
+    if summary_fingerprint is not None:
+        from repro.lint.summary.engine import SUMMARY_ENGINE_VERSION
+        extra = extra + ("static", SUMMARY_ENGINE_VERSION,
+                         summary_fingerprint)
+    return analysis_key(fn, buffers, scalars, ndrange, device, extra)
 
 
 def analyze_kernel(fn: Function, buffers: Dict[str, Buffer],
                    scalars: Dict[str, object], ndrange: NDRange,
                    device, table: Optional[OpLatencyTable] = None,
                    profile_groups: int = DEFAULT_PROFILE_GROUPS,
-                   cache=None) -> KernelInfo:
+                   cache=None, static_trace: str = "auto",
+                   verify: bool = False) -> KernelInfo:
     """Run FlexCL kernel analysis.  *buffers* are consumed (the profiling
     run mutates them); pass fresh copies if the caller needs the data.
+
+    *static_trace* selects the trace producer: ``"auto"`` (default)
+    synthesizes the profile analytically when the access summary proves
+    the kernel STATIC and interprets otherwise; ``"never"`` always
+    interprets; ``"always"`` demands synthesis and raises
+    :class:`StaticTraceUnavailable` when the kernel is IRREGULAR.
+    *verify* additionally interprets and cross-checks every synthesized
+    trace address-for-address (:class:`StaticTraceMismatch` on any
+    disagreement).
 
     With a :class:`repro.cache.ArtifactCache` as *cache*, the analysis
     is content-addressed: a prior run with the same kernel, inputs, and
     device (in any process) is loaded from disk instead of re-profiled,
     and a cache hit leaves *buffers* untouched.  The result is
-    bit-identical either way.
+    bit-identical either way — synthesized and interpreted analyses
+    produce identical traces, but are cached under distinct keys.
     """
+    if static_trace not in STATIC_TRACE_MODES:
+        raise ValueError(f"static_trace must be one of "
+                         f"{STATIC_TRACE_MODES}, got {static_trace!r}")
     if table is None:
         table = OpLatencyTable.for_device(device)
 
+    summary = None
+    if static_trace != "never":
+        from repro.lint.summary import VERDICT_STATIC, summarize_kernel
+        summary = summarize_kernel(fn)
+        if static_trace == "always" and summary.verdict != VERDICT_STATIC:
+            why = "; ".join(f"{r.code} at {r.where}"
+                            for r in summary.reasons[:4])
+            raise StaticTraceUnavailable(
+                f"kernel {fn.name} is {summary.verdict}: {why}")
+        if summary.verdict != VERDICT_STATIC:
+            summary_static = False
+        else:
+            summary_static = True
+    else:
+        summary_static = False
+
     # Hash the inputs before profiling mutates the buffers; the key
     # doubles as the KernelInfo fingerprint the sub-model caches use.
-    fingerprint = analysis_fingerprint(fn, buffers, scalars, ndrange,
-                                       device, table, profile_groups)
-    if cache is not None:
-        found, cached = cache.get("analysis", fingerprint)
-        if found and isinstance(cached, KernelInfo):
-            return cached
+    launch = None
+    static_used = False
+    fingerprint = None
+    if summary_static:
+        fingerprint = analysis_fingerprint(
+            fn, buffers, scalars, ndrange, device, table, profile_groups,
+            summary_fingerprint=summary.fingerprint)
+        if cache is not None:
+            found, cached = cache.get("analysis", fingerprint)
+            if found and isinstance(cached, KernelInfo):
+                return cached
+        # Stable site ids shared with the trace records.
+        for i, inst in enumerate(fn.instructions()):
+            inst.site_id = i  # type: ignore[attr-defined]
+        from repro.interp.synth import SynthesisError
+        try:
+            synthesizer = _synthesizer_for(fn, buffers, scalars)
+            launch = synthesizer.run(ndrange,
+                                     max_groups=max(profile_groups, 1))
+            static_used = True
+        except SynthesisError as exc:
+            # The summary over-promised (or the launch hits a runtime
+            # condition the executor would also fault on): fall back to
+            # interpretation, which reproduces the real error behaviour.
+            if static_trace == "always":
+                raise StaticTraceUnavailable(
+                    f"synthesis failed for {fn.name}: {exc}") from exc
+            launch = None
+        if launch is not None and verify:
+            _verify_against_interpreter(fn, buffers, scalars, ndrange,
+                                        profile_groups, launch)
 
-    # Stable site ids shared with the executor's trace records.
-    for i, inst in enumerate(fn.instructions()):
-        inst.site_id = i  # type: ignore[attr-defined]
-
-    executor = KernelExecutor(fn, buffers, scalars)
-    launch = executor.run(ndrange, max_groups=max(profile_groups, 1))
+    if launch is None:
+        fingerprint = analysis_fingerprint(fn, buffers, scalars, ndrange,
+                                           device, table, profile_groups)
+        if cache is not None:
+            found, cached = cache.get("analysis", fingerprint)
+            if found and isinstance(cached, KernelInfo):
+                return cached
+        for i, inst in enumerate(fn.instructions()):
+            inst.site_id = i  # type: ignore[attr-defined]
+        executor = KernelExecutor(fn, buffers, scalars)
+        launch = executor.run(ndrange, max_groups=max(profile_groups, 1))
+        # Pack interpreter traces into the columnar form so analysis
+        # and cache serialisation stay on the fast path either way.
+        launch.traces = pack_traces(launch.traces,
+                                    ndrange.work_group_size)
 
     loop_nest = find_loops(fn)
     items = max(launch.work_items_executed, 1)
@@ -150,10 +300,7 @@ def analyze_kernel(fn: Function, buffers: Dict[str, Buffer],
 
     trace_analysis = analyze_traces(launch.traces)
 
-    block_dfgs = {
-        block.name: build_block_dfg(block, table)
-        for block in fn.reachable_blocks()
-    }
+    block_dfgs = _block_dfgs_for(fn, table)
     function_dfg = build_function_dfg(fn, table, weights=block_weights)
     _add_recurrence_edges(function_dfg, trace_analysis)
 
@@ -168,10 +315,39 @@ def analyze_kernel(fn: Function, buffers: Dict[str, Buffer],
             table.dsp_cost(node.inst) for node in function_dfg.nodes)),
         local_mem_bytes=_local_mem_bytes(fn),
         barriers_per_wi=launch.barriers_per_item,
+        static_trace_used=static_used,
+        summary_verdict=(summary.verdict if summary is not None
+                         else None),
+        summary_fingerprint=(summary.fingerprint if summary is not None
+                             else None),
     )
     if cache is not None:
         cache.put("analysis", fingerprint, info)
     return info
+
+
+def _verify_against_interpreter(fn, buffers, scalars, ndrange,
+                                profile_groups, launch) -> None:
+    """Cross-check a synthesized launch against the interpreter,
+    address-for-address.  Raises :class:`StaticTraceMismatch`."""
+    executor = KernelExecutor(fn, buffers, scalars)
+    ref = executor.run(ndrange, max_groups=max(profile_groups, 1))
+    if len(ref.traces) != len(launch.traces):
+        raise StaticTraceMismatch(
+            f"{fn.name}: {len(launch.traces)} synthesized work-item "
+            f"traces vs {len(ref.traces)} interpreted")
+    for wi in range(len(ref.traces)):
+        if list(launch.traces[wi]) != list(ref.traces[wi]):
+            raise StaticTraceMismatch(
+                f"{fn.name}: work-item {wi} trace differs between "
+                f"synthesis and interpretation")
+    for field_name in ("groups_executed", "work_items_executed",
+                       "block_counts", "trip_counts",
+                       "barriers_per_item"):
+        if getattr(ref, field_name) != getattr(launch, field_name):
+            raise StaticTraceMismatch(
+                f"{fn.name}: {field_name} differs between synthesis "
+                f"and interpretation")
 
 
 def _add_recurrence_edges(graph: DataFlowGraph,

@@ -21,6 +21,9 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+import numpy as np
+
+from repro.analysis.packed import PackedStream, PackedTraces
 from repro.dram.coalesce import interleave_work_items
 from repro.interp.executor import MemAccess
 
@@ -33,29 +36,47 @@ class GroupStreamExtrapolator:
         self.wg_size = max(wg_size, 1)
         self.pipelined = pipelined
         self._groups: List[List[MemAccess]] = []
-        for g in range(len(global_traces) // self.wg_size):
-            wi_traces = global_traces[g * self.wg_size:
-                                      (g + 1) * self.wg_size]
-            if not wi_traces:
-                break
-            self._groups.append(
-                interleave_work_items(wi_traces, pipelined=pipelined))
+        if isinstance(global_traces, PackedTraces) \
+                and global_traces.wg_size == self.wg_size:
+            # Columnar interleave: pipelined order is occurrence-major
+            # (sort by (occ, lane)); non-pipelined is the canonical
+            # lane-major row order itself.
+            for grp in global_traces.groups:
+                order = (np.lexsort((grp.lane, grp.occ))
+                         if pipelined else None)
+                self._groups.append(PackedStream.from_group(grp, order))
+        else:
+            for g in range(len(global_traces) // self.wg_size):
+                wi_traces = global_traces[g * self.wg_size:
+                                          (g + 1) * self.wg_size]
+                if not wi_traces:
+                    break
+                self._groups.append(
+                    interleave_work_items(wi_traces, pipelined=pipelined))
 
         n = len(self._groups)
         self.period: Optional[int] = None
         self.base_index = 0
         self._scalar_delta: Optional[int] = None
-        self._elem_deltas: Optional[List[int]] = None
+        self._elem_deltas = None
         for d in range(1, max(n, 1)):
             for i in range(n - d - 1, -1, -1):
                 a, b = self._groups[i], self._groups[i + d]
-                if a and len(a) == len(b):
-                    diffs = [y.addr - x.addr for x, y in zip(a, b)]
+                if len(a) and len(a) == len(b):
                     self.period, self.base_index = d, i
-                    if len(set(diffs)) == 1:
-                        self._scalar_delta = diffs[0]
+                    if isinstance(a, PackedStream):
+                        diffs = b.addr - a.addr
+                        u = np.unique(diffs)
+                        if u.shape[0] == 1:
+                            self._scalar_delta = int(u[0])
+                        else:
+                            self._elem_deltas = diffs
                     else:
-                        self._elem_deltas = diffs
+                        diffs = [y.addr - x.addr for x, y in zip(a, b)]
+                        if len(set(diffs)) == 1:
+                            self._scalar_delta = diffs[0]
+                        else:
+                            self._elem_deltas = diffs
                     break
             if self.period is not None:
                 break
@@ -90,6 +111,9 @@ class GroupStreamExtrapolator:
             return self._shift(stand_in, self._scalar_delta * steps)
         if self._elem_deltas is not None \
                 and len(stand_in) == len(self._elem_deltas):
+            if isinstance(stand_in, PackedStream):
+                return stand_in.with_addr(
+                    stand_in.addr + self._elem_deltas * steps)
             return [MemAccess(a.kind,
                               a.addr + self._elem_deltas[j] * steps,
                               a.nbytes, a.buffer, a.space, a.site)
@@ -97,9 +121,11 @@ class GroupStreamExtrapolator:
         return stand_in                      # periodic replay
 
     @staticmethod
-    def _shift(stream: List[MemAccess], delta: int) -> List[MemAccess]:
+    def _shift(stream, delta: int):
         if delta == 0:
             return stream
+        if isinstance(stream, PackedStream):
+            return stream.with_addr(stream.addr + delta)
         return [MemAccess(a.kind, a.addr + delta, a.nbytes, a.buffer,
                           a.space, a.site)
                 for a in stream]

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import weakref
 from typing import Dict
 
 #: Persistent-layer schema versions.  Bump a layer's version whenever
@@ -30,7 +31,7 @@ from typing import Dict
 #: profiling interpreter records different traces, the PE scheduler
 #: changes its output): old entries become unreachable, not wrong.
 SCHEMA_VERSIONS: Dict[str, int] = {
-    "analysis": 1,   # pickled KernelInfo (profiled traces + CDFG)
+    "analysis": 2,   # pickled KernelInfo (packed traces + CDFG)
     "pe": 1,         # PEModelResult rows spilled from repro.model.memo
     "memory": 1,     # MemoryModelResult rows spilled from repro.model.memo
     "table1": 1,     # per-device PatternLatencyTable (Table 1)
@@ -61,6 +62,13 @@ def device_fingerprint(device) -> str:
     return digest("device", desc)
 
 
+#: per-Function fingerprint memo — the dump only reads the lowered IR,
+#: which is immutable after the frontend (site ids and other analysis
+#: annotations are excluded from the dump), so one hash per Function
+#: object serves every analysis of it
+_FN_FP_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
 def function_fingerprint(fn) -> str:
     """Content hash of a lowered IR function via a canonical dump.
 
@@ -70,7 +78,14 @@ def function_fingerprint(fn) -> str:
     the fingerprint is stable across processes and whitespace-only
     source edits while any change to the computation busts it.
     """
-    return digest("fn", _function_dump(fn))
+    try:
+        fp = _FN_FP_MEMO.get(fn)
+    except TypeError:            # unhashable/unweakrefable test double
+        return digest("fn", _function_dump(fn))
+    if fp is None:
+        fp = digest("fn", _function_dump(fn))
+        _FN_FP_MEMO[fn] = fp
+    return fp
 
 
 def _function_dump(fn) -> str:

@@ -8,6 +8,8 @@
     python -m repro explore KERNEL.cl --kernel saxpy --global-size 4096
         [--top 5] [--device virtex7] [--jobs N|auto]
     python -m repro lint KERNEL.cl [--json] [--check ID] [--kernel saxpy]
+        [--summaries]
+    python -m repro coverage [--check] [--update] [--json]
     python -m repro workloads [--suite rodinia]
     python -m repro patterns [--device virtex7]
     python -m repro suite [--suite rodinia] [--jobs N|auto] [--limit K]
@@ -129,7 +131,9 @@ def _analyze_wg(fn, device, args, overrides, wg: int, cache=None):
     buffers, scalars = _build_buffers(fn, args.global_size, overrides)
     return analyze_kernel(fn, buffers, scalars,
                           NDRange(args.global_size, wg), device,
-                          cache=cache)
+                          cache=cache,
+                          static_trace=getattr(args, "static_trace",
+                                               "auto"))
 
 
 def _analyze(args, wg: Optional[int] = None, cache=None):
@@ -151,8 +155,54 @@ def _print_diagnostics(fn, source: str) -> None:
         print(f"  {d.format(name)}")
 
 
+def _lint_tool_error(args, message: str) -> int:
+    """Report a tool-level lint failure (unreadable file, unknown check
+    id): with ``--json`` the report is still valid JSON (the documented
+    contract in docs/LINT.md), and the exit code is 2 — reserved for
+    tool errors, never used for kernel findings."""
+    import json
+    if args.json:
+        print(json.dumps({"source": str(args.source), "error": message,
+                          "diagnostics": []}, indent=2))
+    else:
+        print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _print_summaries(source: str, args) -> None:
+    """Append per-kernel access-summary verdicts to the lint report."""
+    from repro.frontend import compile_opencl
+    from repro.lint.summary import summarize_kernel
+
+    try:
+        module = compile_opencl(source, name=Path(args.source).stem)
+    except Exception:
+        return                # frontend diagnostics already reported
+    for fn in module.kernels:
+        if args.kernel and fn.name != args.kernel:
+            continue
+        s = summarize_kernel(fn)
+        print(f"summary {fn.name}: {s.verdict}")
+        for r in s.reasons:
+            print(f"  {r.code} at {r.where}"
+                  + (f" ({r.detail})" if r.detail else ""))
+        for a in s.accesses:
+            form = a.index if a.tier == "affine" else a.tier
+            stride = (f", wi-stride {a.wi_stride}B"
+                      if a.wi_stride is not None else "")
+            print(f"  site {a.site}: {a.kind} {a.space} {a.buffer} "
+                  f"[{form}]{stride}")
+
+
 def cmd_lint(args) -> int:
-    """Run the `lint` subcommand: static diagnostics, no execution."""
+    """Run the `lint` subcommand: static diagnostics, no execution.
+
+    Exit code contract (documented in docs/LINT.md): 0 = no
+    error-severity diagnostics, 1 = at least one error-severity
+    diagnostic, 2 = the tool itself failed (unreadable file, unknown
+    ``--check`` id).  With ``--json`` the output is valid JSON in every
+    one of those cases.
+    """
     import json
 
     from repro.lint import Severity, lint_source
@@ -160,20 +210,20 @@ def cmd_lint(args) -> int:
     try:
         source = Path(args.source).read_text()
     except OSError as exc:
-        print(f"error: cannot read {args.source}: {exc.strerror}",
-              file=sys.stderr)
-        return 2
+        return _lint_tool_error(
+            args, f"cannot read {args.source}: {exc.strerror}")
     try:
         diags = lint_source(source, name=Path(args.source).stem,
                             checks=args.check or None)
     except ValueError as exc:   # unknown --check id
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return _lint_tool_error(args, str(exc))
     if args.kernel:
         diags = [d for d in diags if d.function in ("", args.kernel)]
     if args.json:
         payload = {"source": str(args.source),
                    "diagnostics": [d.to_dict() for d in diags]}
+        if args.summaries:
+            payload["summaries"] = _summaries_payload(source, args)
         print(json.dumps(payload, indent=2))
     else:
         name = Path(args.source).name
@@ -185,7 +235,27 @@ def cmd_lint(args) -> int:
               f"{counts[Severity.ERROR]} error(s), "
               f"{counts[Severity.WARNING]} warning(s), "
               f"{counts[Severity.NOTE]} note(s)")
+        if args.summaries:
+            _print_summaries(source, args)
     return 1 if any(d.severity is Severity.ERROR for d in diags) else 0
+
+
+def _summaries_payload(source: str, args) -> List[dict]:
+    """JSON form of the per-kernel access summaries."""
+    from repro.frontend import compile_opencl
+    from repro.lint.summary import summarize_kernel
+
+    try:
+        module = compile_opencl(source, name=Path(args.source).stem)
+    except Exception:
+        return []
+    out = []
+    for fn in module.kernels:
+        if args.kernel and fn.name != args.kernel:
+            continue
+        s = summarize_kernel(fn)
+        out.append(s.to_dict())
+    return out
 
 
 def cmd_predict(args) -> int:
@@ -209,6 +279,11 @@ def cmd_predict(args) -> int:
     print(f"kernel   : {fn.name}")
     print(f"design   : {design}")
     print(f"device   : {device.name}")
+    if info.summary_verdict is not None:
+        provenance = ("synthesized" if info.static_trace_used
+                      else "interpreted")
+        print(f"traces   : {provenance} "
+              f"(summary: {info.summary_verdict})")
     print(f"II       : {prediction.pe.ii:.0f} cycles "
           f"(RecMII {prediction.pe.rec_mii:.0f}, "
           f"ResMII {prediction.pe.res_mii:.0f})")
@@ -302,7 +377,8 @@ def cmd_suite(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     result = run_suite(catalog, device, jobs=args.jobs, cache=cache,
-                       designs_per_kernel=args.designs)
+                       designs_per_kernel=args.designs,
+                       static_trace=args.static_trace)
     by_workload = result.by_workload()
     for name in sorted(by_workload):
         preds = by_workload[name]
@@ -347,6 +423,41 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_coverage(args) -> int:
+    """Run the `coverage` subcommand: catalog-wide summary verdicts."""
+    import json
+
+    from repro.lint.summary.coverage import (
+        check_coverage,
+        coverage_report,
+        write_golden,
+    )
+
+    report = coverage_report()
+    if args.update:
+        path = write_golden(report)
+        print(f"wrote {path} ({report['static']}/{report['total']} "
+              f"kernels static)")
+        return 0
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for name, entry in sorted(report["kernels"].items()):
+            why = ("" if entry["verdict"] == "static"
+                   else "  [" + ", ".join(entry["reasons"]) + "]")
+            print(f"{name:<44} {entry['verdict']}{why}")
+        print(f"\n{report['static']}/{report['total']} kernels static "
+              f"(engine v{report['engine_version']})")
+    if args.check:
+        problems = check_coverage(report)
+        if problems:
+            for p_ in problems:
+                print(f"REGRESSION: {p_}", file=sys.stderr)
+            return 1
+        print("coverage check passed: no STATIC kernel regressed")
+    return 0
+
+
 def cmd_patterns(args) -> int:
     """Run the `patterns` subcommand: print Table 1."""
     from repro.devices import device_by_name
@@ -372,6 +483,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-cache", action="store_true",
                        help="disable the persistent cache for this run")
 
+    def add_static_trace_arg(p):
+        p.add_argument("--static-trace", default="auto",
+                       choices=["auto", "always", "never"],
+                       help="trace producer: synthesize analytically "
+                            "when the access summary proves the kernel "
+                            "STATIC (auto, default), require synthesis "
+                            "(always), or always interpret (never)")
+
     def add_kernel_args(p):
         p.add_argument("source", help="OpenCL .cl source file")
         p.add_argument("--kernel", help="kernel name "
@@ -383,6 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["virtex7", "ku060"])
         p.add_argument("--arg", action="append", metavar="NAME=VALUE",
                        help="override a scalar kernel argument")
+        add_static_trace_arg(p)
         add_cache_args(p)
 
     p = sub.add_parser("predict", help="predict one design's cycles")
@@ -416,7 +536,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="append", metavar="ID",
                    help="run only this check id (repeatable); see "
                         "docs/LINT.md for the list")
+    p.add_argument("--summaries", action="store_true",
+                   help="also print each kernel's access-summary "
+                        "verdict and per-site closed forms")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser("coverage",
+                       help="static-trace coverage over the bundled "
+                            "workload catalog")
+    p.add_argument("--check", action="store_true",
+                   help="fail (exit 1) if a kernel the golden file "
+                        "proves STATIC has regressed")
+    p.add_argument("--update", action="store_true",
+                   help="rewrite docs/static_coverage.json from the "
+                        "current engine")
+    p.add_argument("--json", action="store_true",
+                   help="print the full report as JSON")
+    p.set_defaults(func=cmd_coverage)
 
     p = sub.add_parser("workloads", help="list bundled benchmarks")
     p.add_argument("--suite", choices=["rodinia", "polybench"])
@@ -436,6 +572,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="evaluate only the first K kernels (0 = all)")
     p.add_argument("--designs", type=int, default=8, metavar="D",
                    help="sampled design points per kernel")
+    add_static_trace_arg(p)
     add_cache_args(p)
     p.set_defaults(func=cmd_suite)
 

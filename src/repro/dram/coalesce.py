@@ -15,7 +15,9 @@ access unit (512 bits on the paper's platform).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
+
+import numpy as np
 
 from repro.interp.executor import MemAccess
 
@@ -44,6 +46,14 @@ def coalesce_stream(stream: Sequence[MemAccess],
     requests: 1024 consecutive 32-bit reads with a 512-bit unit become
     1024 / (512/32) = 64 requests, matching the paper's example.
     """
+    from repro.analysis.packed import PackedStream
+    if isinstance(stream, PackedStream):
+        kind, addr, nbytes = coalesce_packed(
+            stream.kind, stream.addr, stream.nbytes, unit_bits)
+        return [CoalescedRequest("read" if k == 0 else "write",
+                                 int(a), int(n))
+                for k, a, n in zip(kind.tolist(), addr.tolist(),
+                                   nbytes.tolist())]
     unit_bytes = max(unit_bits // 8, 1)
     requests: List[CoalescedRequest] = []
     current_kind = None
@@ -73,6 +83,118 @@ def coalesce_stream(stream: Sequence[MemAccess],
         current_end = acc.addr + acc.nbytes
     flush()
     return requests
+
+
+def coalesce_packed(kind: np.ndarray, addr: np.ndarray,
+                    nbytes: np.ndarray, unit_bits: int = 512
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Columnar coalescer: identical request sequence to
+    :func:`coalesce_stream`, returned as ``(kind, addr, nbytes)``
+    arrays (kind 0 = read, 1 = write)."""
+    unit_bytes = max(unit_bits // 8, 1)
+    n = int(kind.shape[0])
+    if n == 0:
+        return (np.empty(0, np.uint8), np.empty(0, np.int64),
+                np.empty(0, np.int64))
+    end = addr + nbytes
+    brk = np.empty(n, bool)
+    brk[0] = True
+    brk[1:] = (kind[1:] != kind[:-1]) | (addr[1:] != end[:-1])
+    sizes = np.unique(nbytes)
+    if sizes.shape[0] == 1:
+        # Uniform access size: within a contiguous run the greedy
+        # capacity check breaks a new request every k = unit/nb
+        # accesses, so request starts fall out of run positions.
+        nb = int(sizes[0])
+        k = max(unit_bytes // nb, 1)
+        run_starts = np.flatnonzero(brk)
+        run_id = np.cumsum(brk) - 1
+        pos = np.arange(n) - run_starts[run_id]
+        req_starts = np.flatnonzero(pos % k == 0)
+        req_counts = np.diff(np.append(req_starts, n))
+        return (kind[req_starts].astype(np.uint8),
+                addr[req_starts].astype(np.int64),
+                req_counts.astype(np.int64) * nb)
+    # Mixed sizes (rare): greedy scalar pass over the columns.
+    kind_l = kind.tolist()
+    addr_l = addr.tolist()
+    nb_l = nbytes.tolist()
+    brk_l = brk.tolist()
+    out_k: List[int] = []
+    out_a: List[int] = []
+    out_n: List[int] = []
+    cur_a = cur_b = 0
+    for i in range(n):
+        b = nb_l[i]
+        if brk_l[i] or cur_b + b > unit_bytes:
+            if cur_b:
+                out_k.append(kind_l[i - 1])
+                out_a.append(cur_a)
+                out_n.append(cur_b)
+            cur_a = addr_l[i]
+            cur_b = 0
+        cur_b += b
+    if cur_b:
+        out_k.append(kind_l[n - 1])
+        out_a.append(cur_a)
+        out_n.append(cur_b)
+    return (np.array(out_k, np.uint8), np.array(out_a, np.int64),
+            np.array(out_n, np.int64))
+
+
+def coalesce_packed_groups(kind: np.ndarray, addr: np.ndarray,
+                           nbytes: np.ndarray, group: np.ndarray,
+                           unit_bits: int = 512
+                           ) -> Tuple[np.ndarray, np.ndarray,
+                                      np.ndarray, np.ndarray]:
+    """Batched coalescer over many independent streams at once.
+
+    *group* labels each access with its stream; runs never merge across
+    a group boundary.  Returns ``(kind, addr, nbytes, group)`` request
+    arrays — exactly the concatenation of :func:`coalesce_packed` run
+    per group, with each request labelled by its source group.
+    """
+    unit_bytes = max(unit_bits // 8, 1)
+    n = int(kind.shape[0])
+    if n == 0:
+        return (np.empty(0, np.uint8), np.empty(0, np.int64),
+                np.empty(0, np.int64), np.empty(0, np.int64))
+    end = addr + nbytes
+    brk = np.empty(n, bool)
+    brk[0] = True
+    brk[1:] = ((kind[1:] != kind[:-1]) | (addr[1:] != end[:-1])
+               | (group[1:] != group[:-1]))
+    sizes = np.unique(nbytes)
+    if sizes.shape[0] == 1:
+        # Uniform access size across the whole batch (the common case:
+        # every group replays the same sites): same run arithmetic as
+        # coalesce_packed, with group changes already breaking runs.
+        nb = int(sizes[0])
+        k = max(unit_bytes // nb, 1)
+        run_starts = np.flatnonzero(brk)
+        run_id = np.cumsum(brk) - 1
+        pos = np.arange(n) - run_starts[run_id]
+        req_starts = np.flatnonzero(pos % k == 0)
+        req_counts = np.diff(np.append(req_starts, n))
+        return (kind[req_starts].astype(np.uint8),
+                addr[req_starts].astype(np.int64),
+                req_counts.astype(np.int64) * nb,
+                group[req_starts].astype(np.int64))
+    # Mixed sizes (rare): delegate to the per-group scalar coalescer.
+    bounds = np.flatnonzero(np.concatenate(
+        ([True], group[1:] != group[:-1])))
+    bounds = np.append(bounds, n)
+    out = [[], [], [], []]
+    for i in range(bounds.shape[0] - 1):
+        lo, hi = int(bounds[i]), int(bounds[i + 1])
+        rk, ra, rn = coalesce_packed(kind[lo:hi], addr[lo:hi],
+                                     nbytes[lo:hi], unit_bits)
+        out[0].append(rk)
+        out[1].append(ra)
+        out[2].append(rn)
+        out[3].append(np.full(rk.shape[0], group[lo], np.int64))
+    return (np.concatenate(out[0]), np.concatenate(out[1]),
+            np.concatenate(out[2]), np.concatenate(out[3]))
 
 
 def interleave_work_items(traces: Sequence[Sequence[MemAccess]],

@@ -10,7 +10,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.dram.coalesce import CoalescedRequest
 from repro.dram.mapping import BankMapping
@@ -127,6 +129,91 @@ def classify_bank_stream(requests: Sequence[CoalescedRequest],
             # ...but every touched bank's row state still evolves.
             state.touch(row)
             state.last_kind = req.kind
+    return counts
+
+
+def classify_packed(kind: np.ndarray, addr: np.ndarray,
+                    nbytes: np.ndarray,
+                    mapping: BankMapping,
+                    group: Optional[np.ndarray] = None) -> PatternCounts:
+    """Columnar Table 1 classification: identical counts to
+    :func:`classify_bank_stream` fed the same request sequence.
+
+    The replicated bank state is the LRU-2 open-row window with
+    touch-to-front (:class:`_BankState` with ``ROW_WINDOW == 2``): at
+    any point a bank's two open rows are the value of the current
+    equal-row run and the value of the run before it, which turns the
+    per-request hit test into pure run bookkeeping on the sorted-by-bank
+    block sequence.
+
+    With *group* (one label per request) many independent streams are
+    classified in one batch: bank state is per (group, bank), so the
+    result equals summing per-group classifications — each group sees
+    cold banks, exactly as if classified alone."""
+    assert ROW_WINDOW == 2, "packed classifier models the LRU-2 window"
+    counts = PatternCounts()
+    n_req = int(kind.shape[0])
+    if n_req == 0:
+        return counts
+    ib = mapping.interleave_bytes
+    start_blk = addr // ib
+    end_blk = (addr + np.maximum(nbytes, 1) + ib - 1) // ib
+    per_req = (end_blk - start_blk).astype(np.int64)
+    total = int(per_req.sum())
+    req_ix = np.repeat(np.arange(n_req), per_req)
+    first_of = np.cumsum(per_req) - per_req
+    offs = np.arange(total) - first_of[req_ix]
+    blocks = start_blk[req_ix] + offs
+    lead = offs == 0
+    kinds = kind[req_ix].astype(np.int64)
+
+    swiz = blocks ^ (blocks >> 3) ^ (blocks >> 6)
+    bank = swiz % mapping.num_banks
+    row = (blocks // mapping.num_banks) // (mapping.row_bytes // ib)
+
+    seg_new = np.empty(total, bool)
+    seg_new[0] = True
+    if group is None:
+        order = np.argsort(bank, kind="stable")
+        b_s = bank[order]
+        seg_new[1:] = b_s[1:] != b_s[:-1]
+    else:
+        g_blk = group[req_ix]
+        # lexsort is stable, so per-(group, bank) request order — which
+        # is what the bank state machine consumes — is preserved.
+        order = np.lexsort((bank, g_blk))
+        b_s = bank[order]
+        g_s = g_blk[order]
+        seg_new[1:] = (b_s[1:] != b_s[:-1]) | (g_s[1:] != g_s[:-1])
+    r_s = row[order]
+    k_s = kinds[order]
+    lead_s = lead[order]
+    # previous request kind seen by this bank (cold banks read)
+    prev_k = np.empty(total, np.int64)
+    prev_k[0] = 0
+    prev_k[1:] = k_s[:-1]
+    prev_k[seg_new] = 0
+    # same row as this bank's previous access?
+    same_prev = np.empty(total, bool)
+    same_prev[0] = False
+    same_prev[1:] = r_s[1:] == r_s[:-1]
+    same_prev[seg_new] = False
+    # equal-row runs within each bank segment
+    run_new = seg_new | ~same_prev
+    run_id = np.cumsum(run_new) - 1
+    run_val = r_s[run_new]
+    seg_id = np.cumsum(seg_new) - 1
+    seg_first_run = run_id[seg_new][seg_id]
+    # second open row = value of the run before the run holding the
+    # previous access; a new-run position i has that run at run_id-2.
+    has_prev2 = (run_id - 2) >= seg_first_run
+    cand = run_val[np.maximum(run_id - 2, 0)]
+    hit = same_prev | (has_prev2 & (r_s == cand))
+
+    codes = (np.where(hit, 0, 4) + 2 * k_s + prev_k)[lead_s]
+    binc = np.bincount(codes, minlength=8)
+    for j, p in enumerate(PATTERNS):
+        counts.counts[p] = int(binc[j])
     return counts
 
 

@@ -18,13 +18,19 @@ from repro.workloads.base import Workload
 
 def make_analyzer(workload: Workload, device,
                   profile_groups: Optional[int] = None,
-                  cache=None) -> Callable[[int], Optional[KernelInfo]]:
+                  cache=None, static_trace: str = "auto"
+                  ) -> Callable[[int], Optional[KernelInfo]]:
     """Returns a cached ``analyze(wg_size) -> KernelInfo`` for one
     workload.  Returns None for work-group sizes the kernel cannot run
     at (analysis raising is treated as 'this configuration does not
     build').  With a persistent *cache*
     (:class:`repro.cache.ArtifactCache`), analyses are additionally
-    content-addressed on disk and shared across processes."""
+    content-addressed on disk and shared across processes.
+    *static_trace* is forwarded to
+    :func:`~repro.analysis.analyze_kernel`: kernels the access-summary
+    engine proves STATIC get synthesized traces (the kernel function is
+    compiled once and the summary is memoized on it, so a DSE sweep
+    pays the proof once for all work-group sizes)."""
     memo: Dict[int, Optional[KernelInfo]] = {}
 
     def analyze(wg_size: int) -> Optional[KernelInfo]:
@@ -36,7 +42,7 @@ def make_analyzer(workload: Workload, device,
                     device,
                     profile_groups=(profile_groups
                                     or DEFAULT_PROFILE_GROUPS),
-                    cache=cache)
+                    cache=cache, static_trace=static_trace)
             except Exception:
                 memo[wg_size] = None
         return memo[wg_size]

@@ -65,9 +65,12 @@ class SuiteResult:
 
 
 def _evaluate_workload(workload: Workload, device, cache,
-                       designs_per_kernel: int) -> List[SuitePrediction]:
+                       designs_per_kernel: int,
+                       static_trace: str = "auto"
+                       ) -> List[SuitePrediction]:
     """Analyse one workload and predict its sampled design points."""
-    analyzer = make_analyzer(workload, device, cache=cache)
+    analyzer = make_analyzer(workload, device, cache=cache,
+                             static_trace=static_trace)
     space = DesignSpace.default_for(workload.global_size)
     designs = sample_designs(workload, device, space,
                              designs_per_kernel, analyzer)
@@ -92,10 +95,11 @@ _SUITE_STATE: Optional[tuple] = None
 def _run_suite_shard(indices: List[int]
                      ) -> Tuple[List[Tuple[int, List[SuitePrediction]]],
                                 StoreStats]:
-    workloads, device, cache, designs_per_kernel = _SUITE_STATE
+    (workloads, device, cache, designs_per_kernel,
+     static_trace) = _SUITE_STATE
     before = cache.stats.copy() if cache is not None else StoreStats()
     out = [(i, _evaluate_workload(workloads[i], device, cache,
-                                  designs_per_kernel))
+                                  designs_per_kernel, static_trace))
            for i in indices]
     after = cache.stats.copy() if cache is not None else StoreStats()
     return out, after - before
@@ -103,7 +107,8 @@ def _run_suite_shard(indices: List[int]
 
 def run_suite(workloads: Sequence[Workload], device,
               jobs=None, cache=None,
-              designs_per_kernel: int = 8) -> SuiteResult:
+              designs_per_kernel: int = 8,
+              static_trace: str = "auto") -> SuiteResult:
     """Predict *designs_per_kernel* sampled design points for every
     workload in *workloads* on *device*.
 
@@ -127,7 +132,8 @@ def run_suite(workloads: Sequence[Workload], device,
         n_jobs = min(n_jobs, len(workloads))
         shards = [list(range(s, len(workloads), n_jobs))
                   for s in range(n_jobs)]
-        _SUITE_STATE = (workloads, device, cache, designs_per_kernel)
+        _SUITE_STATE = (workloads, device, cache, designs_per_kernel,
+                        static_trace)
         try:
             ctx = multiprocessing.get_context("fork")
             with concurrent.futures.ProcessPoolExecutor(
@@ -151,7 +157,7 @@ def run_suite(workloads: Sequence[Workload], device,
         for workload in workloads:
             result.predictions.extend(
                 _evaluate_workload(workload, device, cache,
-                                   designs_per_kernel))
+                                   designs_per_kernel, static_trace))
         if before is not None:
             result.store_stats = cache.stats - before
 

@@ -43,6 +43,7 @@ from repro.ir.types import (
     parse_type_name,
 )
 from repro.ir.values import Constant, Value
+from repro.ir.visitor import Dispatcher
 
 
 class LoweringError(Exception):
@@ -106,9 +107,16 @@ class _Scope:
         self.vars[name] = slot
 
 
-class _FunctionLowering:
-    """Lowers one kernel (inlining helper calls as it goes)."""
+class _FunctionLowering(Dispatcher):
+    """Lowers one kernel (inlining helper calls as it goes).
 
+    Statement and expression lowering dispatch through the shared
+    :class:`~repro.ir.visitor.Dispatcher` base: ``lower_<ASTClass>``
+    methods replace the former ``isinstance`` ladders, and unsupported
+    node classes fall through to :meth:`generic_visit`.
+    """
+
+    visit_prefix = "lower_"
     MAX_INLINE_DEPTH = 16
 
     def __init__(self, kernel_ast: ast.FunctionDef,
@@ -172,38 +180,33 @@ class _FunctionLowering:
     def _lower_stmt(self, stmt: ast.Stmt) -> None:
         if stmt is not None and getattr(stmt, "line", 0):
             self.builder.set_span(stmt.line, stmt.col)
-        if isinstance(stmt, ast.CompoundStmt):
-            self.scope = _Scope(self.scope)
-            for s in stmt.body:
-                if self.builder.block.is_terminated:
-                    break  # dead code after break/continue/return
-                self._lower_stmt(s)
-            self.scope = self.scope.parent
-        elif isinstance(stmt, ast.DeclStmt):
-            self._lower_decl(stmt)
-        elif isinstance(stmt, ast.ExprStmt):
-            if stmt.expr is not None:
-                self._lower_expr(stmt.expr)
-        elif isinstance(stmt, ast.IfStmt):
-            self._lower_if(stmt)
-        elif isinstance(stmt, ast.ForStmt):
-            self._lower_for(stmt)
-        elif isinstance(stmt, ast.WhileStmt):
-            self._lower_while(stmt)
-        elif isinstance(stmt, ast.DoWhileStmt):
-            self._lower_do_while(stmt)
-        elif isinstance(stmt, ast.ReturnStmt):
-            self._lower_return(stmt)
-        elif isinstance(stmt, ast.BreakStmt):
-            if not self.loop_stack:
-                raise LoweringError(f"line {stmt.line}: break outside loop")
-            self.builder.branch(self.loop_stack[-1][0])
-        elif isinstance(stmt, ast.ContinueStmt):
-            if not self.loop_stack:
-                raise LoweringError(f"line {stmt.line}: continue outside loop")
-            self.builder.branch(self.loop_stack[-1][1])
-        else:
-            raise LoweringError(f"unsupported statement {type(stmt).__name__}")
+        self.visit(stmt)
+
+    def generic_visit(self, node) -> None:
+        kind = "expression" if isinstance(node, ast.Expr) else "statement"
+        raise LoweringError(f"unsupported {kind} {type(node).__name__}")
+
+    def lower_CompoundStmt(self, stmt: ast.CompoundStmt) -> None:
+        self.scope = _Scope(self.scope)
+        for s in stmt.body:
+            if self.builder.block.is_terminated:
+                break  # dead code after break/continue/return
+            self._lower_stmt(s)
+        self.scope = self.scope.parent
+
+    def lower_ExprStmt(self, stmt: ast.ExprStmt) -> None:
+        if stmt.expr is not None:
+            self._lower_expr(stmt.expr)
+
+    def lower_BreakStmt(self, stmt: ast.BreakStmt) -> None:
+        if not self.loop_stack:
+            raise LoweringError(f"line {stmt.line}: break outside loop")
+        self.builder.branch(self.loop_stack[-1][0])
+
+    def lower_ContinueStmt(self, stmt: ast.ContinueStmt) -> None:
+        if not self.loop_stack:
+            raise LoweringError(f"line {stmt.line}: continue outside loop")
+        self.builder.branch(self.loop_stack[-1][1])
 
     def _lower_decl(self, stmt: ast.DeclStmt) -> None:
         base = parse_type_name(stmt.type_name)
@@ -449,40 +452,38 @@ class _FunctionLowering:
                 self._lower_expr(stmt.value)
             self.builder.ret()
 
+    # Statement dispatch aliases (Dispatcher resolves lower_<ASTClass>).
+    lower_DeclStmt = _lower_decl
+    lower_IfStmt = _lower_if
+    lower_ForStmt = _lower_for
+    lower_WhileStmt = _lower_while
+    lower_DoWhileStmt = _lower_do_while
+    lower_ReturnStmt = _lower_return
+
     # -- expressions ---------------------------------------------------------
 
     def _lower_expr(self, expr: ast.Expr) -> Tuple[Value, Type]:
         if expr.line:
             self.builder.set_span(expr.line, expr.col)
-        if isinstance(expr, ast.IntLiteral):
-            return Constant(INT, expr.value), INT
-        if isinstance(expr, ast.FloatLiteral):
-            return Constant(FLOAT, expr.value), FLOAT
-        if isinstance(expr, ast.Identifier):
-            return self._lower_identifier(expr)
-        if isinstance(expr, ast.BinaryExpr):
-            return self._lower_binary(expr)
-        if isinstance(expr, ast.UnaryExpr):
-            return self._lower_unary(expr)
-        if isinstance(expr, ast.AssignExpr):
-            return self._lower_assign(expr)
-        if isinstance(expr, ast.TernaryExpr):
-            return self._lower_ternary(expr)
-        if isinstance(expr, ast.CallExpr):
-            return self._lower_call(expr)
-        if isinstance(expr, ast.IndexExpr):
-            ptr, elem = self._lower_lvalue(expr)
-            if expr.line:
-                self.builder.set_span(expr.line, expr.col)
-            return self.builder.load(ptr), elem
-        if isinstance(expr, ast.CastExpr):
-            return self._lower_cast(expr)
-        if isinstance(expr, ast.MemberExpr):
-            raise LoweringError(
-                f"line {expr.line}: vector component access is outside the "
-                f"supported subset (use scalar code; vectorization is a "
-                f"design-space parameter)")
-        raise LoweringError(f"unsupported expression {type(expr).__name__}")
+        return self.visit(expr)
+
+    def lower_IntLiteral(self, expr: ast.IntLiteral) -> Tuple[Value, Type]:
+        return Constant(INT, expr.value), INT
+
+    def lower_FloatLiteral(self, expr: ast.FloatLiteral) -> Tuple[Value, Type]:
+        return Constant(FLOAT, expr.value), FLOAT
+
+    def lower_IndexExpr(self, expr: ast.IndexExpr) -> Tuple[Value, Type]:
+        ptr, elem = self._lower_lvalue(expr)
+        if expr.line:
+            self.builder.set_span(expr.line, expr.col)
+        return self.builder.load(ptr), elem
+
+    def lower_MemberExpr(self, expr: ast.MemberExpr) -> Tuple[Value, Type]:
+        raise LoweringError(
+            f"line {expr.line}: vector component access is outside the "
+            f"supported subset (use scalar code; vectorization is a "
+            f"design-space parameter)")
 
     def _lower_identifier(self, expr: ast.Identifier) -> Tuple[Value, Type]:
         slot = self.scope.lookup(expr.name)
@@ -796,6 +797,15 @@ class _FunctionLowering:
         if result_slot is None:
             return Constant(INT, 0), VOID
         return self.builder.load(result_slot), ret_type
+
+    # Expression dispatch aliases (Dispatcher resolves lower_<ASTClass>).
+    lower_Identifier = _lower_identifier
+    lower_BinaryExpr = _lower_binary
+    lower_UnaryExpr = _lower_unary
+    lower_AssignExpr = _lower_assign
+    lower_TernaryExpr = _lower_ternary
+    lower_CallExpr = _lower_call
+    lower_CastExpr = _lower_cast
 
     # -- conversions -----------------------------------------------------
 

@@ -95,11 +95,11 @@ class NDRange:
 
     @property
     def num_work_items(self) -> int:
-        return int(np.prod(self.global_size))
+        return math.prod(self.global_size)
 
     @property
     def work_group_size(self) -> int:
-        return int(np.prod(self.local_size))
+        return math.prod(self.local_size)
 
     @property
     def num_groups(self) -> Tuple[int, ...]:
@@ -211,6 +211,62 @@ _CMP_FNS = {
     "eq": operator.eq, "ne": operator.ne, "lt": operator.lt,
     "le": operator.le, "gt": operator.gt, "ge": operator.ge,
 }
+
+#: NDRange geometry builtins.
+GEOMETRY_BUILTINS = frozenset({
+    "get_local_id", "get_global_id", "get_group_id",
+    "get_local_size", "get_global_size", "get_num_groups",
+    "get_global_offset", "get_work_dim",
+})
+
+#: Floating-point builtins (results are float-valued).
+FLOAT_BUILTINS = (frozenset(_MATH_1) | frozenset(_MATH_2)
+                  | frozenset({"mad", "fma", "mix"}))
+
+#: Integer-capable arithmetic builtins.
+INT_CAPABLE_BUILTINS = frozenset(
+    {"clamp", "min", "max", "abs", "mul24", "mad24"})
+
+#: Atomics :meth:`KernelExecutor._exec_atomic` implements.
+KNOWN_ATOMICS = frozenset({
+    "atomic_add", "atomic_sub", "atomic_inc", "atomic_dec",
+    "atomic_min", "atomic_max", "atomic_xchg", "atomic_cmpxchg",
+})
+
+#: Every builtin the executor can run.  Calls outside this set compile
+#: to a runtime error; the static summary engine flags them as
+#: ``unsupported-call`` without executing anything.
+KNOWN_BUILTINS = (GEOMETRY_BUILTINS | FLOAT_BUILTINS
+                  | INT_CAPABLE_BUILTINS | KNOWN_ATOMICS)
+
+
+def finalize_trip_counts(fn, block_counts: Dict[str, int],
+                         work_items: int) -> Dict[str, float]:
+    """Derive average trip counts from block execution counts.
+
+    For a loop with header H and body entry B: per loop entry the header
+    runs (N+1) times and the body N, so ``N = count(B) / (count(H) -
+    count(B))`` averaged over all entries (do-while loops have count(H)
+    == count(B): the body and condition run the same number of times;
+    then N is not derivable from these two alone, so we fall back to
+    ``count(B) / items``, a per-item average).
+
+    Shared by the profiling executor and the static trace synthesizer so
+    both report identical trip counts for identical block counts.
+    """
+    trip_counts: Dict[str, float] = {}
+    items = max(work_items, 1)
+    for meta in getattr(fn, "loop_meta", []):
+        header = block_counts.get(meta.header, 0)
+        body = block_counts.get(meta.body_entry, 0)
+        entries = header - body
+        if entries > 0:
+            trip_counts[meta.header] = body / entries
+        elif body > 0:
+            trip_counts[meta.header] = body / items
+        else:
+            trip_counts[meta.header] = 0.0
+    return trip_counts
 
 
 def _int_div(a, b):
@@ -879,25 +935,5 @@ class KernelExecutor:
     # -- trip counts --------------------------------------------------------
 
     def _finalize_trip_counts(self, result: LaunchResult) -> None:
-        """Derive average trip counts from block execution counts.
-
-        For a loop with header H and body entry B: per loop entry the
-        header runs (N+1) times and the body N, so
-        ``N = count(B) / (count(H) - count(B))`` averaged over all
-        entries (do-while loops have count(H) == count(B): the body and
-        condition run the same number of times; then N = count(B) /
-        entries is not derivable from these two alone, so we fall back
-        to count(B) / items, a per-item average).
-        """
-        loop_meta = getattr(self.fn, "loop_meta", [])
-        items = max(result.work_items_executed, 1)
-        for meta in loop_meta:
-            header = result.block_counts.get(meta.header, 0)
-            body = result.block_counts.get(meta.body_entry, 0)
-            entries = header - body
-            if entries > 0:
-                result.trip_counts[meta.header] = body / entries
-            elif body > 0:
-                result.trip_counts[meta.header] = body / items
-            else:
-                result.trip_counts[meta.header] = 0.0
+        result.trip_counts.update(finalize_trip_counts(
+            self.fn, result.block_counts, result.work_items_executed))

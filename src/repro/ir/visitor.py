@@ -1,0 +1,128 @@
+"""Shared walker infrastructure for IR and AST traversals.
+
+Before this module, every analysis that walked the IR carried its own
+dispatch chain (``isinstance`` ladders in ``lint/affine.py`` and
+``frontend/lowering.py``) and its own worklist/fixpoint plumbing
+(``lint/cfg.py``).  The pieces here factor that out:
+
+- :class:`Dispatcher` — class-name method dispatch (``visit_Foo``)
+  with per-class caching and MRO fallback.  Works for IR instructions,
+  IR values, and frontend AST nodes alike, since all it needs is the
+  node's class name.
+- :func:`flood` — generic worklist reachability over any successor
+  function (CFG reachability, natural-loop membership, ...).
+- :func:`meet_over_edges` — the iterative set-intersection dataflow
+  shared by dominators and post-dominators (the two differ only in
+  edge direction and root set).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Set, TypeVar
+
+T = TypeVar("T")
+
+
+class Dispatcher:
+    """Dispatch ``self.visit(node, ...)`` to ``visit_<ClassName>``.
+
+    Resolution walks the node class's MRO so a handler registered for a
+    base class (e.g. ``visit_Instruction``) catches subclasses without
+    enumerating them.  Unhandled classes fall back to
+    :meth:`generic_visit`.  Resolved methods are cached per node class,
+    so steady-state dispatch is one dict lookup — no ``isinstance``
+    chains on the hot path.
+    """
+
+    #: method-name prefix; subclasses may override (e.g. ``"lower_"``)
+    visit_prefix = "visit_"
+
+    def visit(self, node, *args):
+        cls = node.__class__
+        try:
+            method = self._dispatch_cache[cls]
+        except (AttributeError, KeyError):
+            method = self._resolve(cls)
+        return method(node, *args)
+
+    def _resolve(self, cls) -> Callable:
+        cache = getattr(self, "_dispatch_cache", None)
+        if cache is None:
+            cache = self._dispatch_cache = {}
+        method = None
+        for klass in cls.__mro__:
+            method = getattr(self, self.visit_prefix + klass.__name__, None)
+            if method is not None:
+                break
+        if method is None:
+            method = self.generic_visit
+        cache[cls] = method
+        return method
+
+    def generic_visit(self, node, *args):
+        raise NotImplementedError(
+            f"{type(self).__name__} has no handler for "
+            f"{type(node).__name__}")
+
+
+def flood(seeds: Iterable[T], successors: Callable[[T], Iterable[T]],
+          key: Callable[[T], Hashable] = id,
+          include_seeds: bool = False) -> Dict[Hashable, T]:
+    """Generic worklist reachability: everything reachable from *seeds*
+    via *successors*, keyed by *key* (default: object identity).
+
+    Returns ``{key(node): node}`` — callers that only need the id set
+    use ``.keys()``; callers that need the nodes use ``.values()``.
+    Seeds themselves are included only when reachable (or with
+    *include_seeds*).
+    """
+    seeds = list(seeds)
+    seen: Dict[Hashable, T] = {}
+    if include_seeds:
+        for s in seeds:
+            seen[key(s)] = s
+    # Start from the seeds' successors either way: when the seeds are
+    # pre-seeded they are already in ``seen`` and would otherwise be
+    # skipped before their successors were expanded.
+    stack: List[T] = [n for s in seeds for n in successors(s)]
+    while stack:
+        node = stack.pop()
+        k = key(node)
+        if k in seen:
+            continue
+        seen[k] = node
+        stack.extend(successors(node))
+    return seen
+
+
+def meet_over_edges(nodes: List[T], roots: Iterable[T],
+                    edges: Callable[[T], Iterable[T]],
+                    key: Callable[[T], Hashable] = id
+                    ) -> Dict[Hashable, Set[Hashable]]:
+    """Iterative intersection dataflow: ``out[n] = {n} ∪ ⋂ out[edge]``.
+
+    With *edges* = predecessors and *roots* = {entry} this computes
+    dominators; with *edges* = successors and *roots* = exit blocks it
+    computes post-dominators.  Functions here are a few dozen blocks,
+    so the classic O(n²) iteration is plenty.
+    """
+    roots = list(roots)
+    root_keys = {key(r) for r in roots}
+    all_keys = {key(n) for n in nodes}
+    out: Dict[Hashable, Set[Hashable]] = {
+        key(n): ({key(n)} if key(n) in root_keys else set(all_keys))
+        for n in nodes}
+    changed = True
+    while changed:
+        changed = False
+        for n in nodes:
+            k = key(n)
+            if k in root_keys:
+                continue
+            incoming = [out[key(e)] for e in edges(n) if key(e) in out]
+            new = set.intersection(*incoming) if incoming else set()
+            new = new | {k}
+            if new != out[k]:
+                out[k] = new
+                changed = True
+    return out

@@ -36,6 +36,7 @@ from repro.ir.instructions import (
 )
 from repro.ir.types import AddressSpace, ArrayType, PointerType
 from repro.ir.values import Argument, Constant, Register, Value
+from repro.ir.visitor import Dispatcher
 
 #: Builtins whose result is the same for every work-item of a group.
 _UNIFORM_BUILTINS = {
@@ -129,8 +130,16 @@ class AffineExpr:
         return " + ".join(parts)
 
 
-class AffineAnalysis:
-    """Static value analysis for one IR function."""
+class AffineAnalysis(Dispatcher):
+    """Static value analysis for one IR function.
+
+    Affine evaluation of instruction results dispatches through the
+    shared :class:`~repro.ir.visitor.Dispatcher` base (``_eval_<Class>``
+    methods); unhandled instruction classes fall back to an opaque
+    symbol via :meth:`generic_visit`.
+    """
+
+    visit_prefix = "_eval_"
 
     def __init__(self, fn: Function) -> None:
         self.fn = fn
@@ -292,21 +301,20 @@ class AffineAnalysis:
         inst = self.defs.get(id(value))
         if inst is None:
             return self._opaque_for(value)
-        if isinstance(inst, BinaryOp):
-            return self._eval_binop(inst, value)
-        if isinstance(inst, Cast):
-            if inst.kind in ("trunc", "zext", "sext", "bitcast", "ptrcast"):
-                inner = self.expr_of(inst.value)
-                return inner if inner is not None else self._opaque_for(value)
-            return self._opaque_for(value)
-        if isinstance(inst, Call):
-            return self._eval_call(inst, value)
-        if isinstance(inst, Load):
-            return self._eval_load(inst, value)
+        return self.visit(inst, value)
+
+    def generic_visit(self, inst: Instruction,
+                      value: Register) -> Optional[AffineExpr]:
         return self._opaque_for(value)
 
-    def _eval_binop(self, inst: BinaryOp,
-                    value: Register) -> Optional[AffineExpr]:
+    def _eval_Cast(self, inst: Cast, value: Register) -> Optional[AffineExpr]:
+        if inst.kind in ("trunc", "zext", "sext", "bitcast", "ptrcast"):
+            inner = self.expr_of(inst.value)
+            return inner if inner is not None else self._opaque_for(value)
+        return self._opaque_for(value)
+
+    def _eval_BinaryOp(self, inst: BinaryOp,
+                       value: Register) -> Optional[AffineExpr]:
         lhs = self.expr_of(inst.lhs)
         rhs = self.expr_of(inst.rhs)
         if lhs is None or rhs is None:
@@ -329,7 +337,7 @@ class AffineAnalysis:
             return AffineExpr.constant(lhs.const // rhs.const)
         return self._opaque_for(value)
 
-    def _eval_call(self, inst: Call, value: Register) -> Optional[AffineExpr]:
+    def _eval_Call(self, inst: Call, value: Register) -> Optional[AffineExpr]:
         prefix = _ID_SYMBOL_PREFIX.get(inst.callee)
         if prefix is not None and inst.operands:
             dim = self.expr_of(inst.operands[0])
@@ -339,7 +347,7 @@ class AffineAnalysis:
             return AffineExpr.symbol("wdim")
         return self._opaque_for(value)
 
-    def _eval_load(self, inst: Load, value: Register) -> Optional[AffineExpr]:
+    def _eval_Load(self, inst: Load, value: Register) -> Optional[AffineExpr]:
         slot = self.allocas.get(id(inst.pointer))
         if slot is not None and not isinstance(slot.allocated, ArrayType) \
                 and slot.space == AddressSpace.PRIVATE:

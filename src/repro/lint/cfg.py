@@ -13,41 +13,19 @@ from typing import Dict, List, Optional, Set
 
 from repro.ir.function import BasicBlock, Function
 from repro.ir.instructions import Barrier, Instruction
+from repro.ir.visitor import flood, meet_over_edges
 
 
 def reachable_from(block: BasicBlock) -> Set[int]:
     """Ids of blocks reachable from *block* (excluding it unless cyclic)."""
-    seen: Set[int] = set()
-    stack = list(block.successors())
-    while stack:
-        b = stack.pop()
-        if id(b) in seen:
-            continue
-        seen.add(id(b))
-        stack.extend(b.successors())
-    return seen
+    return set(flood([block], lambda b: b.successors()))
 
 
 def dominators(fn: Function) -> Dict[int, Set[int]]:
     """``dom[id(b)]`` = ids of blocks dominating *b* (including itself)."""
-    blocks = fn.reachable_blocks()
     preds = fn.predecessors()
-    all_ids = {id(b) for b in blocks}
-    dom: Dict[int, Set[int]] = {
-        id(b): ({id(b)} if b is fn.entry else set(all_ids)) for b in blocks}
-    changed = True
-    while changed:
-        changed = False
-        for b in blocks:
-            if b is fn.entry:
-                continue
-            incoming = [dom[id(p)] for p in preds[b] if id(p) in dom]
-            new = set.intersection(*incoming) if incoming else set()
-            new = new | {id(b)}
-            if new != dom[id(b)]:
-                dom[id(b)] = new
-                changed = True
-    return dom
+    return meet_over_edges(fn.reachable_blocks(), [fn.entry],
+                           lambda b: preds[b])
 
 
 def postdominators(fn: Function) -> Dict[int, Set[int]]:
@@ -57,24 +35,29 @@ def postdominators(fn: Function) -> Dict[int, Set[int]]:
     a virtual exit joins them.
     """
     blocks = fn.reachable_blocks()
-    all_ids = {id(b) for b in blocks}
-    succs = {id(b): b.successors() for b in blocks}
-    exits = [b for b in blocks if not succs[id(b)]]
-    pdom: Dict[int, Set[int]] = {
-        id(b): ({id(b)} if b in exits else set(all_ids)) for b in blocks}
-    changed = True
-    while changed:
-        changed = False
-        for b in blocks:
-            if b in exits:
-                continue
-            outgoing = [pdom[id(s)] for s in succs[id(b)] if id(s) in pdom]
-            new = set.intersection(*outgoing) if outgoing else set()
-            new = new | {id(b)}
-            if new != pdom[id(b)]:
-                pdom[id(b)] = new
-                changed = True
-    return pdom
+    exits = [b for b in blocks if not b.successors()]
+    return meet_over_edges(blocks, exits, lambda b: b.successors())
+
+
+def immediate_postdominator(fn: Function, block: BasicBlock,
+                            pdom: Optional[Dict[int, Set[int]]] = None
+                            ) -> Optional[BasicBlock]:
+    """The closest strict post-dominator of *block* (the join point of
+    a two-way branch), or ``None`` when every path returns first.
+
+    Among the strict post-dominators P of *block*, the immediate one is
+    the unique p with ``pdom(p) == P`` — every other strict
+    post-dominator also post-dominates p.
+    """
+    pdom = pdom if pdom is not None else postdominators(fn)
+    strict = pdom.get(id(block), set()) - {id(block)}
+    if not strict:
+        return None
+    by_id = {id(b): b for b in fn.reachable_blocks()}
+    for pid in strict:
+        if pdom.get(pid, set()) == strict:
+            return by_id.get(pid)
+    return None
 
 
 def block_by_name(fn: Function, name: str) -> Optional[BasicBlock]:
@@ -96,17 +79,11 @@ def natural_loop(fn: Function, header: BasicBlock,
     preds = fn.predecessors()
     latches = [p for p in preds.get(header, [])
                if id(header) in dom.get(id(p), set())]
-    loop: Set[int] = {id(header)}
-    by_id = {id(b): b for b in fn.blocks}
-    stack = [id(latch) for latch in latches]
-    while stack:
-        bid = stack.pop()
-        if bid in loop:
-            continue
-        loop.add(bid)
-        for p in preds.get(by_id[bid], []):
-            stack.append(id(p))
-    return loop
+    # Flood backwards from the latches, damming at the header.
+    body = flood(latches,
+                 lambda b: (preds.get(b, []) if b is not header else []),
+                 include_seeds=True)
+    return {id(header)} | set(body)
 
 
 def _position(inst: Instruction) -> int:

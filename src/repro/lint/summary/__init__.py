@@ -1,0 +1,51 @@
+"""Static access-summary engine (whole-kernel memory-behaviour proofs).
+
+This package promotes the per-instruction affine reasoning of
+``repro.lint.affine`` into a whole-kernel judgement: for every memory
+access the kernel can perform, either a closed-form **access summary**
+(an affine form over work-item ids, scalar arguments and loop
+variables, with value bounds), or a proof obligation that failed — an
+explicit ``IRREGULAR`` verdict carrying a machine-readable reason
+(data-dependent address, data-dependent loop bound, pointer escape,
+...).
+
+A kernel whose every branch condition and every traced address is
+*deterministic* — computable from the launch geometry and the scalar
+arguments alone, never from memory contents — is ``STATIC``: its full
+memory trace can be synthesized analytically without interpreting a
+single work-item (:class:`repro.interp.synth.TraceSynthesizer`).
+
+See ``docs/STATIC_ANALYSIS.md`` for the lattice, the verdict taxonomy,
+and the fallback rules.
+"""
+
+from repro.lint.summary.classify import Classifier, classify_function
+from repro.lint.summary.engine import (
+    SUMMARY_ENGINE_VERSION,
+    summarize_kernel,
+    summarize_module,
+)
+from repro.lint.summary.model import (
+    AccessSummary,
+    IrregularReason,
+    KernelSummary,
+    LoopSummary,
+    REASON_CODES,
+    VERDICT_IRREGULAR,
+    VERDICT_STATIC,
+)
+
+__all__ = [
+    "AccessSummary",
+    "Classifier",
+    "IrregularReason",
+    "KernelSummary",
+    "LoopSummary",
+    "REASON_CODES",
+    "SUMMARY_ENGINE_VERSION",
+    "VERDICT_IRREGULAR",
+    "VERDICT_STATIC",
+    "classify_function",
+    "summarize_kernel",
+    "summarize_module",
+]

@@ -1,0 +1,95 @@
+"""Catalog-wide summary coverage: which bundled kernels are provably
+STATIC, and what keeps the rest IRREGULAR.
+
+The golden file (``docs/static_coverage.json``) records the expected
+verdict per catalog kernel.  ``check_coverage`` compares a fresh run
+against it and reports **regressions** — kernels the golden file claims
+STATIC that no longer are (a summary-engine change silently losing
+coverage), or kernels that disappeared from the catalog.  New kernels
+and new STATIC promotions are reported as improvements, never failures;
+``repro coverage --update`` rewrites the golden file after intentional
+changes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.lint.summary.engine import SUMMARY_ENGINE_VERSION
+from repro.lint.summary.model import VERDICT_STATIC
+
+#: repo-relative location of the golden coverage file
+GOLDEN_PATH = Path(__file__).resolve().parents[4] / "docs" \
+    / "static_coverage.json"
+
+
+def coverage_report() -> Dict[str, object]:
+    """Fresh per-kernel verdicts over the whole workload catalog."""
+    from repro.lint.summary.engine import summarize_kernel
+    from repro.workloads import registry
+
+    kernels: Dict[str, Dict[str, object]] = {}
+    for w in registry.all_workloads():
+        summary = summarize_kernel(w.function())
+        kernels[w.qualified_name] = {
+            "verdict": summary.verdict,
+            "reasons": sorted({r.code for r in summary.reasons}),
+        }
+    n_static = sum(1 for k in kernels.values()
+                   if k["verdict"] == VERDICT_STATIC)
+    return {
+        "engine_version": SUMMARY_ENGINE_VERSION,
+        "static": n_static,
+        "total": len(kernels),
+        "kernels": kernels,
+    }
+
+
+def load_golden(path: Optional[Path] = None) -> Optional[Dict]:
+    """The golden coverage file's contents (None when absent)."""
+    p = Path(path) if path is not None else GOLDEN_PATH
+    if not p.exists():
+        return None
+    return json.loads(p.read_text())
+
+
+def write_golden(report: Optional[Dict] = None,
+                 path: Optional[Path] = None) -> Path:
+    """Bless *report* (default: a fresh run) as the golden file."""
+    p = Path(path) if path is not None else GOLDEN_PATH
+    p.write_text(json.dumps(report or coverage_report(), indent=2,
+                            sort_keys=True) + "\n")
+    return p
+
+
+def check_coverage(report: Optional[Dict] = None,
+                   golden: Optional[Dict] = None) -> List[str]:
+    """Regressions of *report* against *golden* (empty list = pass).
+
+    A regression is a kernel the golden file proves STATIC that the
+    current engine no longer does, or a golden kernel missing from the
+    catalog.  Promotions (irregular -> static) and brand-new kernels
+    pass; run ``repro coverage --update`` to bless them.
+    """
+    if report is None:
+        report = coverage_report()
+    if golden is None:
+        golden = load_golden()
+    if golden is None:
+        return ["no golden file at "
+                f"{GOLDEN_PATH}: run `repro coverage --update`"]
+    problems: List[str] = []
+    current = report["kernels"]
+    for name, entry in sorted(golden.get("kernels", {}).items()):
+        now = current.get(name)
+        if now is None:
+            problems.append(f"{name}: in golden file but not in catalog")
+            continue
+        if entry["verdict"] == VERDICT_STATIC \
+                and now["verdict"] != VERDICT_STATIC:
+            why = ", ".join(now["reasons"]) or "?"
+            problems.append(
+                f"{name}: was STATIC, now {now['verdict']} ({why})")
+    return problems

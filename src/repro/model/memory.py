@@ -101,17 +101,37 @@ def memory_model(info: KernelInfo, device,
     total_accesses = 0
     merged_counts = PatternCounts()
     unit = device.mem_access_unit_bits if coalescing else 8
-    for g in range(window):
-        stream = extrapolator.stream(g)
-        if not stream:
-            continue
-        requests = coalesce_stream(stream, unit)
-        counts = classify_bank_stream(requests, mapping)
-        total_latency += table.weighted_latency(counts)
-        total_requests += len(requests)
-        total_accesses += len(stream)
-        for pattern, n in counts.counts.items():
-            merged_counts.add(pattern, n)
+    from repro.analysis.packed import PackedStream
+    from repro.dram.coalesce import coalesce_packed_groups
+    from repro.dram.patterns import classify_packed
+
+    import numpy as np
+    streams = [s for s in (extrapolator.stream(g) for g in range(window))
+               if s]
+    if streams and all(isinstance(s, PackedStream) for s in streams):
+        # Columnar batch path: coalesce and classify the whole window
+        # in one pass.  Bank state is per (group, bank) and Eq. 9 is
+        # linear in the pattern counts, so the summed window latency is
+        # the weighted latency of the merged counts.
+        gix = np.repeat(np.arange(len(streams)),
+                        [len(s) for s in streams])
+        rk, ra, rn, rg = coalesce_packed_groups(
+            np.concatenate([s.kind for s in streams]),
+            np.concatenate([s.addr for s in streams]),
+            np.concatenate([s.nbytes for s in streams]), gix, unit)
+        merged_counts = classify_packed(rk, ra, rn, mapping, group=rg)
+        total_latency = table.weighted_latency(merged_counts)
+        total_requests = int(rk.shape[0])
+        total_accesses = int(gix.shape[0])
+    else:
+        for stream in streams:
+            requests = coalesce_stream(stream, unit)
+            counts = classify_bank_stream(requests, mapping)
+            total_latency += table.weighted_latency(counts)
+            total_requests += len(requests)
+            total_accesses += len(stream)
+            for pattern, n in counts.counts.items():
+                merged_counts.add(pattern, n)
 
     total_items = window * wg_size
     if total_items == 0 or total_accesses == 0:

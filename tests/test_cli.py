@@ -178,3 +178,116 @@ class TestLint:
         assert "[dead-store]" in out
         # predictions still come out above the lint findings
         assert out.index("cycles") < out.index("diagnostics:")
+
+
+class TestLintJsonContract:
+    """docs/LINT.md contract: --json output is valid JSON for every
+    exit path; exit 2 is reserved for tool errors."""
+
+    def test_missing_file_json_is_valid(self, capsys):
+        import json
+        rc = main(["lint", "/nonexistent/kernel.cl", "--json"])
+        assert rc == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"]
+        assert payload["diagnostics"] == []
+
+    def test_unknown_check_json_is_valid(self, saxpy_file, capsys):
+        import json
+        rc = main(["lint", saxpy_file, "--json", "--check", "nope"])
+        assert rc == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert "nope" in payload["error"]
+        assert payload["diagnostics"] == []
+
+    def test_missing_file_text_goes_to_stderr(self, capsys):
+        rc = main(["lint", "/nonexistent/kernel.cl"])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "cannot read" in captured.err
+
+    def test_clean_file_exits_zero(self, saxpy_file, capsys):
+        rc = main(["lint", saxpy_file, "--json"])
+        assert rc == 0
+        import json
+        payload = json.loads(capsys.readouterr().out)
+        assert "error" not in payload
+
+
+class TestLintSummaries:
+    def test_text_summaries(self, saxpy_file, capsys):
+        rc = main(["lint", saxpy_file, "--summaries"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "summary saxpy: static" in out
+        assert "wi-stride 4B" in out
+
+    def test_json_summaries(self, saxpy_file, capsys):
+        import json
+        rc = main(["lint", saxpy_file, "--json", "--summaries"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        (summary,) = payload["summaries"]
+        assert summary["verdict"] == "static"
+        assert summary["accesses"]
+
+    def test_irregular_reasons_shown(self, tmp_path, capsys):
+        path = tmp_path / "gather.cl"
+        path.write_text("""
+        __kernel void gather(__global int *idx, __global float *a,
+                             __global float *out) {
+            out[get_global_id(0)] = a[idx[get_global_id(0)]];
+        }""")
+        rc = main(["lint", str(path), "--summaries"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "summary gather: irregular" in out
+        assert "data-dependent-address" in out
+
+
+class TestCoverageCommand:
+    def test_report_lists_catalog(self, capsys):
+        rc = main(["coverage"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kernels static" in out
+        assert "rodinia/bfs/bfs_1" in out
+
+    def test_check_against_golden_passes(self, capsys):
+        rc = main(["coverage", "--check"])
+        assert rc == 0
+        assert "coverage check passed" in capsys.readouterr().out
+
+    def test_json_report(self, capsys):
+        import json
+        rc = main(["coverage", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["static"] >= 40
+        assert payload["total"] == len(payload["kernels"])
+
+
+class TestStaticTraceFlag:
+    def test_predict_reports_synthesized_traces(self, saxpy_file,
+                                                capsys):
+        rc = main(["predict", saxpy_file, "--global-size", "256"])
+        assert rc == 0
+        assert "traces   : synthesized (summary: static)" \
+            in capsys.readouterr().out
+
+    def test_predict_never_interprets(self, saxpy_file, capsys):
+        rc = main(["predict", saxpy_file, "--global-size", "256",
+                   "--static-trace", "never"])
+        assert rc == 0
+        assert "synthesized" not in capsys.readouterr().out
+
+    def test_predict_always_fails_on_irregular(self, tmp_path, capsys):
+        path = tmp_path / "gather.cl"
+        path.write_text("""
+        __kernel void gather(__global int *idx, __global float *out) {
+            out[get_global_id(0)] = idx[idx[get_global_id(0)]];
+        }""")
+        with pytest.raises(Exception):
+            main(["predict", str(path), "--global-size", "64",
+                  "--static-trace", "always"])

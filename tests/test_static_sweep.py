@@ -1,0 +1,72 @@
+"""Catalog-wide differential sweep: every kernel the summary engine
+proves STATIC must synthesize a launch bit-identical to the profiling
+interpreter, and the known-irregular set must stay small and stable."""
+
+import pytest
+
+from repro.interp import KernelExecutor
+from repro.interp.synth import TraceSynthesizer
+from repro.lint.summary import VERDICT_STATIC, summarize_kernel
+from repro.lint.summary.coverage import check_coverage, coverage_report
+from repro.workloads import registry
+
+#: kernels the engine is expected NOT to prove static (data-dependent
+#: control flow or addressing); everything else must be STATIC
+KNOWN_IRREGULAR = {
+    "rodinia/bfs/bfs_1",
+    "rodinia/bfs/bfs_2",
+    "rodinia/btree/findK",
+    "rodinia/btree/rangeK",
+    "rodinia/cfd/compute",
+    "rodinia/hybridsort/count",
+    "rodinia/hybridsort/sort",
+    "rodinia/kmeans/center",
+    "rodinia/lavaMD/lavaMD",
+    "rodinia/leukocyte/gicov",
+    "rodinia/particlefilter/find_index",
+    "rodinia/streamcluster/pgain",
+}
+
+ALL = registry.all_workloads()
+STATIC = [w for w in ALL
+          if summarize_kernel(w.function()).verdict == VERDICT_STATIC]
+
+
+def test_coverage_floor():
+    """At least 40 of the catalog kernels must be provably static."""
+    assert len(ALL) >= 60
+    assert len(STATIC) >= 40
+
+
+def test_irregular_set_is_exactly_the_known_one():
+    irregular = {w.qualified_name for w in ALL} \
+        - {w.qualified_name for w in STATIC}
+    assert irregular == KNOWN_IRREGULAR
+
+
+def test_golden_coverage_file_matches_engine():
+    """docs/static_coverage.json must be in sync with the engine
+    (regenerate with `repro coverage --update` after engine changes)."""
+    assert check_coverage(coverage_report()) == []
+
+
+@pytest.mark.parametrize(
+    "workload", STATIC, ids=[w.qualified_name for w in STATIC])
+def test_synthesized_launch_matches_interpreter(workload):
+    fn = workload.function()
+    for i, inst in enumerate(fn.instructions()):
+        inst.site_id = i
+    ndrange = workload.ndrange()
+    ref = KernelExecutor(fn, workload.make_buffers(),
+                         dict(workload.scalars)).run(ndrange, max_groups=2)
+    got = TraceSynthesizer(fn, workload.make_buffers(),
+                           dict(workload.scalars)).run(ndrange, max_groups=2)
+    assert got.groups_executed == ref.groups_executed
+    assert got.work_items_executed == ref.work_items_executed
+    assert got.block_counts == ref.block_counts
+    assert got.trip_counts == ref.trip_counts
+    assert got.barriers_per_item == ref.barriers_per_item
+    assert len(got.traces) == len(ref.traces)
+    for wi in range(len(ref.traces)):
+        assert list(got.traces[wi]) == list(ref.traces[wi]), \
+            f"work-item {wi} trace differs"

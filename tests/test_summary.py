@@ -1,0 +1,178 @@
+"""Tests for the static access-summary engine: verdicts, reason codes,
+per-site closed forms, and fingerprint stability."""
+
+from repro.frontend import compile_opencl
+from repro.lint.summary import (
+    REASON_CODES,
+    VERDICT_IRREGULAR,
+    VERDICT_STATIC,
+    classify_function,
+    summarize_kernel,
+)
+
+
+def summarize(source, kernel=None):
+    module = compile_opencl(source)
+    fn = module.get(kernel) if kernel else module.kernels[0]
+    return summarize_kernel(fn)
+
+
+class TestStaticVerdicts:
+    def test_guarded_saxpy_is_static(self):
+        s = summarize("""
+        __kernel void saxpy(__global float *x, __global float *y,
+                            float a, int n) {
+            int i = get_global_id(0);
+            if (i < n) y[i] = a * x[i] + y[i];
+        }""")
+        assert s.verdict == VERDICT_STATIC
+        assert s.reasons == []
+        # one read of x, one read + one write of y
+        kinds = sorted((a.kind, a.buffer) for a in s.accesses)
+        assert kinds == [("read", "x"), ("read", "y"), ("write", "y")]
+
+    def test_affine_sites_carry_stride(self):
+        s = summarize("""
+        __kernel void copy(__global int *src, __global int *dst) {
+            int i = get_global_id(0);
+            dst[i] = src[i];
+        }""")
+        assert s.verdict == VERDICT_STATIC
+        for a in s.accesses:
+            assert a.tier == "affine"
+            assert a.wi_stride == 4          # unit element stride
+            assert a.index is not None
+
+    def test_counter_loop_is_static(self):
+        s = summarize("""
+        __kernel void sum(__global float *a, __global float *out, int n) {
+            float acc = 0.0f;
+            for (int j = 0; j < n; j++)
+                acc += a[j];
+            out[get_global_id(0)] = acc;
+        }""")
+        assert s.verdict == VERDICT_STATIC
+
+    def test_local_tile_with_barrier_is_static(self):
+        s = summarize("""
+        __kernel void tile(__global float *a, __global float *b) {
+            __local float t[64];
+            int lid = get_local_id(0);
+            t[lid] = a[get_global_id(0)];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            b[get_global_id(0)] = t[63 - lid];
+        }""")
+        assert s.verdict == VERDICT_STATIC
+        spaces = {a.space for a in s.accesses}
+        assert spaces == {"global", "local"}
+
+    def test_memoized_on_function(self):
+        module = compile_opencl("""
+        __kernel void k(__global float *a) {
+            a[get_global_id(0)] = 1.0f;
+        }""")
+        fn = module.kernels[0]
+        assert summarize_kernel(fn) is summarize_kernel(fn)
+
+    def test_fingerprint_stable_across_compiles(self):
+        src = """
+        __kernel void k(__global float *a) {
+            a[get_global_id(0)] = 1.0f;
+        }"""
+        s1 = summarize(src)
+        s2 = summarize(src)
+        assert s1.fingerprint == s2.fingerprint
+
+
+class TestIrregularVerdicts:
+    def test_data_dependent_address(self):
+        s = summarize("""
+        __kernel void gather(__global int *idx, __global float *a,
+                             __global float *out) {
+            int i = get_global_id(0);
+            out[i] = a[idx[i]];
+        }""")
+        assert s.verdict == VERDICT_IRREGULAR
+        assert "data-dependent-address" in {r.code for r in s.reasons}
+
+    def test_data_dependent_branch(self):
+        s = summarize("""
+        __kernel void mask(__global int *flag, __global float *a) {
+            int i = get_global_id(0);
+            if (flag[i] > 0) a[i] = 0.0f;
+        }""")
+        assert s.verdict == VERDICT_IRREGULAR
+        assert "data-dependent-branch" in {r.code for r in s.reasons}
+
+    def test_data_dependent_loop(self):
+        s = summarize("""
+        __kernel void frontier(__global int *len, __global float *a) {
+            int i = get_global_id(0);
+            for (int j = 0; j < len[i]; j++)
+                a[j] = 1.0f;
+        }""")
+        assert s.verdict == VERDICT_IRREGULAR
+        assert "data-dependent-loop" in {r.code for r in s.reasons}
+
+    def test_float_controlled_branch(self):
+        s = summarize("""
+        __kernel void thresh(__global float *a, float cut) {
+            int i = get_global_id(0);
+            if (a[i] > cut) a[i] = cut;
+        }""")
+        assert s.verdict == VERDICT_IRREGULAR
+
+    def test_reason_codes_are_canonical(self):
+        # Every emitted reason code must come from the documented set.
+        sources = [
+            """__kernel void g(__global int *idx, __global float *a) {
+                a[idx[get_global_id(0)]] = 1.0f; }""",
+            """__kernel void b(__global int *f, __global float *a) {
+                int i = get_global_id(0);
+                if (f[i]) a[i] = 1.0f; }""",
+        ]
+        for src in sources:
+            s = summarize(src)
+            for r in s.reasons:
+                assert r.code in REASON_CODES
+
+    def test_irregular_has_machine_readable_reasons(self):
+        s = summarize("""
+        __kernel void g(__global int *idx, __global float *a) {
+            a[idx[get_global_id(0)]] = 1.0f;
+        }""")
+        d = s.to_dict()
+        assert d["verdict"] == VERDICT_IRREGULAR
+        assert d["reasons"]
+        assert all("code" in r and "where" in r for r in d["reasons"])
+
+
+class TestClassifier:
+    def test_geometry_is_deterministic(self):
+        module = compile_opencl("""
+        __kernel void k(__global int *a, int n) {
+            int i = get_global_id(0) * n + get_local_id(0);
+            a[i & 7] = i;
+        }""")
+        fn = module.kernels[0]
+        cls = classify_function(fn)
+        # every store address in this kernel is deterministic
+        from repro.ir.instructions import Store
+        for inst in fn.instructions():
+            if isinstance(inst, Store):
+                assert cls.value_reason(inst.pointer) is None
+
+    def test_loaded_values_are_not(self):
+        module = compile_opencl("""
+        __kernel void k(__global int *a) {
+            int v = a[get_global_id(0)];
+            a[v] = 0;
+        }""")
+        fn = module.kernels[0]
+        cls = classify_function(fn)
+        from repro.ir.instructions import Store
+        stores = [i for i in fn.instructions() if isinstance(i, Store)
+                  and str(i.pointer.type.space) == "global"]
+        # the a[v] store pointer must carry a global-load reason
+        reasons = {cls.value_reason(st.pointer) for st in stores}
+        assert "global-load" in reasons
