@@ -30,9 +30,9 @@ from repro.analysis.dfg import (
 from repro.analysis.loops import LoopNest, find_loops
 from repro.analysis.memtrace import TraceAnalysis, analyze_traces
 from repro.analysis.packed import pack_traces
-from repro.interp.executor import Buffer, KernelExecutor, NDRange
+from repro.interp.executor import Buffer, KernelExecutor, LaunchResult, NDRange
 from repro.ir.function import Function
-from repro.ir.instructions import Alloca
+from repro.ir.instructions import Alloca, PipeRead, PipeWrite
 from repro.ir.types import AddressSpace
 from repro.latency.optable import OpLatencyTable
 
@@ -111,6 +111,21 @@ def _synthesizer_for(fn: Function, buffers: Dict[str, Buffer],
     return synthesizer
 
 
+@dataclass(frozen=True)
+class PipeTraffic:
+    """Profiled FIFO traffic of one kernel on one channel.
+
+    Rates are tokens per work-item, computed from the profiled block
+    execution frequencies and the static pipe sites — exact for the
+    profiled launch, whatever control flow surrounds the sites.
+    """
+
+    channel: str
+    elem_bytes: int
+    reads_per_wi: float = 0.0
+    writes_per_wi: float = 0.0
+
+
 @dataclass
 class KernelInfo:
     """Frozen product of kernel analysis for one (kernel, wg-size,
@@ -145,6 +160,12 @@ class KernelInfo:
     #: access-summary verdict ("static" / "irregular"), when computed
     summary_verdict: Optional[str] = None
     summary_fingerprint: Optional[str] = None
+    #: per-channel FIFO traffic (empty for pipe-free kernels)
+    pipe_traffic: Dict[str, PipeTraffic] = field(default_factory=dict)
+
+    @property
+    def uses_pipes(self) -> bool:
+        return bool(self.pipe_traffic)
 
     @property
     def work_group_size(self) -> int:
@@ -196,7 +217,8 @@ def analyze_kernel(fn: Function, buffers: Dict[str, Buffer],
                    device, table: Optional[OpLatencyTable] = None,
                    profile_groups: int = DEFAULT_PROFILE_GROUPS,
                    cache=None, static_trace: str = "auto",
-                   verify: bool = False) -> KernelInfo:
+                   verify: bool = False,
+                   launch: Optional[LaunchResult] = None) -> KernelInfo:
     """Run FlexCL kernel analysis.  *buffers* are consumed (the profiling
     run mutates them); pass fresh copies if the caller needs the data.
 
@@ -215,12 +237,22 @@ def analyze_kernel(fn: Function, buffers: Dict[str, Buffer],
     and a cache hit leaves *buffers* untouched.  The result is
     bit-identical either way — synthesized and interpreted analyses
     produce identical traces, but are cached under distinct keys.
+
+    Pipe kernels cannot be profiled standalone (a blocking FIFO op only
+    makes progress when the peer kernel is live): co-execute the whole
+    program with :class:`repro.interp.ProgramExecutor` and pass each
+    stage's :class:`LaunchResult` as *launch*.  The profiling step is
+    then skipped, and the persistent cache is bypassed (the launch came
+    from outside this function's hashed inputs).
     """
     if static_trace not in STATIC_TRACE_MODES:
         raise ValueError(f"static_trace must be one of "
                          f"{STATIC_TRACE_MODES}, got {static_trace!r}")
     if table is None:
         table = OpLatencyTable.for_device(device)
+
+    if launch is not None:
+        return _analyze_from_launch(fn, ndrange, device, table, launch)
 
     summary = None
     if static_trace != "never":
@@ -288,6 +320,31 @@ def analyze_kernel(fn: Function, buffers: Dict[str, Buffer],
         launch.traces = pack_traces(launch.traces,
                                     ndrange.work_group_size)
 
+    info = _build_info(fn, ndrange, device, table, launch,
+                       fingerprint, static_used, summary)
+    if cache is not None:
+        cache.put("analysis", fingerprint, info)
+    return info
+
+
+def _analyze_from_launch(fn: Function, ndrange: NDRange, device,
+                         table: OpLatencyTable,
+                         launch: LaunchResult) -> KernelInfo:
+    """Build a :class:`KernelInfo` from a pre-recorded launch (program
+    co-execution).  No profiling, no persistent cache."""
+    for i, inst in enumerate(fn.instructions()):
+        inst.site_id = i  # type: ignore[attr-defined]
+    if isinstance(launch.traces, list):
+        launch.traces = pack_traces(launch.traces,
+                                    ndrange.work_group_size)
+    return _build_info(fn, ndrange, device, table, launch,
+                       fingerprint=None, static_used=False, summary=None)
+
+
+def _build_info(fn: Function, ndrange: NDRange, device,
+                table: OpLatencyTable, launch: LaunchResult,
+                fingerprint: Optional[str], static_used: bool,
+                summary) -> KernelInfo:
     loop_nest = find_loops(fn)
     items = max(launch.work_items_executed, 1)
     block_weights = {name: count / items
@@ -304,7 +361,7 @@ def analyze_kernel(fn: Function, buffers: Dict[str, Buffer],
     function_dfg = build_function_dfg(fn, table, weights=block_weights)
     _add_recurrence_edges(function_dfg, trace_analysis)
 
-    info = KernelInfo(
+    return KernelInfo(
         name=fn.name, fn=fn, ndrange=ndrange, device=device, table=table,
         fingerprint=fingerprint,
         loop_nest=loop_nest, traces=trace_analysis,
@@ -320,10 +377,30 @@ def analyze_kernel(fn: Function, buffers: Dict[str, Buffer],
                          else None),
         summary_fingerprint=(summary.fingerprint if summary is not None
                              else None),
+        pipe_traffic=_pipe_traffic(fn, block_weights),
     )
-    if cache is not None:
-        cache.put("analysis", fingerprint, info)
-    return info
+
+
+def _pipe_traffic(fn: Function,
+                  block_weights: Dict[str, float]) -> Dict[str, PipeTraffic]:
+    """Tokens per work-item per channel: each execution of a block
+    performs one FIFO op per pipe site it contains, so the rate is the
+    sum of the profiled block frequencies over the channel's sites."""
+    reads: Dict[str, float] = {}
+    writes: Dict[str, float] = {}
+    elem: Dict[str, int] = {}
+    for block in fn.reachable_blocks():
+        weight = block_weights.get(block.name, 0.0)
+        for inst in block.instructions:
+            if isinstance(inst, (PipeRead, PipeWrite)):
+                name = inst.channel.name
+                elem[name] = max(inst.channel.elem_type.bytes, 1)
+                bucket = reads if isinstance(inst, PipeRead) else writes
+                bucket[name] = bucket.get(name, 0.0) + weight
+    return {name: PipeTraffic(channel=name, elem_bytes=elem[name],
+                              reads_per_wi=reads.get(name, 0.0),
+                              writes_per_wi=writes.get(name, 0.0))
+            for name in sorted(elem)}
 
 
 def _verify_against_interpreter(fn, buffers, scalars, ndrange,

@@ -7,13 +7,17 @@
         [--device virtex7] [--simulate]
     python -m repro explore KERNEL.cl --kernel saxpy --global-size 4096
         [--top 5] [--device virtex7] [--jobs N|auto]
+    python -m repro predict-graph PROGRAM [--list]
+        [--realization dram|pipe|both] [--depth 16] [--device virtex7]
     python -m repro lint KERNEL.cl [--json] [--check ID] [--kernel saxpy]
         [--summaries]
     python -m repro coverage [--check] [--update] [--json]
     python -m repro workloads [--suite rodinia]
     python -m repro patterns [--device virtex7]
     python -m repro suite [--suite rodinia] [--jobs N|auto] [--limit K]
+        [--programs]
     python -m repro cache stats|clear|path [--cache-dir DIR]
+    python -m repro --version
 
 ``predict``, ``explore``, and ``suite`` consult the persistent
 content-addressed cache (default ``~/.cache/repro-flexcl``; configure
@@ -37,6 +41,22 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 import numpy as np
+
+
+class CLIError(Exception):
+    """A user-facing tool error: printed to stderr, exit code 2."""
+
+
+def _version() -> str:
+    """The installed package version, falling back to the source tree's
+    ``repro.__version__`` when the distribution metadata is absent
+    (e.g. running from a checkout via ``PYTHONPATH``)."""
+    try:
+        from importlib.metadata import version
+        return version("repro")
+    except Exception:
+        import repro
+        return getattr(repro, "__version__", "unknown")
 
 
 def _jobs_arg(value: str):
@@ -100,6 +120,11 @@ def _frontend(args):
     module = compile_opencl(source)
     if args.kernel:
         fn = module.get(args.kernel)
+    elif len(module.kernels) > 1:
+        names = ", ".join(k.name for k in module.kernels)
+        raise CLIError(
+            f"{args.source} defines {len(module.kernels)} kernels "
+            f"({names}); pick one with --kernel NAME")
     else:
         fn = module.kernels[0]
     device = device_by_name(args.device)
@@ -348,6 +373,89 @@ def cmd_explore(args) -> int:
     return 0
 
 
+def _program_stage_infos(program, device, cache=None,
+                         wg_override: Optional[int] = None):
+    """Analyse every stage of *program*: catalog stages run the normal
+    single-kernel analysis; pipe-only programs are co-executed once
+    under FIFO semantics and each stage is analysed from its recorded
+    launch."""
+    from repro.analysis import analyze_kernel
+    from repro.dse import Design
+
+    infos, designs = {}, {}
+    if program.stages:
+        for w in program.stages:
+            wg = wg_override or w.default_local_size
+            infos[w.kernel] = analyze_kernel(
+                w.function(), w.make_buffers(), dict(w.scalars),
+                w.ndrange(wg), device, cache=cache)
+            designs[w.kernel] = Design(work_group_size=wg)
+        return infos, designs
+    from repro.interp import ProgramExecutor
+    module = program.pipe_module()
+    stages = program.coexec_stages()
+    result = ProgramExecutor(module, stages).run()
+    for spec in stages:
+        name = spec.fn.name
+        infos[name] = analyze_kernel(
+            spec.fn, spec.buffers, spec.scalars, spec.ndrange, device,
+            launch=result.launches[name])
+        designs[name] = Design(
+            work_group_size=spec.ndrange.work_group_size)
+    return infos, designs
+
+
+def cmd_predict_graph(args) -> int:
+    """Run the `predict-graph` subcommand: end-to-end latency of a
+    multi-kernel program under both edge realizations."""
+    from repro.model import FlexCL, predict_graph
+    from repro.workloads import all_programs, get_program
+
+    if args.list or not args.program:
+        for p in all_programs():
+            chain = " -> ".join(p.stage_order())
+            tag = "  [pipes]" if p.has_pipes else ""
+            print(f"{p.qualified_name:<20} {chain}{tag}")
+        return 0
+    try:
+        program = get_program(args.program)
+    except KeyError as exc:
+        raise CLIError(str(exc.args[0])) from None
+    from repro.devices import device_by_name
+    device = device_by_name(args.device)
+    cache = _open_cache(args)
+    infos, designs = _program_stage_infos(program, device, cache,
+                                          args.wg)
+    model = FlexCL(device, cache=cache)
+    graph = program.graph()
+    print(f"program  : {program.qualified_name}")
+    print(f"stages   : {' -> '.join(graph.stages)}")
+    print(f"device   : {device.name}")
+    realizations = (("dram", "pipe") if args.realization == "both"
+                    else (args.realization,))
+    for realization in realizations:
+        pred = predict_graph(graph, model, infos, designs, realization,
+                             default_depth=args.depth)
+        print(f"\n{realization} realization: {pred.cycles:,.0f} cycles "
+              f"({pred.seconds * 1e3:.3f} ms)")
+        for name in graph.stages:
+            print(f"  stage {name:<12} {pred.stages[name].cycles:>14,.0f}"
+                  f" cycles")
+        if realization == "dram":
+            for t in pred.transfers:
+                print(f"  edge  {t.edge.src}->{t.edge.dst} "
+                      f"({t.edge.buffer}, {t.edge.nbytes} B) "
+                      f"{t.cycles:>10,.0f} cycles")
+        else:
+            print(f"  bottleneck stage: {pred.bottleneck_stage}")
+            for name, ch in pred.channels.items():
+                print(f"  pipe  {name:<12} depth {ch.depth:>4}  "
+                      f"{ch.tokens} tokens  "
+                      f"stall {ch.stall_cycles:,.0f} cycles")
+    _print_cache_line(cache)
+    return 0
+
+
 def cmd_workloads(args) -> int:
     """Run the `workloads` subcommand: list bundled kernels."""
     from repro.workloads import polybench_workloads, rodinia_workloads
@@ -391,7 +499,27 @@ def cmd_suite(args) -> int:
           f"{result.elapsed_seconds:.1f}s{workers}")
     if result.store_stats is not None and result.store_stats.lookups:
         print(result.store_stats.summary())
+    if args.programs:
+        _suite_programs(device, cache)
     return 0
+
+
+def _suite_programs(device, cache) -> None:
+    """End-to-end program predictions appended to the suite report."""
+    from repro.model import FlexCL, predict_graph
+    from repro.workloads import all_programs
+
+    model = FlexCL(device, cache=cache)
+    print("\nprograms (end-to-end):")
+    for program in all_programs():
+        infos, designs = _program_stage_infos(program, device, cache)
+        graph = program.graph()
+        dram = predict_graph(graph, model, infos, designs, "dram")
+        pipe = predict_graph(graph, model, infos, designs, "pipe")
+        print(f"{program.qualified_name:<28} "
+              f"dram {dram.cycles:>14,.0f}  "
+              f"pipe {pipe.cycles:>14,.0f} cycles  "
+              f"({len(graph.stages)} stages)")
 
 
 def cmd_cache(args) -> int:
@@ -474,6 +602,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="FlexCL: analytical performance model for OpenCL "
                     "workloads on FPGAs (DAC'17 reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_cache_args(p):
@@ -527,6 +657,25 @@ def build_parser() -> argparse.ArgumentParser:
                         "('auto' = one per core; default: serial)")
     p.set_defaults(func=cmd_explore)
 
+    p = sub.add_parser("predict-graph",
+                       help="predict a multi-kernel program's "
+                            "end-to-end latency (pipe vs DRAM edges)")
+    p.add_argument("program", nargs="?",
+                   help="program name (see --list)")
+    p.add_argument("--list", action="store_true",
+                   help="list the registered programs and exit")
+    p.add_argument("--device", default="virtex7",
+                   choices=["virtex7", "ku060"])
+    p.add_argument("--realization", default="both",
+                   choices=["dram", "pipe", "both"],
+                   help="edge realization to price (default: both)")
+    p.add_argument("--depth", type=int, default=16,
+                   help="FIFO depth for the pipe realization")
+    p.add_argument("--wg", type=int, default=None,
+                   help="override every stage's work-group size")
+    add_cache_args(p)
+    p.set_defaults(func=cmd_predict_graph)
+
     p = sub.add_parser("lint", help="static kernel diagnostics "
                                     "(no execution)")
     p.add_argument("source", help="OpenCL .cl source file")
@@ -572,6 +721,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="evaluate only the first K kernels (0 = all)")
     p.add_argument("--designs", type=int, default=8, metavar="D",
                    help="sampled design points per kernel")
+    p.add_argument("--programs", action="store_true",
+                   help="also evaluate every multi-kernel program "
+                        "end-to-end (dram and pipe realizations)")
     add_static_trace_arg(p)
     add_cache_args(p)
     p.set_defaults(func=cmd_suite)
@@ -597,6 +749,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         return 0

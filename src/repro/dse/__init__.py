@@ -17,14 +17,24 @@ from repro.dse.explorer import (
     explore,
 )
 from repro.dse.heuristic import step_by_step_search
+from repro.dse.graph import (
+    EvaluatedGraphDesign,
+    GraphDesign,
+    GraphExplorationResult,
+    explore_program,
+)
 
 __all__ = [
     "Design",
     "DesignSpace",
     "EvaluatedDesign",
+    "EvaluatedGraphDesign",
     "ExplorationResult",
+    "GraphDesign",
+    "GraphExplorationResult",
     "check_feasibility",
     "exhaustive_search",
     "explore",
+    "explore_program",
     "step_by_step_search",
 ]

@@ -208,5 +208,20 @@ class FunctionDef(Node):
 
 
 @dataclass
+class PipeDecl(Node):
+    """A translation-unit-scope FIFO declaration.
+
+    Covers the Intel-style ``channel float ch;`` form and the analogous
+    ``pipe float ch;`` spelling, optionally with
+    ``__attribute__((depth(N)))``.
+    """
+
+    elem_type: str = ""
+    name: str = ""
+    depth: int = 1
+
+
+@dataclass
 class TranslationUnit(Node):
     functions: List[FunctionDef] = field(default_factory=list)
+    pipes: List[PipeDecl] = field(default_factory=list)

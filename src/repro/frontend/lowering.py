@@ -24,6 +24,7 @@ from repro.frontend.builtins import (
     )
 from repro.frontend.parser import parse
 from repro.ir import (
+    Channel,
     Function,
     IRBuilder,
     Module,
@@ -120,9 +121,11 @@ class _FunctionLowering(Dispatcher):
     MAX_INLINE_DEPTH = 16
 
     def __init__(self, kernel_ast: ast.FunctionDef,
-                 helpers: Dict[str, ast.FunctionDef]) -> None:
+                 helpers: Dict[str, ast.FunctionDef],
+                 channels: Optional[Dict[str, Channel]] = None) -> None:
         self.kernel_ast = kernel_ast
         self.helpers = helpers
+        self.channels: Dict[str, Channel] = channels or {}
         self.fn: Optional[Function] = None
         self.builder: Optional[IRBuilder] = None
         self.scope = _Scope()
@@ -701,18 +704,90 @@ class _FunctionLowering(Dispatcher):
             target = PointerType(target, space)
         return self._convert(value, vtype, target, explicit=True), target
 
+    #: pipe/channel builtins (OpenCL 2.0 pipes + the Intel/Altera
+    #: channel spellings); all lower to PipeRead/PipeWrite
+    _PIPE_BUILTINS = frozenset({
+        "read_pipe", "write_pipe",
+        "read_channel_intel", "write_channel_intel",
+        "read_channel_altera", "write_channel_altera",
+    })
+
     def _lower_call(self, expr: ast.CallExpr) -> Tuple[Value, Type]:
         name = expr.callee
         if name.startswith("convert_"):
             target = parse_type_name(name[len("convert_"):].split("_")[0])
             value, vtype = self._lower_expr(expr.args[0])
             return self._convert(value, vtype, target, explicit=True), target
+        if name in self._PIPE_BUILTINS:
+            return self._lower_pipe_call(expr)
         sig = builtin_signature(name)
         if sig is not None:
             return self._lower_builtin_call(expr, sig)
         if name in self.helpers:
             return self._inline_helper(expr)
         raise LoweringError(f"line {expr.line}: unknown function {name!r}")
+
+    def _lower_pipe_call(self, expr: ast.CallExpr) -> Tuple[Value, Type]:
+        """Lower pipe/channel builtins to :class:`PipeRead`/:class:`PipeWrite`.
+
+        Supported forms (all blocking):
+
+        - ``x = read_channel_intel(ch);``
+        - ``write_channel_intel(ch, x);``
+        - ``read_pipe(ch, &x);``  — stores the element, yields 0
+        - ``write_pipe(ch, &x);`` / ``write_pipe(ch, x);`` — yields 0
+        """
+        name = expr.callee
+        if not expr.args:
+            raise LoweringError(
+                f"line {expr.line}: {name} needs a pipe argument")
+        ch_arg = expr.args[0]
+        if not isinstance(ch_arg, ast.Identifier) \
+                or ch_arg.name not in self.channels:
+            raise LoweringError(
+                f"line {expr.line}: first argument of {name} must name a "
+                f"pipe declared at file scope (declared: "
+                f"{sorted(self.channels) or 'none'})")
+        channel = self.channels[ch_arg.name]
+        if name.startswith("read_channel"):
+            if len(expr.args) != 1:
+                raise LoweringError(
+                    f"line {expr.line}: {name} takes exactly one argument")
+            return self.builder.pipe_read(channel), channel.elem_type
+        if name == "read_pipe":
+            if len(expr.args) != 2:
+                raise LoweringError(
+                    f"line {expr.line}: read_pipe takes (pipe, &lvalue)")
+            ptr, elem = self._lower_pipe_dest(expr.args[1])
+            value = self.builder.pipe_read(channel)
+            self.builder.store(
+                self._convert(value, channel.elem_type, elem), ptr)
+            return Constant(INT, 0), INT
+        # write_pipe / write_channel_*
+        if len(expr.args) != 2:
+            raise LoweringError(
+                f"line {expr.line}: {name} takes (pipe, value)")
+        arg = expr.args[1]
+        if name == "write_pipe" and isinstance(arg, ast.UnaryExpr) \
+                and arg.op == "&":
+            value, vtype = self._lower_expr(arg.operand)
+        else:
+            value, vtype = self._lower_expr(arg)
+        self.builder.pipe_write(
+            channel, self._convert(value, vtype, channel.elem_type))
+        if name == "write_pipe":
+            return Constant(INT, 0), INT
+        return Constant(INT, 0), VOID
+
+    def _lower_pipe_dest(self, arg: ast.Expr) -> Tuple[Value, Type]:
+        """The ``&lvalue`` (or pointer) destination of ``read_pipe``."""
+        if isinstance(arg, ast.UnaryExpr) and arg.op == "&":
+            return self._lower_lvalue(arg.operand)
+        ptr, ptype = self._lower_expr(arg)
+        if not isinstance(ptype, PointerType):
+            raise LoweringError(
+                f"line {arg.line}: read_pipe destination must be a pointer")
+        return ptr, ptype.pointee
 
     def _lower_builtin_call(self, expr: ast.CallExpr,
                             sig) -> Tuple[Value, Type]:
@@ -852,13 +927,23 @@ class _FunctionLowering(Dispatcher):
 
 def lower_translation_unit(unit: ast.TranslationUnit,
                            name: str = "module") -> Module:
-    """Lower a parsed translation unit to an IR module."""
+    """Lower a parsed translation unit to an IR module.
+
+    All ``__kernel`` functions in the unit become functions of one
+    module; file-scope pipe declarations become the module's typed
+    channel table, shared by every kernel's pipe instructions.
+    """
     module = Module(name)
+    channels: Dict[str, Channel] = {}
+    for pd in unit.pipes:
+        channel = Channel(pd.name, parse_type_name(pd.elem_type), pd.depth)
+        module.add_channel(channel)
+        channels[pd.name] = channel
     helpers = {f.name: f for f in unit.functions if not f.is_kernel}
     for fdef in unit.functions:
         if not fdef.is_kernel:
             continue
-        lowering = _FunctionLowering(fdef, helpers)
+        lowering = _FunctionLowering(fdef, helpers, channels)
         module.add(lowering.lower())
     if not module.kernels:
         raise LoweringError("translation unit contains no __kernel function")

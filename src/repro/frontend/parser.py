@@ -86,11 +86,57 @@ class Parser:
             if self._check("pragma"):
                 pending_pragmas.append(self._next().text)
                 continue
+            if self._starts_pipe_decl():
+                unit.pipes.append(self._parse_pipe_decl())
+                continue
             fn = self._parse_function()
             fn.pragmas = pending_pragmas
             pending_pragmas = []
             unit.functions.append(fn)
         return unit
+
+    def _starts_pipe_decl(self) -> bool:
+        # `pipe float ch ...;` / Intel `channel float ch ...;` at file
+        # scope.  Both spellings lex as plain identifiers, so require a
+        # type name right after to avoid stealing a function returning a
+        # user type named `pipe`.
+        tok = self._peek()
+        if tok.kind != "id" or tok.text not in ("pipe", "channel"):
+            return False
+        return self._looks_like_type(1)
+
+    def _parse_pipe_decl(self) -> ast.PipeDecl:
+        start = self._next()          # consume `pipe` / `channel`
+        elem_type = self._parse_type_name()
+        name = self._expect("id").text
+        depth = 1
+        while self._check("keyword", "__attribute__"):
+            attr_depth = self._parse_depth_attribute()
+            if attr_depth is not None:
+                depth = attr_depth
+        self._expect("op", ";")
+        return ast.PipeDecl(line=start.line, col=start.col,
+                            elem_type=elem_type, name=name, depth=depth)
+
+    def _parse_depth_attribute(self) -> Optional[int]:
+        """Parse ``__attribute__((depth(N)))``; returns N or None."""
+        self._expect("keyword", "__attribute__")
+        self._expect("op", "(")
+        self._expect("op", "(")
+        result = None
+        name = self._expect("id").text
+        if self._accept("op", "("):
+            args: List[int] = []
+            while not self._check("op", ")"):
+                tok = self._next()
+                if tok.kind == "int":
+                    args.append(int(tok.value))
+            self._expect("op", ")")
+            if name == "depth" and len(args) == 1:
+                result = args[0]
+        self._expect("op", ")")
+        self._expect("op", ")")
+        return result
 
     def _parse_function(self) -> ast.FunctionDef:
         start = self._peek()

@@ -15,9 +15,17 @@ from repro.interp.executor import (
     MemAccess,
     NDRange,
 )
+from repro.interp.coexec import (
+    ChannelState,
+    CoExecutionResult,
+    ProgramExecutor,
+    StageSpec,
+)
 
 __all__ = [
     "Buffer",
+    "ChannelState",
+    "CoExecutionResult",
     "ExecutionError",
     "GlobalMemory",
     "KernelExecutor",
@@ -25,4 +33,6 @@ __all__ = [
     "MemAccess",
     "NDRange",
     "PointerValue",
+    "ProgramExecutor",
+    "StageSpec",
 ]

@@ -1,0 +1,238 @@
+"""FIFO-aware co-execution of multi-kernel programs.
+
+Kernels connected by pipes cannot be interpreted one at a time: a
+blocking ``pipe.read`` only makes progress if the producer kernel is
+simultaneously live.  :class:`ProgramExecutor` runs every stage of a
+program concurrently under a deterministic round-robin scheduler —
+each scheduling turn, every runnable work-item of every stage executes
+until it blocks (pipe full/empty, work-group barrier) or finishes.
+
+This is the ground truth for the analytical channel model
+(:mod:`repro.model.channel`): the per-channel stall counters recorded
+here (one stall event per blocked scheduling turn) are what the closed
+forms predict.  Stall accounting:
+
+- ``stalls_full``: turns a writer spent blocked because the FIFO held
+  ``depth`` elements;
+- ``stalls_empty``: turns a reader spent blocked on an empty FIFO;
+- ``max_occupancy``: high-water mark of the FIFO, for depth sizing.
+
+Buffers are private to each stage here; data flows between stages
+through the channels.  (The buffer-through-DRAM realization needs no
+co-execution — its stages are launched sequentially.)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.interp.executor import (
+    ExecutionError,
+    KernelExecutor,
+    LaunchResult,
+    NDRange,
+    _WorkItemState,
+)
+from repro.interp.memory import Buffer, FlatSpace
+from repro.ir.function import Function
+from repro.ir.module import Channel, Module
+
+
+class ChannelState:
+    """Runtime state of one FIFO channel during co-execution."""
+
+    __slots__ = ("channel", "depth", "queue", "reads", "writes",
+                 "stalls_empty", "stalls_full", "max_occupancy")
+
+    def __init__(self, channel: Channel, depth: Optional[int] = None) -> None:
+        self.channel = channel
+        self.depth = max(1, depth if depth is not None else channel.depth)
+        self.queue: deque = deque()
+        self.reads = 0
+        self.writes = 0
+        self.stalls_empty = 0
+        self.stalls_full = 0
+        self.max_occupancy = 0
+
+    def __repr__(self) -> str:
+        return (f"<ChannelState {self.channel.name} depth={self.depth} "
+                f"occ={len(self.queue)} r={self.reads} w={self.writes} "
+                f"stalls={self.stalls_empty}e/{self.stalls_full}f>")
+
+
+@dataclass
+class StageSpec:
+    """One kernel launch inside a program co-execution."""
+
+    fn: Function
+    ndrange: NDRange
+    buffers: Dict[str, Buffer] = field(default_factory=dict)
+    scalars: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class CoExecutionResult:
+    """Everything recorded by one program co-execution."""
+
+    #: per-stage launch results, in stage order (keyed by kernel name)
+    launches: Dict[str, LaunchResult]
+    #: per-channel runtime state with final stall counters
+    channels: Dict[str, ChannelState]
+    #: scheduling turns the round-robin driver needed
+    turns: int
+
+
+class _StageDriver:
+    """Drives one stage's work-groups through blocking-aware execution."""
+
+    def __init__(self, executor: KernelExecutor, ndrange: NDRange) -> None:
+        self.ex = executor
+        self.ndrange = ndrange
+        executor._ndrange = ndrange
+        self.groups = [tuple(reversed(g)) for g in ndrange.group_ids()]
+        self.group_idx = -1
+        self.result = LaunchResult()
+        self.states: List[_WorkItemState] = []
+        self.status: List[str] = []
+        self.block_counts: Dict[str, int] = {}
+        self.done = False
+        self._next_group()
+
+    def _next_group(self) -> None:
+        self.group_idx += 1
+        if self.group_idx >= len(self.groups):
+            self.done = True
+            self.ex._finalize_trip_counts(self.result)
+            return
+        ex = self.ex
+        ex._local_mem = FlatSpace()
+        ex._local_allocas = {}
+        entry = ex.fn.entry
+        lids = ex._local_ids(self.ndrange)
+        pool = ex._state_pool
+        while len(pool) < len(lids):
+            pool.append(_WorkItemState(entry))
+        self.states = pool[:len(lids)]
+        gid = self.groups[self.group_idx]
+        for state, lid in zip(self.states, lids):
+            state.reset(entry, lid, gid)
+        self.status = ["run"] * len(self.states)
+        self.block_counts = {}
+
+    def barrier_arrivals(self) -> int:
+        return sum(s.barrier_hits for s in self.states)
+
+    def step(self) -> None:
+        """One scheduling turn: run every runnable item until it blocks."""
+        if self.done:
+            return
+        ex = self.ex
+        for i, state in enumerate(self.states):
+            st = self.status[i]
+            if st in ("done", "barrier"):
+                continue
+            self.status[i] = ex._run_until_barrier(state, self.block_counts)
+        live = [s for s in self.status if s != "done"]
+        if live and all(s == "barrier" for s in live):
+            # Whole group arrived: release the barrier.
+            self.status = ["run" if s == "barrier" else s
+                           for s in self.status]
+        if not live:
+            self._finish_group()
+
+    def _finish_group(self) -> None:
+        result = self.result
+        result.traces.extend(s.trace for s in self.states)
+        for name, count in self.block_counts.items():
+            result.block_counts[name] = (
+                result.block_counts.get(name, 0) + count)
+        if self.states:
+            result.barriers_per_item = max(
+                result.barriers_per_item, self.states[0].barrier_hits)
+        result.work_items_executed += len(self.states)
+        result.groups_executed += 1
+        self._next_group()
+
+
+class ProgramExecutor:
+    """Co-executes the kernels of one module under FIFO semantics.
+
+    Parameters
+    ----------
+    module:
+        The compiled module whose channel table connects the stages.
+    stages:
+        The launches to co-execute, in stage order.  The scheduler's
+        round-robin order follows this list, which makes the recorded
+        stall counts deterministic.
+    depths:
+        Optional per-channel depth overrides (the DSE explores FIFO
+        depths without recompiling).
+    """
+
+    def __init__(self, module: Module, stages: List[StageSpec],
+                 depths: Optional[Dict[str, int]] = None,
+                 max_steps: Optional[int] = None) -> None:
+        if not stages:
+            raise ExecutionError("program has no stages")
+        depths = depths or {}
+        self.module = module
+        self.channels: Dict[str, ChannelState] = {
+            c.name: ChannelState(c, depths.get(c.name))
+            for c in module.channels
+        }
+        self._drivers: List[_StageDriver] = []
+        self._names: List[str] = []
+        for spec in stages:
+            executor = KernelExecutor(
+                spec.fn, spec.buffers, spec.scalars,
+                max_steps=max_steps, channels=self.channels)
+            self._drivers.append(_StageDriver(executor, spec.ndrange))
+            self._names.append(spec.fn.name)
+
+    def run(self) -> CoExecutionResult:
+        drivers = self._drivers
+        turns = 0
+        while not all(d.done for d in drivers):
+            before = self._signature()
+            for d in drivers:
+                d.step()
+            turns += 1
+            if self._signature() == before:
+                raise ExecutionError(
+                    "program co-execution deadlocked: "
+                    + self._deadlock_detail())
+        return CoExecutionResult(
+            launches={name: d.result
+                      for name, d in zip(self._names, drivers)},
+            channels=dict(self.channels),
+            turns=turns)
+
+    def _signature(self) -> tuple:
+        """Progress signature: unchanged across a full turn == deadlock.
+
+        Stall counters are deliberately excluded — a blocked item bumps
+        them every turn without making progress.
+        """
+        chans = tuple((c.reads, c.writes)
+                      for c in self.channels.values())
+        stage = tuple((d.group_idx,
+                       sum(1 for s in d.status if s == "done"),
+                       d.barrier_arrivals())
+                      for d in self._drivers)
+        return (chans, stage)
+
+    def _deadlock_detail(self) -> str:
+        parts = []
+        for name, d in zip(self._names, self._drivers):
+            if d.done:
+                continue
+            blocked = {s: d.status.count(s)
+                       for s in set(d.status) if s != "done"}
+            parts.append(f"{name}: {blocked}")
+        for c in self.channels.values():
+            parts.append(f"channel {c.channel.name}: "
+                         f"{len(c.queue)}/{c.depth} occupied")
+        return "; ".join(parts)

@@ -44,6 +44,8 @@ from repro.ir.instructions import (
     CondBranch,
     GetElementPtr,
     Load,
+    PipeRead,
+    PipeWrite,
     Return,
     Select,
     Store,
@@ -137,7 +139,7 @@ class _WorkItemState:
     instead of reallocated."""
 
     __slots__ = ("block", "index", "regs", "private", "done",
-                 "barrier_hits", "trace", "lid", "gid")
+                 "barrier_hits", "trace", "lid", "gid", "retry")
 
     def __init__(self, entry: BasicBlock) -> None:
         self.block = entry
@@ -149,6 +151,9 @@ class _WorkItemState:
         self.trace: List[MemAccess] = []
         self.lid: Tuple[int, ...] = (0,)
         self.gid: Tuple[int, ...] = (0,)
+        #: resuming a pipe-blocked instruction: suppress the duplicate
+        #: block-entry count when the saved index points at offset 0
+        self.retry = False
 
     def reset(self, entry: BasicBlock, lid: Tuple[int, ...],
               gid: Tuple[int, ...]) -> None:
@@ -161,6 +166,7 @@ class _WorkItemState:
         self.trace = []
         self.lid = lid
         self.gid = gid
+        self.retry = False
 
 
 def _mask_int(value: int, bits: int, signed: bool) -> int:
@@ -327,7 +333,8 @@ def _bin_fn(opcode: str, t) -> Optional[Callable]:
 
 
 #: compiled-op tags (first tuple element of each block-code entry)
-_OP_EXEC, _OP_BARRIER, _OP_RETURN, _OP_BR, _OP_CBR = range(5)
+(_OP_EXEC, _OP_BARRIER, _OP_RETURN, _OP_BR, _OP_CBR,
+ _OP_PIPE_READ, _OP_PIPE_WRITE) = range(7)
 
 
 class KernelExecutor:
@@ -348,9 +355,14 @@ class KernelExecutor:
 
     def __init__(self, fn: Function, buffers: Dict[str, Buffer],
                  scalars: Dict[str, object],
-                 max_steps: Optional[int] = None) -> None:
+                 max_steps: Optional[int] = None,
+                 channels: Optional[Dict[str, object]] = None) -> None:
         self.fn = fn
         self.max_steps = max_steps or self.DEFAULT_MAX_STEPS
+        #: channel-name -> ChannelState for program co-execution; when
+        #: None (standalone launch) pipe instructions are compile-time
+        #: reachable but raise a clear error if actually executed
+        self._channels = channels
         self.memory = GlobalMemory()
         self.buffers = buffers
         self.scalars = scalars
@@ -449,6 +461,13 @@ class KernelExecutor:
                 reason = self._run_until_barrier(states[i], block_counts)
                 if reason == "barrier":
                     arrived.append(i)
+                elif reason != "done":
+                    raise ExecutionError(
+                        f"kernel {self.fn.name!r} blocked on a pipe "
+                        f"({reason}) during a standalone launch; pipe "
+                        f"kernels need FIFO co-execution — run the whole "
+                        f"program through "
+                        f"repro.interp.coexec.ProgramExecutor")
             live = arrived
 
         if record:
@@ -471,14 +490,19 @@ class KernelExecutor:
         steps = 0
         max_steps = self.max_steps
         get_count = block_counts.get
+        skip_count = state.retry
+        state.retry = False
         while True:
             steps += 1
             if steps > max_steps:
                 raise ExecutionError("work-item exceeded step limit "
                                      "(infinite loop?)")
             if index == 0:
-                name = block.name
-                block_counts[name] = get_count(name, 0) + 1
+                if skip_count:
+                    skip_count = False
+                else:
+                    name = block.name
+                    block_counts[name] = get_count(name, 0) + 1
             if index >= len(ops):
                 raise ExecutionError(f"fell off the end of {block.name}")
             op = ops[index]
@@ -499,6 +523,32 @@ class KernelExecutor:
                 state.block = block
                 state.index = index
                 return "barrier"
+            elif tag == _OP_PIPE_READ:
+                chan = op[1]
+                queue = chan.queue
+                if queue:
+                    state.regs[op[2]] = queue.popleft()
+                    chan.reads += 1
+                else:
+                    chan.stalls_empty += 1
+                    state.block = block
+                    state.index = index - 1   # retry this read on resume
+                    state.retry = True
+                    return "pipe-empty"
+            elif tag == _OP_PIPE_WRITE:
+                chan = op[1]
+                queue = chan.queue
+                if len(queue) < chan.depth:
+                    queue.append(op[2](state))
+                    chan.writes += 1
+                    if len(queue) > chan.max_occupancy:
+                        chan.max_occupancy = len(queue)
+                else:
+                    chan.stalls_full += 1
+                    state.block = block
+                    state.index = index - 1   # retry this write on resume
+                    state.retry = True
+                    return "pipe-full"
             else:   # _OP_RETURN
                 state.done = True
                 return "done"
@@ -517,9 +567,28 @@ class KernelExecutor:
             elif isinstance(inst, CondBranch):
                 ops.append((_OP_CBR, self._getter(inst.cond),
                             inst.then_block, inst.else_block))
+            elif isinstance(inst, PipeRead):
+                ops.append(self._compile_pipe(inst))
+            elif isinstance(inst, PipeWrite):
+                ops.append(self._compile_pipe(inst))
             else:
                 ops.append((_OP_EXEC, self._compile(inst)))
         return ops
+
+    def _compile_pipe(self, inst) -> tuple:
+        name = inst.channel.name
+        if self._channels is None:
+            return (_OP_EXEC, self._raiser(
+                f"kernel {self.fn.name!r} uses pipe {name!r}: pipe "
+                f"kernels cannot run standalone — co-execute the whole "
+                f"program with repro.interp.coexec.ProgramExecutor"))
+        chan = self._channels.get(name)
+        if chan is None:
+            return (_OP_EXEC, self._raiser(
+                f"no channel state supplied for pipe {name!r}"))
+        if isinstance(inst, PipeRead):
+            return (_OP_PIPE_READ, chan, id(inst.result))
+        return (_OP_PIPE_WRITE, chan, self._getter(inst.value))
 
     def _getter(self, v: Value) -> Callable[[_WorkItemState], object]:
         """Pre-resolve one operand into a ``state -> value`` callable."""

@@ -42,13 +42,15 @@ from repro.ir.instructions import (
     Instruction,
     Load,
     Phi,
+    PipeRead,
+    PipeWrite,
     Return,
     Select,
     Store,
     Terminator,
 )
 from repro.ir.function import BasicBlock, Function
-from repro.ir.module import Module
+from repro.ir.module import Channel, Module
 from repro.ir.builder import IRBuilder
 from repro.ir.verify import IRVerificationError, verify_function, verify_module
 from repro.ir.printer import print_function, print_module
@@ -64,6 +66,7 @@ __all__ = [
     "Branch",
     "Call",
     "Cast",
+    "Channel",
     "CompareOp",
     "CondBranch",
     "Constant",
@@ -75,6 +78,8 @@ __all__ = [
     "Load",
     "Module",
     "Phi",
+    "PipeRead",
+    "PipeWrite",
     "PointerType",
     "Register",
     "Return",

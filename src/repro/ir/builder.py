@@ -16,6 +16,8 @@ from repro.ir.instructions import (
     CondBranch,
     GetElementPtr,
     Load,
+    PipeRead,
+    PipeWrite,
     Return,
     Select,
     Store,
@@ -115,6 +117,16 @@ class IRBuilder:
 
     def barrier(self) -> None:
         self._append(Barrier())
+
+    # -- pipes -----------------------------------------------------------
+
+    def pipe_read(self, channel, name: str = "") -> Register:
+        result = Register(channel.elem_type, name)
+        self._append(PipeRead(channel, result))
+        return result
+
+    def pipe_write(self, channel, value: Value) -> None:
+        self._append(PipeWrite(channel, value))
 
     # -- control flow ----------------------------------------------------
 

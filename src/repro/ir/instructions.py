@@ -227,6 +227,46 @@ class Barrier(Instruction):
         return "barrier"
 
 
+class PipeRead(Instruction):
+    """``result = pipe.read @channel`` — pop one element from a FIFO.
+
+    Blocking semantics (Intel ``read_channel_intel`` / a successful
+    ``read_pipe``): the reading work-item stalls until an element is
+    available.  The channel is an attribute, not an operand — channels
+    are module-level objects, not SSA values.
+    """
+
+    opcode = "pipe.read"
+
+    def __init__(self, channel, result: Register) -> None:
+        super().__init__([], result)
+        self.channel = channel
+
+    def __repr__(self) -> str:
+        return f"{self.result} = pipe.read @{self.channel.name}"
+
+
+class PipeWrite(Instruction):
+    """``pipe.write value -> @channel`` — push one element into a FIFO.
+
+    Blocking semantics (Intel ``write_channel_intel`` / a successful
+    ``write_pipe``): the writing work-item stalls while the FIFO is full.
+    """
+
+    opcode = "pipe.write"
+
+    def __init__(self, channel, value: Value) -> None:
+        super().__init__([value], None)
+        self.channel = channel
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    def __repr__(self) -> str:
+        return f"pipe.write {self.operands[0]} -> @{self.channel.name}"
+
+
 class Phi(Instruction):
     """SSA phi node (kept for completeness; the frontend emits allocas)."""
 

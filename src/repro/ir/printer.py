@@ -21,5 +21,12 @@ def print_function(fn: Function) -> str:
 
 
 def print_module(module: Module) -> str:
-    """Render every function in *module*."""
-    return "\n\n".join(print_function(fn) for fn in module)
+    """Render the channel table and every function in *module*."""
+    parts = []
+    channels = module.channels
+    if channels:
+        parts.append("\n".join(
+            f"pipe {c.elem_type} @{c.name} depth={c.depth}"
+            for c in channels))
+    parts.extend(print_function(fn) for fn in module)
+    return "\n\n".join(parts)

@@ -12,7 +12,7 @@ from typing import Dict, Optional, Set
 
 from repro.ir.function import Function
 from repro.ir.instructions import (Branch, CondBranch, Instruction,
-                                   Terminator)
+                                   PipeRead, PipeWrite, Terminator)
 from repro.ir.module import Module
 from repro.ir.types import BOOL
 from repro.ir.values import Argument, Constant, Register
@@ -40,17 +40,25 @@ class IRVerificationError(Exception):
 def verify_module(module: Module) -> None:
     """Verify every function in *module*, and module-level invariants."""
     seen: Set[str] = set()
+    channels = {id(c) for c in module.channels}
     for fn in module:
         if fn.name in seen:
             raise IRVerificationError(
                 f"duplicate function name '{fn.name}' in module "
                 f"'{module.name}'", function=fn.name)
         seen.add(fn.name)
-        verify_function(fn)
+        verify_function(fn, channels=channels)
 
 
-def verify_function(fn: Function) -> None:
-    """Check *fn* against the IR structural invariants."""
+def verify_function(fn: Function, channels: Optional[Set[int]] = None) -> None:
+    """Check *fn* against the IR structural invariants.
+
+    *channels* is the set of ``id()``s of the owning module's declared
+    channels; when given, every pipe instruction must reference one of
+    them and must agree with its element type.  Standalone verification
+    (no module context) skips the membership check but still enforces
+    element-type agreement.
+    """
     if not fn.blocks:
         raise IRVerificationError("no basic blocks", function=fn.name)
 
@@ -79,6 +87,8 @@ def verify_function(fn: Function) -> None:
                         f"register {inst.result} defined twice",
                         function=fn.name, block=block.name)
                 defs[id(inst.result)] = inst
+            if isinstance(inst, (PipeRead, PipeWrite)):
+                _check_pipe(fn, block, inst, channels)
         term = block.terminator
         if isinstance(term, Branch):
             targets = [term.target]
@@ -98,6 +108,29 @@ def verify_function(fn: Function) -> None:
                     function=fn.name, block=block.name)
 
     _check_dominance(fn, defs)
+
+
+def _check_pipe(fn: Function, block, inst, channels: Optional[Set[int]]) -> None:
+    channel = inst.channel
+    if channel is None:
+        raise IRVerificationError(
+            f"{inst.opcode} without a channel",
+            function=fn.name, block=block.name)
+    if channels is not None and id(channel) not in channels:
+        raise IRVerificationError(
+            f"{inst.opcode} references channel '{channel.name}' not "
+            f"declared in the module", function=fn.name, block=block.name)
+    if isinstance(inst, PipeRead):
+        if inst.result.type != channel.elem_type:
+            raise IRVerificationError(
+                f"pipe.read of {channel} yields {inst.result.type}, "
+                f"expected {channel.elem_type}",
+                function=fn.name, block=block.name)
+    elif inst.value.type != channel.elem_type:
+        raise IRVerificationError(
+            f"pipe.write of {inst.value.type} into {channel}, "
+            f"expected {channel.elem_type}",
+            function=fn.name, block=block.name)
 
 
 def _check_dominance(fn: Function, defs: Dict[int, Instruction]) -> None:

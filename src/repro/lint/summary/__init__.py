@@ -30,6 +30,7 @@ from repro.lint.summary.model import (
     IrregularReason,
     KernelSummary,
     LoopSummary,
+    PipeSummary,
     REASON_CODES,
     VERDICT_IRREGULAR,
     VERDICT_STATIC,
@@ -41,6 +42,7 @@ __all__ = [
     "IrregularReason",
     "KernelSummary",
     "LoopSummary",
+    "PipeSummary",
     "REASON_CODES",
     "SUMMARY_ENGINE_VERSION",
     "VERDICT_IRREGULAR",

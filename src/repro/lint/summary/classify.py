@@ -303,6 +303,11 @@ class Classifier(Dispatcher):
     def _det_Phi(self, inst: Phi) -> Optional[str]:
         return "phi"
 
+    def _det_PipeRead(self, inst: Instruction) -> Optional[str]:
+        # A popped token's value comes from another kernel's schedule:
+        # never a pure function of this kernel's launch geometry.
+        return f"pipe:{inst.channel.name}"
+
     def generic_visit(self, inst: Instruction) -> Optional[str]:
         return f"op:{type(inst).__name__}"
 

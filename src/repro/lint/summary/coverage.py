@@ -37,6 +37,19 @@ def coverage_report() -> Dict[str, object]:
             "verdict": summary.verdict,
             "reasons": sorted({r.code for r in summary.reasons}),
         }
+    # Pipe-program kernels live outside the single-kernel registry
+    # (they cannot run standalone), but their summaries are still part
+    # of the coverage contract: pipe traffic must classify, not crash.
+    from repro.workloads import all_programs
+    for program in all_programs():
+        if not program.has_pipes:
+            continue
+        for fn in program.pipe_module().kernels:
+            summary = summarize_kernel(fn)
+            kernels[f"programs/{program.name}/{fn.name}"] = {
+                "verdict": summary.verdict,
+                "reasons": sorted({r.code for r in summary.reasons}),
+            }
     n_static = sum(1 for k in kernels.values()
                    if k["verdict"] == VERDICT_STATIC)
     return {

@@ -34,6 +34,8 @@ from repro.ir.instructions import (
     Call,
     CondBranch,
     Load,
+    PipeRead,
+    PipeWrite,
     Store,
 )
 from repro.ir.types import AddressSpace, PointerType
@@ -44,6 +46,7 @@ from repro.lint.summary.model import (
     IrregularReason,
     KernelSummary,
     LoopSummary,
+    PipeSummary,
     VERDICT_IRREGULAR,
     VERDICT_STATIC,
 )
@@ -85,6 +88,7 @@ def _summarize(fn: Function) -> KernelSummary:
 
     reasons: List[IrregularReason] = []
     accesses: List[AccessSummary] = []
+    pipes: List[PipeSummary] = []
 
     def irregular(code: str, where: str, detail: str) -> None:
         reasons.append(IrregularReason(code, where, detail or ""))
@@ -121,6 +125,21 @@ def _summarize(fn: Function) -> KernelSummary:
                         code = ("pointer-escape" if root is None
                                 else "data-dependent-address")
                         irregular(code, f"site {acc.site}", acc.reason)
+            elif isinstance(inst, (PipeRead, PipeWrite)):
+                # A blocking FIFO op couples this kernel's schedule to
+                # another kernel's: the trace is not a function of this
+                # kernel alone, so the verdict is IRREGULAR and ground
+                # truth comes from program co-execution.
+                kind = "read" if isinstance(inst, PipeRead) else "write"
+                pipes.append(PipeSummary(
+                    site=sites.get(id(inst), -1),
+                    kind=kind,
+                    channel=inst.channel.name,
+                    elem_bytes=max(inst.channel.elem_type.bytes, 1),
+                    block=block.name,
+                    tokens_per_item=_static_site_trips(fn, block),
+                ))
+                irregular(f"pipe-{kind}", block.name, inst.channel.name)
             elif isinstance(inst, Call):
                 name = inst.callee
                 if name not in known:
@@ -136,10 +155,33 @@ def _summarize(fn: Function) -> KernelSummary:
         reasons=reasons,
         accesses=accesses,
         loops=loops,
+        pipes=pipes,
         fingerprint=digest("summary", SUMMARY_ENGINE_VERSION,
                            function_fingerprint(fn)),
         engine_version=SUMMARY_ENGINE_VERSION,
     )
+
+
+def _static_site_trips(fn: Function, block) -> Optional[int]:
+    """Channel ops one work-item performs at a site in *block*: the
+    product of the statically proven trip counts of every loop the
+    block sits in, or ``None`` if any enclosing trip count is unknown.
+    """
+    from repro.lint.cfg import block_by_name, dominators, natural_loop
+
+    metas = getattr(fn, "loop_meta", [])
+    if not metas:
+        return 1
+    dom = dominators(fn)
+    trips = 1
+    for meta in metas:
+        header = block_by_name(fn, meta.header)
+        if header is None or id(block) not in natural_loop(fn, header, dom):
+            continue
+        if meta.static_trip_count is None:
+            return None
+        trips *= int(meta.static_trip_count)
+    return trips
 
 
 #: symbol vocabulary an affine-tier index may mention (see

@@ -36,6 +36,8 @@ REASON_CODES = (
     "pointer-escape",            # a pointer's buffer cannot be resolved
     "unsupported-call",          # callee outside the modelled builtins
     "dynamic-local-alloca",      # __local alloca outside the entry block
+    "pipe-read",                 # kernel pops a FIFO channel
+    "pipe-write",                # kernel pushes a FIFO channel
 )
 
 
@@ -73,6 +75,25 @@ class AccessSummary:
 
 
 @dataclass(frozen=True)
+class PipeSummary:
+    """Static summary of one pipe read/write site.
+
+    ``tokens_per_item`` is the number of channel operations one
+    work-item performs at this site, when the enclosing loops have
+    statically proven trip counts; ``None`` means the rate depends on
+    data (an irregular loop encloses the site) and only co-execution
+    can recover it.
+    """
+
+    site: int
+    kind: str                    # 'read' | 'write'
+    channel: str                 # channel name from the module table
+    elem_bytes: int
+    block: str                   # block holding the site
+    tokens_per_item: Optional[int] = None
+
+
+@dataclass(frozen=True)
 class LoopSummary:
     """Trip-count judgement for one source loop."""
 
@@ -93,6 +114,7 @@ class KernelSummary:
     reasons: List[IrregularReason] = field(default_factory=list)
     accesses: List[AccessSummary] = field(default_factory=list)
     loops: List[LoopSummary] = field(default_factory=list)
+    pipes: List[PipeSummary] = field(default_factory=list)
     #: content hash over (engine version, canonical IR) — joins the
     #: analysis cache key whenever the static trace path is used
     fingerprint: str = ""
@@ -132,6 +154,12 @@ class KernelSummary:
                 {"header": l.header, "line": l.line, "bound": l.bound,
                  "trip_count": l.trip_count}
                 for l in self.loops
+            ],
+            "pipes": [
+                {"site": p.site, "kind": p.kind, "channel": p.channel,
+                 "elem_bytes": p.elem_bytes, "block": p.block,
+                 "tokens_per_item": p.tokens_per_item}
+                for p in self.pipes
             ],
             "fingerprint": self.fingerprint,
         }

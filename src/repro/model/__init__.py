@@ -13,6 +13,14 @@ The model composes bottom-up (Figure 2):
   Eqs. 10–12;
 - :mod:`repro.model.memo` — sub-model memoization for fast sweeps;
 - :class:`repro.model.FlexCL` — the public entry point.
+
+Above the single-kernel model sit the multi-kernel layers:
+
+- :mod:`repro.model.channel` — FIFO channel model (depth, stall on
+  full/empty, II inflation on producer/consumer rate mismatch);
+- :mod:`repro.model.graph` — graph-level integrator composing per-stage
+  predictions into end-to-end program latency under the
+  buffer-through-DRAM and pipe realizations.
 """
 
 from repro.model.pe import PEModelResult, pe_model
@@ -22,20 +30,40 @@ from repro.model.memo import CacheStats, SubModelCache
 from repro.model.memory import MemoryModelResult, memory_model
 from repro.model.integrate import integrate
 from repro.model.flexcl import FlexCL, Prediction
+from repro.model.channel import (
+    ChannelModelResult,
+    channel_model,
+    coexec_stalls,
+)
+from repro.model.graph import (
+    GraphEdge,
+    GraphPrediction,
+    ProgramGraph,
+    dram_transfer_cycles,
+    predict_graph,
+)
 
 __all__ = [
     "CUModelResult",
     "CacheStats",
+    "ChannelModelResult",
     "FlexCL",
+    "GraphEdge",
+    "GraphPrediction",
     "KernelModelResult",
     "MemoryModelResult",
     "PEModelResult",
     "Prediction",
+    "ProgramGraph",
     "SubModelCache",
+    "channel_model",
+    "coexec_stalls",
     "cu_model",
+    "dram_transfer_cycles",
     "effective_pe_parallelism",
     "integrate",
     "kernel_computation_model",
     "memory_model",
     "pe_model",
+    "predict_graph",
 ]

@@ -8,7 +8,9 @@ where practical — a numpy reference function for functional checks.
 Access points:
 
 - :func:`rodinia_workloads` / :func:`polybench_workloads` — full suites;
-- :func:`get_workload` — one kernel by (suite, benchmark, kernel).
+- :func:`get_workload` — one kernel by (suite, benchmark, kernel);
+- :func:`all_programs` / :func:`get_program` — multi-kernel programs
+  (stage DAGs over the catalog, plus dedicated pipe programs).
 """
 
 from repro.workloads.base import Workload, WorkloadRegistry
@@ -18,11 +20,23 @@ from repro.workloads.registry import (
     polybench_workloads,
     rodinia_workloads,
 )
+from repro.workloads.programs import (
+    PipeStage,
+    Program,
+    ProgramEdge,
+    all_programs,
+    get_program,
+)
 
 __all__ = [
+    "PipeStage",
+    "Program",
+    "ProgramEdge",
     "Workload",
     "WorkloadRegistry",
+    "all_programs",
     "all_workloads",
+    "get_program",
     "get_workload",
     "polybench_workloads",
     "rodinia_workloads",

@@ -1,0 +1,256 @@
+"""Multi-kernel programs: stage DAGs over the workload catalog.
+
+A :class:`Program` names an ordered list of catalog kernels (its
+*stages*) plus the data edges between them — which buffer a producer
+stage writes that a consumer stage reads.  That is exactly the
+information the graph-level integrator (:mod:`repro.model.graph`)
+needs to price the two edge realizations (buffer-through-DRAM vs
+on-chip pipe).
+
+Programs whose stages communicate through real OpenCL 2.0 pipes carry
+a dedicated *pipe source*: one translation unit declaring the
+channels and all the stage kernels, compiled into a single module
+with a shared channel table.  Those kernels can only execute under
+FIFO co-execution (:class:`repro.interp.ProgramExecutor`) — they are
+deliberately NOT registered in the single-kernel workload registry,
+whose entries must all run standalone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.frontend import compile_opencl
+from repro.interp import Buffer, NDRange, StageSpec
+from repro.ir.module import Module
+from repro.model.graph import GraphEdge, ProgramGraph
+from repro.workloads.base import Workload, rng
+from repro.workloads.registry import get_workload
+
+
+@dataclass(frozen=True)
+class ProgramEdge:
+    """One stage-to-stage dependency through a named buffer."""
+
+    src: str
+    dst: str
+    buffer: str
+    #: bytes crossing the edge; 0 = look the buffer up in the source
+    #: stage's input factory
+    nbytes: int = 0
+
+
+@dataclass
+class PipeStage:
+    """Launch recipe for one kernel of a pipe program's module."""
+
+    kernel: str
+    global_size: int
+    local_size: int = 1
+    make_buffers: Callable[[], Dict[str, Buffer]] = dict
+    scalars: Dict[str, object] = field(default_factory=dict)
+
+    def ndrange(self) -> NDRange:
+        return NDRange(self.global_size, self.local_size)
+
+
+@dataclass
+class Program:
+    """A multi-kernel workload: ordered stages plus data edges."""
+
+    suite: str
+    name: str
+    stages: List[Workload]
+    edges: List[ProgramEdge] = field(default_factory=list)
+    #: OpenCL source with ``pipe`` declarations (pipe programs only)
+    pipe_source: Optional[str] = None
+    #: launch recipes for the pipe module's kernels, in stage order
+    pipe_stages: List[PipeStage] = field(default_factory=list)
+    #: optional reference for the co-executed pipe program:
+    #: (inputs by buffer name) -> expected outputs by buffer name
+    pipe_reference: Optional[Callable] = None
+    _pipe_module: Optional[Module] = None
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.suite}/{self.name}"
+
+    def stage_order(self) -> List[str]:
+        if self.stages:
+            return [w.kernel for w in self.stages]
+        return [p.kernel for p in self.pipe_stages]
+
+    def stage(self, kernel: str) -> Workload:
+        for w in self.stages:
+            if w.kernel == kernel:
+                return w
+        raise KeyError(f"{self.qualified_name} has no stage {kernel!r}")
+
+    def shared_buffers(self) -> Dict[tuple, List[str]]:
+        """``(src, dst) -> buffer names`` for every declared edge."""
+        out: Dict[tuple, List[str]] = {}
+        for e in self.edges:
+            out.setdefault((e.src, e.dst), []).append(e.buffer)
+        return out
+
+    def graph(self) -> ProgramGraph:
+        """The model-layer view of this program's DAG."""
+        edges = []
+        for e in self.edges:
+            nbytes, elem = e.nbytes, 4
+            if nbytes == 0:
+                buf = self.stage(e.src).make_buffers()[e.buffer]
+                nbytes, elem = buf.nbytes, buf.elem_size
+            edges.append(GraphEdge(src=e.src, dst=e.dst, buffer=e.buffer,
+                                   nbytes=nbytes, elem_bytes=elem))
+        return ProgramGraph(name=self.qualified_name,
+                            stages=tuple(self.stage_order()),
+                            edges=tuple(edges))
+
+    # -- pipe realization ------------------------------------------------
+
+    @property
+    def has_pipes(self) -> bool:
+        return self.pipe_source is not None
+
+    def pipe_module(self) -> Module:
+        if not self.has_pipes:
+            raise ValueError(f"{self.qualified_name} has no pipe source")
+        if self._pipe_module is None:
+            self._pipe_module = compile_opencl(
+                self.pipe_source, name=f"{self.name}_pipes")
+        return self._pipe_module
+
+    def coexec_stages(self) -> List[StageSpec]:
+        """Fresh :class:`StageSpec` launches for FIFO co-execution."""
+        module = self.pipe_module()
+        return [StageSpec(fn=module.get(p.kernel), ndrange=p.ndrange(),
+                          buffers=p.make_buffers(),
+                          scalars=dict(p.scalars))
+                for p in self.pipe_stages]
+
+
+def _catalog_program(name: str, kernels: List[str],
+                     edges: List[ProgramEdge]) -> Program:
+    return Program(suite="rodinia", name=name,
+                   stages=[get_workload("rodinia", name, k)
+                           for k in kernels],
+                   edges=edges)
+
+
+# ---------------------------------------------------------------------
+# A dedicated pipe program: a two-stage stream whose kernels
+# communicate through an on-chip FIFO.  The co-execution interpreter is
+# the ground truth the analytical channel model is validated against.
+
+_STREAM_N = 256
+_STREAM_DEPTH = 16
+
+STREAM_PIPE_SRC = r"""
+pipe float link __attribute__((depth(16)));
+
+__kernel void producer(__global const float* src, int n) {
+    for (int i = 0; i < n; i++) {
+        write_pipe(link, &src[i]);
+    }
+}
+
+__kernel void consumer(__global float* dst, int n) {
+    float v;
+    for (int i = 0; i < n; i++) {
+        read_pipe(link, &v);
+        dst[i] = v * 2.0f;
+    }
+}
+"""
+
+
+def _stream_src_buffers() -> Dict[str, Buffer]:
+    r = rng(7001)
+    return {"src": Buffer("src",
+                          r.random(_STREAM_N).astype(np.float32))}
+
+
+def _stream_dst_buffers() -> Dict[str, Buffer]:
+    return {"dst": Buffer("dst", np.zeros(_STREAM_N, np.float32))}
+
+
+def _stream_reference(inputs: Dict[str, np.ndarray]
+                      ) -> Dict[str, np.ndarray]:
+    return {"dst": (inputs["src"] * 2.0).astype(np.float32)}
+
+
+def _stream_program() -> Program:
+    return Program(
+        suite="streams", name="scale",
+        stages=[],
+        edges=[ProgramEdge(src="producer", dst="consumer",
+                           buffer="link", nbytes=_STREAM_N * 4)],
+        pipe_source=STREAM_PIPE_SRC,
+        pipe_stages=[
+            PipeStage(kernel="producer", global_size=1,
+                      make_buffers=_stream_src_buffers,
+                      scalars={"n": _STREAM_N}),
+            PipeStage(kernel="consumer", global_size=1,
+                      make_buffers=_stream_dst_buffers,
+                      scalars={"n": _STREAM_N}),
+        ],
+        pipe_reference=_stream_reference,
+    )
+
+
+def _build_programs() -> Dict[str, Program]:
+    programs = [
+        _catalog_program(
+            "hybridsort", ["count", "prefix", "sort"],
+            edges=[ProgramEdge("count", "prefix", "histo")]),
+        _catalog_program(
+            "srad",
+            ["extract", "prepare", "reduce", "srad", "srad2", "compress"],
+            edges=[
+                ProgramEdge("extract", "prepare", "image"),
+                ProgramEdge("prepare", "reduce", "sums"),
+                ProgramEdge("prepare", "reduce", "sums2"),
+                ProgramEdge("srad", "srad2", "dN"),
+                ProgramEdge("srad", "srad2", "dS"),
+                ProgramEdge("srad", "srad2", "dW"),
+                ProgramEdge("srad", "srad2", "dE"),
+                ProgramEdge("srad", "srad2", "c"),
+                ProgramEdge("srad2", "compress", "image"),
+            ]),
+        _catalog_program(
+            "cfd", ["memset", "initialize", "compute", "time_step"],
+            edges=[
+                ProgramEdge("initialize", "compute", "variables"),
+                ProgramEdge("compute", "time_step", "fluxes"),
+            ]),
+        _stream_program(),
+    ]
+    return {p.name: p for p in programs}
+
+
+_PROGRAMS: Optional[Dict[str, Program]] = None
+
+
+def _programs() -> Dict[str, Program]:
+    global _PROGRAMS
+    if _PROGRAMS is None:
+        _PROGRAMS = _build_programs()
+    return _PROGRAMS
+
+
+def all_programs() -> List[Program]:
+    """Every registered multi-kernel program."""
+    return list(_programs().values())
+
+
+def get_program(name: str) -> Program:
+    """Look a program up by name (e.g. ``'srad'``, ``'scale'``)."""
+    try:
+        return _programs()[name]
+    except KeyError:
+        known = ", ".join(sorted(_programs()))
+        raise KeyError(f"no program {name!r}; known: {known}") from None

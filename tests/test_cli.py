@@ -291,3 +291,85 @@ class TestStaticTraceFlag:
         with pytest.raises(Exception):
             main(["predict", str(path), "--global-size", "64",
                   "--static-trace", "always"])
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.split()[1][0].isdigit()
+
+    def test_module_invocation(self):
+        import subprocess
+        import sys
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True, text=True)
+        assert proc.returncode == 0
+        assert proc.stdout.startswith("repro ")
+
+
+class TestMultiKernelAmbiguity:
+    @pytest.fixture
+    def two_kernel_file(self, tmp_path):
+        path = tmp_path / "two.cl"
+        path.write_text("""
+        __kernel void first(__global float* x) {
+            x[get_global_id(0)] = 1.0f;
+        }
+        __kernel void second(__global float* x) {
+            x[get_global_id(0)] = 2.0f;
+        }
+        """)
+        return str(path)
+
+    def test_predict_requires_kernel_choice(self, two_kernel_file,
+                                            capsys):
+        rc = main(["predict", two_kernel_file, "--global-size", "64"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "2 kernels" in err
+        assert "first" in err and "second" in err
+        assert "--kernel" in err
+
+    def test_explicit_kernel_still_works(self, two_kernel_file,
+                                         capsys):
+        rc = main(["predict", two_kernel_file, "--global-size", "64",
+                   "--kernel", "second"])
+        assert rc == 0
+        assert "kernel   : second" in capsys.readouterr().out
+
+
+class TestPredictGraph:
+    def test_list_programs(self, capsys):
+        rc = main(["predict-graph", "--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rodinia/hybridsort" in out
+        assert "streams/scale" in out
+        assert "[pipes]" in out
+
+    def test_unknown_program_is_usage_error(self, capsys):
+        rc = main(["predict-graph", "nosuch"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "no program" in err
+
+    def test_pipe_program_end_to_end(self, capsys):
+        rc = main(["predict-graph", "scale", "--no-cache"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dram realization" in out
+        assert "pipe realization" in out
+        assert "bottleneck stage" in out
+
+    def test_single_realization_and_depth(self, capsys):
+        rc = main(["predict-graph", "scale", "--realization", "pipe",
+                   "--depth", "4", "--no-cache"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dram realization" not in out
+        assert "depth    4" in out

@@ -1,0 +1,196 @@
+"""Channel model and graph-level latency integrator."""
+
+import pytest
+
+from repro.devices import device_by_name
+from repro.model import FlexCL
+from repro.model.channel import (
+    STALL_HANDSHAKE_CYCLES,
+    channel_model,
+    coexec_stalls,
+)
+from repro.model.graph import (
+    GraphEdge,
+    ProgramGraph,
+    dram_transfer_cycles,
+    predict_graph,
+)
+from repro.workloads import get_program
+
+
+@pytest.fixture(scope="module")
+def device():
+    return device_by_name("virtex7")
+
+
+def stage_infos(program, device):
+    """Analyse every catalog stage at its default work-group size."""
+    from repro.analysis import analyze_kernel
+    from repro.dse import Design
+    infos, designs = {}, {}
+    for w in program.stages:
+        infos[w.kernel] = analyze_kernel(
+            w.function(), w.make_buffers(), dict(w.scalars),
+            w.ndrange(), device)
+        designs[w.kernel] = Design(work_group_size=w.default_local_size)
+    return infos, designs
+
+
+class TestChannelModel:
+    def test_coexec_stalls_closed_form(self):
+        assert coexec_stalls(256, 16) == 15
+        assert coexec_stalls(256, 256) == 0
+        assert coexec_stalls(0, 16) == 0
+        assert coexec_stalls(1, 1) == 0
+        assert coexec_stalls(257, 16) == 16
+
+    def test_balanced_channel(self):
+        r = channel_model("q", depth=16, tokens=256, elem_bytes=4,
+                          producer_cycles=1000.0,
+                          consumer_cycles=1000.0)
+        assert r.balanced
+        assert r.ii_inflation_producer == 1.0
+        assert r.ii_inflation_consumer == 1.0
+        assert r.stall_cycles == \
+            2 * coexec_stalls(256, 16) * STALL_HANDSHAKE_CYCLES
+
+    def test_rate_mismatch_inflates_slower_side_consumer(self):
+        r = channel_model("q", depth=16, tokens=256, elem_bytes=4,
+                          producer_cycles=1000.0,
+                          consumer_cycles=3000.0)
+        assert not r.balanced
+        # The producer waits on the slow consumer: its effective II
+        # inflates by the rate ratio, the consumer's does not.
+        assert r.ii_inflation_producer == pytest.approx(3.0)
+        assert r.ii_inflation_consumer == 1.0
+
+    def test_bram_cost_scales_with_depth(self):
+        shallow = channel_model("q", 4, 64, 4, 100.0, 100.0)
+        deep = channel_model("q", 64, 64, 4, 100.0, 100.0)
+        assert shallow.bram_bytes == 16
+        assert deep.bram_bytes == 256
+
+    def test_deeper_fifo_never_stalls_more(self):
+        stalls = [channel_model("q", d, 1024, 4, 100.0, 100.0)
+                  .stall_cycles for d in (2, 8, 32, 128)]
+        assert stalls == sorted(stalls, reverse=True)
+
+
+class TestDramTransfer:
+    def test_positive_and_monotone(self, device):
+        small = dram_transfer_cycles(1024, device)
+        large = dram_transfer_cycles(64 * 1024, device)
+        assert 0 < small < large
+
+    def test_scales_with_row_count(self, device):
+        one_row = dram_transfer_cycles(device.dram_row_bytes, device)
+        four_rows = dram_transfer_cycles(4 * device.dram_row_bytes,
+                                         device)
+        assert four_rows > one_row
+
+
+class TestProgramGraph:
+    def test_edges_must_reference_stages(self):
+        with pytest.raises(ValueError):
+            ProgramGraph(name="p", stages=("a", "b"),
+                         edges=(GraphEdge("a", "zzz", "buf", 64),))
+
+    def test_edges_must_go_forward(self):
+        with pytest.raises(ValueError):
+            ProgramGraph(name="p", stages=("a", "b"),
+                         edges=(GraphEdge("b", "a", "buf", 64),))
+
+    def test_tokens_from_bytes(self):
+        e = GraphEdge("a", "b", "buf", nbytes=1024, elem_bytes=4)
+        assert e.tokens == 256
+
+
+class TestIntegrator:
+    """End-to-end predictions for real catalog programs."""
+
+    @pytest.mark.parametrize("name", ["hybridsort", "srad"])
+    def test_dram_realization_is_sum_of_parts(self, name, device):
+        """Differential contract: the DRAM realization is exactly the
+        sum of the per-kernel predictions plus the modeled buffer
+        transfers — the graph layer adds nothing else."""
+        program = get_program(name)
+        infos, designs = stage_infos(program, device)
+        model = FlexCL(device)
+        graph = program.graph()
+        pred = predict_graph(graph, model, infos, designs, "dram")
+        expected = sum(model.predict(infos[s], designs[s]).cycles
+                       for s in graph.stages)
+        expected += sum(
+            dram_transfer_cycles(e.nbytes, device,
+                                 table=model._pattern_table)
+            for e in graph.edges)
+        assert pred.cycles == expected
+        assert pred.transfer_cycles > 0
+
+    @pytest.mark.parametrize("name", ["hybridsort", "srad"])
+    def test_pipe_realization_beats_dram_here(self, name, device):
+        """For these stage chains the overlapped pipe realization is
+        faster than serializing through DRAM (the paper's motivation
+        for on-chip channels)."""
+        program = get_program(name)
+        infos, designs = stage_infos(program, device)
+        model = FlexCL(device)
+        graph = program.graph()
+        dram = predict_graph(graph, model, infos, designs, "dram")
+        pipe = predict_graph(graph, model, infos, designs, "pipe")
+        assert pipe.cycles < dram.cycles
+        assert pipe.bottleneck_stage in graph.stages
+        # Overlap can never beat the slowest stage alone.
+        slowest = max(p.cycles for p in pipe.stages.values())
+        assert pipe.cycles >= slowest
+
+    def test_pipe_bottleneck_is_slowest_stage(self, device):
+        program = get_program("hybridsort")
+        infos, designs = stage_infos(program, device)
+        model = FlexCL(device)
+        pred = predict_graph(program.graph(), model, infos, designs,
+                             "pipe")
+        slowest = max(pred.stages, key=lambda s: pred.stages[s].cycles)
+        assert pred.bottleneck_stage == slowest
+
+    def test_depth_sweep_changes_stalls(self, device):
+        program = get_program("hybridsort")
+        infos, designs = stage_infos(program, device)
+        model = FlexCL(device)
+        graph = program.graph()
+        shallow = predict_graph(graph, model, infos, designs, "pipe",
+                                default_depth=2)
+        deep = predict_graph(graph, model, infos, designs, "pipe",
+                             default_depth=256)
+        def stalls(p):
+            return sum(c.stall_cycles for c in p.channels.values())
+        assert stalls(shallow) > stalls(deep)
+        assert shallow.cycles >= deep.cycles
+
+    def test_unknown_realization_rejected(self, device):
+        program = get_program("hybridsort")
+        infos, designs = stage_infos(program, device)
+        with pytest.raises(ValueError):
+            predict_graph(program.graph(), FlexCL(device), infos,
+                          designs, "quantum")
+
+
+class TestJointExploration:
+    def test_explore_program_covers_both_realizations(self, device):
+        from repro.dse import DesignSpace, explore_program
+        program = get_program("hybridsort")
+
+        def space(w):
+            return DesignSpace(
+                work_group_sizes=(w.default_local_size,),
+                pipeline_options=(True,), wg_pipeline_options=(False,),
+                pe_counts=(1, 2), cu_counts=(1,), vector_widths=(1,),
+                comm_modes=("pipeline",))
+        result = explore_program(program, device, depths=(4, 64),
+                                 space=space, top_k=2)
+        realizations = {e.design.realization for e in result.evaluated}
+        assert realizations == {"dram", "pipe"}
+        best = result.best
+        assert best is not None
+        assert best.cycles == min(e.cycles for e in result.evaluated)
+        assert set(result.stage_sweeps) == set(program.graph().stages)

@@ -1,0 +1,152 @@
+"""Pipe/channel support: frontend, IR, verifier, printer, summaries."""
+
+import pytest
+
+from repro.frontend import compile_opencl
+from repro.ir import Channel, PipeRead, PipeWrite
+from repro.ir.printer import print_module
+from repro.ir.types import FLOAT, INT
+from repro.ir.verify import IRVerificationError, verify_module
+from repro.lint.summary import summarize_kernel
+from repro.workloads.programs import STREAM_PIPE_SRC
+
+TWO_STAGE = """
+pipe float link __attribute__((depth(8)));
+
+__kernel void producer(__global const float* src, int n) {
+    for (int i = 0; i < n; i++) {
+        write_pipe(link, &src[i]);
+    }
+}
+
+__kernel void consumer(__global float* dst, int n) {
+    float v;
+    for (int i = 0; i < n; i++) {
+        read_pipe(link, &v);
+        dst[i] = v + 1.0f;
+    }
+}
+"""
+
+
+class TestFrontend:
+    def test_pipe_decl_builds_channel_table(self):
+        module = compile_opencl(TWO_STAGE)
+        assert [c.name for c in module.channels] == ["link"]
+        ch = module.get_channel("link")
+        assert ch.elem_type == FLOAT
+        assert ch.depth == 8
+
+    def test_default_depth_without_attribute(self):
+        module = compile_opencl("""
+        pipe int q;
+        __kernel void w(int n) { write_pipe(q, &n); }
+        """)
+        ch = module.get_channel("q")
+        assert ch.elem_type == INT
+        assert ch.depth >= 1
+
+    def test_builtins_lower_to_pipe_instructions(self):
+        module = compile_opencl(TWO_STAGE)
+        writes = [i for b in module.get("producer").blocks
+                  for i in b.instructions if isinstance(i, PipeWrite)]
+        reads = [i for b in module.get("consumer").blocks
+                 for i in b.instructions if isinstance(i, PipeRead)]
+        assert len(writes) == 1 and len(reads) == 1
+        # Both sides resolve to the *same* channel object.
+        assert writes[0].channel is reads[0].channel
+
+    def test_intel_channel_spelling(self):
+        module = compile_opencl("""
+        pipe float ch;
+        __kernel void w(float x) { write_channel_intel(ch, x); }
+        """)
+        writes = [i for b in module.get("w").blocks
+                  for i in b.instructions if isinstance(i, PipeWrite)]
+        assert len(writes) == 1
+
+    def test_undeclared_channel_is_an_error(self):
+        with pytest.raises(Exception):
+            compile_opencl("""
+            __kernel void w(float x) { write_pipe(nosuch, &x); }
+            """)
+
+
+class TestVerifier:
+    def test_compiled_pipe_module_verifies(self):
+        verify_module(compile_opencl(TWO_STAGE))
+
+    def test_foreign_channel_rejected(self):
+        module = compile_opencl(TWO_STAGE)
+        fn = module.get("consumer")
+        read = [i for b in fn.blocks for i in b.instructions
+                if isinstance(i, PipeRead)][0]
+        read.channel = Channel("rogue", FLOAT, 4)
+        with pytest.raises(IRVerificationError, match="not\\s+declared"):
+            verify_module(module)
+
+    def test_element_type_mismatch_rejected(self):
+        module = compile_opencl(TWO_STAGE)
+        fn = module.get("consumer")
+        read = [i for b in fn.blocks for i in b.instructions
+                if isinstance(i, PipeRead)][0]
+        read.channel = Channel("link", INT, 8)
+        from repro.ir.verify import verify_function
+        with pytest.raises(IRVerificationError, match="expected int"):
+            verify_function(fn)
+
+
+class TestPrinter:
+    def test_channel_table_printed(self):
+        text = print_module(compile_opencl(TWO_STAGE))
+        assert "pipe float @link depth=8" in text
+
+    def test_pipe_ops_printed(self):
+        text = print_module(compile_opencl(TWO_STAGE))
+        assert "pipe.read" in text
+        assert "pipe.write" in text
+
+
+class TestSummary:
+    def test_pipe_kernels_are_irregular(self):
+        module = compile_opencl(STREAM_PIPE_SRC)
+        prod = summarize_kernel(module.get("producer"))
+        cons = summarize_kernel(module.get("consumer"))
+        assert prod.verdict == "irregular"
+        assert cons.verdict == "irregular"
+        assert any(r.code == "pipe-write" for r in prod.reasons)
+        assert any(r.code == "pipe-read" for r in cons.reasons)
+
+    def test_pipe_summary_records_channel_traffic(self):
+        module = compile_opencl("""
+        pipe float q __attribute__((depth(4)));
+        __kernel void w(__global const float* src) {
+            for (int i = 0; i < 5; i++) {
+                write_pipe(q, &src[i]);
+            }
+        }
+        """)
+        s = summarize_kernel(module.get("w"))
+        assert len(s.pipes) == 1
+        p = s.pipes[0]
+        assert p.kind == "write"
+        assert p.channel == "q"
+        assert p.elem_bytes == 4
+        assert p.tokens_per_item == 5
+
+    def test_to_dict_includes_pipes(self):
+        module = compile_opencl(STREAM_PIPE_SRC)
+        d = summarize_kernel(module.get("producer")).to_dict()
+        assert d["pipes"][0]["channel"] == "link"
+
+
+class TestStandaloneExecution:
+    def test_pipe_kernel_cannot_run_alone(self):
+        import numpy as np
+        from repro.interp import Buffer, ExecutionError, KernelExecutor, \
+            NDRange
+        module = compile_opencl(STREAM_PIPE_SRC)
+        buffers = {"src": Buffer("src", np.zeros(4, np.float32))}
+        ex = KernelExecutor(module.get("producer"), buffers, {"n": 4})
+        with pytest.raises(ExecutionError, match="standalone"):
+            ex.run(NDRange(1, 1))

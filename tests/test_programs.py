@@ -1,0 +1,119 @@
+"""Program registry: kernel-DAG metadata and per-stage regression.
+
+The multi-kernel refactor must not move any single-kernel number: a
+stage analysed and predicted through the Program/graph path produces
+bit-identical cycles to the same kernel run through the pre-existing
+standalone path.
+"""
+
+import pytest
+
+from repro.analysis import analyze_kernel
+from repro.devices import device_by_name
+from repro.dse import Design
+from repro.model import FlexCL, predict_graph
+from repro.workloads import all_programs, get_program, get_workload
+from repro.workloads.registry import all_workloads
+
+
+@pytest.fixture(scope="module")
+def device():
+    return device_by_name("virtex7")
+
+
+class TestRegistry:
+    def test_catalog_programs_present(self):
+        names = {p.name for p in all_programs()}
+        assert {"hybridsort", "srad", "cfd", "scale"} <= names
+
+    def test_unknown_program_lists_candidates(self):
+        with pytest.raises(KeyError, match="hybridsort"):
+            get_program("nope")
+
+    def test_pipe_kernels_stay_out_of_workload_registry(self):
+        """Pipe kernels cannot run standalone, so they must never leak
+        into the single-kernel registry every workload test executes."""
+        names = {w.qualified_name for w in all_workloads()}
+        assert not any("producer" in n or "consumer" in n
+                       for n in names)
+
+
+class TestDagMetadata:
+    def test_hybridsort_stage_order(self):
+        program = get_program("hybridsort")
+        assert program.stage_order() == ["count", "prefix", "sort"]
+        assert program.shared_buffers() == {
+            ("count", "prefix"): ["histo"]}
+
+    def test_srad_stage_order_and_shared_buffers(self):
+        program = get_program("srad")
+        assert program.stage_order() == [
+            "extract", "prepare", "reduce", "srad", "srad2", "compress"]
+        shared = program.shared_buffers()
+        assert shared[("extract", "prepare")] == ["image"]
+        assert set(shared[("prepare", "reduce")]) == {"sums", "sums2"}
+        assert set(shared[("srad", "srad2")]) == \
+            {"dN", "dS", "dW", "dE", "c"}
+        assert shared[("srad2", "compress")] == ["image"]
+
+    def test_cfd_stage_order(self):
+        program = get_program("cfd")
+        assert program.stage_order() == [
+            "memset", "initialize", "compute", "time_step"]
+        shared = program.shared_buffers()
+        assert shared[("initialize", "compute")] == ["variables"]
+        assert shared[("compute", "time_step")] == ["fluxes"]
+
+    @pytest.mark.parametrize("name", ["hybridsort", "srad", "cfd"])
+    def test_graph_edges_carry_real_buffer_sizes(self, name):
+        graph = get_program(name).graph()
+        assert graph.stages == tuple(get_program(name).stage_order())
+        for e in graph.edges:
+            assert e.nbytes > 0
+            assert e.tokens >= 1
+
+    def test_stages_are_the_registry_workloads(self):
+        program = get_program("hybridsort")
+        for w in program.stages:
+            assert w is get_workload("rodinia", "hybridsort", w.kernel)
+
+
+class TestPerStageRegression:
+    @pytest.mark.parametrize("name", ["hybridsort", "cfd"])
+    def test_stage_predictions_match_standalone_path(self, name,
+                                                     device):
+        """predict_graph's per-stage numbers are exactly the standalone
+        FlexCL predictions — the Program abstraction is zero-cost for
+        single kernels."""
+        program = get_program(name)
+        model = FlexCL(device)
+        infos, designs = {}, {}
+        for w in program.stages:
+            infos[w.kernel] = analyze_kernel(
+                w.function(), w.make_buffers(), dict(w.scalars),
+                w.ndrange(), device)
+            designs[w.kernel] = Design(
+                work_group_size=w.default_local_size)
+        pred = predict_graph(program.graph(), model, infos, designs,
+                             "dram")
+        for w in program.stages:
+            direct = model.predict(infos[w.kernel], designs[w.kernel])
+            assert pred.stages[w.kernel].cycles == direct.cycles
+            assert pred.stages[w.kernel].integration.mode == \
+                direct.integration.mode
+            assert pred.stages[w.kernel].pe.ii == direct.pe.ii
+
+    def test_single_kernel_analysis_unchanged_by_refactor(self, device):
+        """Analysing a kernel twice (fresh buffers each time) still
+        produces bit-identical results — the `launch=` extension left
+        the default path alone."""
+        w = get_workload("rodinia", "hybridsort", "count")
+        a = analyze_kernel(w.function(), w.make_buffers(),
+                           dict(w.scalars), w.ndrange(), device)
+        b = analyze_kernel(w.function(), w.make_buffers(),
+                           dict(w.scalars), w.ndrange(), device)
+        assert a.fingerprint == b.fingerprint
+        model = FlexCL(device)
+        design = Design(work_group_size=w.default_local_size)
+        assert model.predict(a, design).cycles == \
+            model.predict(b, design).cycles
