@@ -37,12 +37,18 @@ from repro.cache.store import (
     open_cache,
     resolve_cache_dir,
 )
+from repro.cache.hot import DEFAULT_HOT_ENTRIES, HotCache
+from repro.cache.report import cache_payload, hot_cache_payload
 
 __all__ = [
     "ArtifactCache",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_HOT_ENTRIES",
+    "HotCache",
     "SCHEMA_VERSIONS",
     "StoreStats",
+    "cache_payload",
+    "hot_cache_payload",
     "analysis_key",
     "buffers_fingerprint",
     "device_fingerprint",

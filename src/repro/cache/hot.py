@@ -1,0 +1,152 @@
+"""In-process hot tier above the persistent artifact store.
+
+The disk :class:`~repro.cache.store.ArtifactCache` makes repeated work
+cheap *across* processes, but a long-running server answers thousands
+of identical lookups per second, and paying a pickle load + stat dance
+for each would dominate the request.  :class:`HotCache` layers a
+bounded, thread-safe, in-memory LRU over an (optional) backing store:
+
+- a **hot hit** returns the in-memory object without touching disk;
+- a **hot miss** falls through to the backing store; a disk hit is
+  *promoted* into the hot tier so the next lookup is memory-speed;
+- ``put`` inserts into the hot tier and writes through to the store,
+  so anything this process computes also warms every other process;
+- the tier is capped at *max_entries* (LRU eviction — evicting a hot
+  entry never loses data, the store still has it).
+
+Per-tier hit/miss counters are kept separately from the combined
+:class:`~repro.cache.store.StoreStats` view so a server's ``/metrics``
+endpoint can attribute hits to memory vs disk.
+
+A ``HotCache`` exposes the same ``get``/``put``/``get_or_compute``/
+``stats`` surface as :class:`ArtifactCache`, so it can be passed
+anywhere the pipeline accepts a persistent cache (``analyze_kernel``,
+:class:`~repro.model.flexcl.FlexCL`, ``run_suite`` …).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.cache.store import StoreStats
+
+#: default hot-tier capacity (entries, not bytes: entries are small
+#: analysis products and serialized responses)
+DEFAULT_HOT_ENTRIES = 512
+
+
+class HotCache:
+    """A bounded in-memory LRU tier over an optional backing store."""
+
+    def __init__(self, store=None,
+                 max_entries: int = DEFAULT_HOT_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.store = store
+        self.max_entries = max_entries
+        #: combined view (hot OR store hit counts as a hit), layer-keyed
+        #: and StoreStats-compatible so suite/explore deltas keep working
+        self.stats = StoreStats()
+        self._lock = threading.Lock()
+        self._data: "OrderedDict[Tuple[str, str], Any]" = OrderedDict()
+        # per-tier attribution
+        self.hot_hits = 0
+        self.hot_misses = 0
+        self.promotions = 0
+        self.hot_evictions = 0
+
+    # -- core operations ----------------------------------------------
+
+    def get(self, layer: str, key: str) -> Tuple[bool, Any]:
+        """Look (*layer*, *key*) up: hot tier first, then the store."""
+        slot = (layer, key)
+        with self._lock:
+            if slot in self._data:
+                self._data.move_to_end(slot)
+                self.hot_hits += 1
+                self.stats._bump(self.stats.hits, layer)
+                return True, self._data[slot]
+            self.hot_misses += 1
+        if self.store is not None:
+            found, value = self.store.get(layer, key)
+            if found:
+                with self._lock:
+                    self.promotions += 1
+                    self.stats._bump(self.stats.hits, layer)
+                    self._insert(slot, value)
+                return True, value
+        with self._lock:
+            self.stats._bump(self.stats.misses, layer)
+        return False, None
+
+    def put(self, layer: str, key: str, value: Any,
+            write_through: bool = True) -> None:
+        """Insert into the hot tier and (by default) write through to
+        the store.  ``write_through=False`` keeps the entry memory-only
+        — the serve daemon uses it for rendered response bytes, which
+        must never outlive the process that rendered them."""
+        with self._lock:
+            self.stats._bump(self.stats.puts, layer)
+            self._insert((layer, key), value)
+        if write_through and self.store is not None:
+            self.store.put(layer, key, value)
+
+    def get_or_compute(self, layer: str, key: str,
+                       compute: Callable[[], Any]) -> Any:
+        found, value = self.get(layer, key)
+        if found:
+            return value
+        value = compute()
+        self.put(layer, key, value)
+        return value
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _insert(self, slot: Tuple[str, str], value: Any) -> None:
+        """Insert under the caller's lock, evicting LRU past the cap."""
+        self._data[slot] = value
+        self._data.move_to_end(slot)
+        while len(self._data) > self.max_entries:
+            self._data.popitem(last=False)
+            self.hot_evictions += 1
+
+    def entry_count(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __len__(self) -> int:
+        return self.entry_count()
+
+    def __contains__(self, slot: Tuple[str, str]) -> bool:
+        with self._lock:
+            return slot in self._data
+
+    def clear(self) -> None:
+        """Drop the hot tier (the backing store is untouched)."""
+        with self._lock:
+            self._data.clear()
+
+    def tier_counters(self) -> Dict[str, Dict[str, int]]:
+        """Per-tier attribution for metrics endpoints."""
+        with self._lock:
+            hot = {"hits": self.hot_hits, "misses": self.hot_misses,
+                   "entries": len(self._data),
+                   "capacity": self.max_entries,
+                   "promotions": self.promotions,
+                   "evictions": self.hot_evictions}
+        out = {"hot": hot}
+        if self.store is not None:
+            out["store"] = {
+                "hits": self.store.stats.total_hits,
+                "misses": self.store.stats.total_misses,
+            }
+        return out
+
+
+def wrap_hot(store, max_entries: Optional[int] = None):
+    """Layer a :class:`HotCache` over *store* (None stays None-safe:
+    a store-less hot tier still caches in memory)."""
+    return HotCache(store=store,
+                    max_entries=max_entries or DEFAULT_HOT_ENTRIES)

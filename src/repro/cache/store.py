@@ -28,6 +28,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import threading
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -110,7 +111,15 @@ class StoreStats:
 
 
 class ArtifactCache:
-    """Content-addressed persistent cache (see module docstring)."""
+    """Content-addressed persistent cache (see module docstring).
+
+    Instances are safe to share between threads (the serve daemon's
+    worker pool reads and writes one store concurrently): the stats
+    counters and the eviction scan are guarded by a lock.  File
+    operations themselves were already concurrency-safe — atomic
+    ``os.replace`` writes and miss-on-unreadable reads — so the lock
+    only serialises the in-process bookkeeping.
+    """
 
     def __init__(self, root, max_bytes: Optional[int] = None) -> None:
         self.root = Path(root).expanduser()
@@ -118,6 +127,7 @@ class ArtifactCache:
             max_bytes = _env_max_bytes()
         self.max_bytes = max_bytes
         self.stats = StoreStats()
+        self._lock = threading.Lock()
 
     # -- paths ---------------------------------------------------------
 
@@ -134,7 +144,8 @@ class ArtifactCache:
             with open(path, "rb") as fh:
                 value = pickle.load(fh)
         except FileNotFoundError:
-            self.stats._bump(self.stats.misses, layer)
+            with self._lock:
+                self.stats._bump(self.stats.misses, layer)
             return False, None
         except Exception as exc:
             # Truncated/garbage/unpicklable entry: warn, drop, miss.
@@ -144,9 +155,11 @@ class ArtifactCache:
                 f"({type(exc).__name__}: {exc})",
                 RuntimeWarning, stacklevel=2)
             self._discard(path)
-            self.stats._bump(self.stats.misses, layer)
+            with self._lock:
+                self.stats._bump(self.stats.misses, layer)
             return False, None
-        self.stats._bump(self.stats.hits, layer)
+        with self._lock:
+            self.stats._bump(self.stats.hits, layer)
         self._touch(path)
         return True, value
 
@@ -169,7 +182,8 @@ class ArtifactCache:
             warnings.warn(f"repro.cache: cannot write {path} "
                           f"({exc})", RuntimeWarning, stacklevel=2)
             return
-        self.stats._bump(self.stats.puts, layer)
+        with self._lock:
+            self.stats._bump(self.stats.puts, layer)
         self._maybe_evict()
 
     def get_or_compute(self, layer: str, key: str,
@@ -218,26 +232,32 @@ class ArtifactCache:
         return counts
 
     def _maybe_evict(self) -> None:
-        """Evict least-recently-used entries while over the size cap."""
+        """Evict least-recently-used entries while over the size cap.
+
+        The whole scan-and-discard runs under the lock: two concurrent
+        writers must not race the same LRU scan (each would discard the
+        other's survivors and double-count evictions).
+        """
         if self.max_bytes <= 0:
             return
-        entries = []
-        total = 0
-        for path in self.entries():
-            try:
-                st = path.stat()
-            except OSError:
-                continue
-            entries.append((st.st_mtime, st.st_size, path))
-            total += st.st_size
-        if total <= self.max_bytes:
-            return
-        for _, size, path in sorted(entries):
+        with self._lock:
+            entries = []
+            total = 0
+            for path in self.entries():
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue
+                entries.append((st.st_mtime, st.st_size, path))
+                total += st.st_size
             if total <= self.max_bytes:
-                break
-            if self._discard(path):
-                total -= size
-                self.stats.evictions += 1
+                return
+            for _, size, path in sorted(entries):
+                if total <= self.max_bytes:
+                    break
+                if self._discard(path):
+                    total -= size
+                    self.stats.evictions += 1
 
     @staticmethod
     def _touch(path: Path) -> None:

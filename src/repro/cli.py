@@ -16,8 +16,17 @@
     python -m repro patterns [--device virtex7]
     python -m repro suite [--suite rodinia] [--jobs N|auto] [--limit K]
         [--programs]
-    python -m repro cache stats|clear|path [--cache-dir DIR]
+    python -m repro cache stats|clear|path [--cache-dir DIR] [--json]
+    python -m repro serve [--host H --port P --jobs N]
+        [--executor auto|process|thread] [--queue-limit N]
     python -m repro --version
+
+``predict``, ``explore``, ``predict-graph``, ``suite``, and
+``cache stats`` accept ``--json`` for canonical machine-readable
+output; ``predict`` and ``explore`` accept ``--workload NAME`` to
+address a catalog kernel instead of a source file.  A ``--json``
+response is byte-identical to the serve daemon's answer for the same
+request (see docs/SERVING.md).
 
 ``predict``, ``explore``, and ``suite`` consult the persistent
 content-addressed cache (default ``~/.cache/repro-flexcl``; configure
@@ -40,11 +49,26 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional
 
-import numpy as np
-
 
 class CLIError(Exception):
     """A user-facing tool error: printed to stderr, exit code 2."""
+
+
+# API-layer messages name JSON spec fields; on the command line the
+# same knobs are flags.
+_SPEC_FIELD_FLAGS = {
+    "'kernel'": "--kernel NAME",
+    "'global_size'": "--global-size",
+    "'static_trace'": "--static-trace",
+    "'args'": "--arg",
+}
+
+
+def _cli_error(exc: Exception) -> CLIError:
+    message = str(exc)
+    for field, flag in _SPEC_FIELD_FLAGS.items():
+        message = message.replace(field, flag)
+    return CLIError(message)
 
 
 def _version() -> str:
@@ -74,40 +98,10 @@ def _jobs_arg(value: str):
 
 
 def _build_buffers(fn, global_size: int, overrides: Dict[str, float]):
-    """Synthesise buffers/scalars for a kernel's signature.
-
-    Seeding uses a stable content hash of the argument name (never the
-    per-process-salted builtin ``hash``), so two CLI invocations build
-    bit-identical inputs — which is what lets the persistent cache
-    recognise a repeated run.
-    """
-    from repro.interp import Buffer
-    from repro.interp.memory import dtype_for_type
-    from repro.ir.types import PointerType
-    from repro.latency.microbench import _stable_hash
-
-    buffers, scalars = {}, {}
-    for arg in fn.args:
-        if isinstance(arg.type, PointerType):
-            dtype = dtype_for_type(arg.type.pointee)
-            rng = np.random.default_rng(
-                _stable_hash("clibuf", arg.name) % (2**32))
-            if np.issubdtype(dtype, np.floating):
-                data = rng.random(global_size).astype(dtype)
-            else:
-                data = rng.integers(
-                    0, max(global_size, 2), global_size).astype(dtype)
-            buffers[arg.name] = Buffer(arg.name, data)
-        else:
-            if arg.name in overrides:
-                value = overrides[arg.name]
-                scalars[arg.name] = (int(value) if arg.type.is_integer
-                                     else float(value))
-            elif arg.type.is_integer:
-                scalars[arg.name] = global_size
-            else:
-                scalars[arg.name] = 1.0
-    return buffers, scalars
+    """Synthesise buffers/scalars for a kernel's signature (shared
+    with the serve api so CLI and daemon build bit-identical inputs)."""
+    from repro.serve.api import build_buffers
+    return build_buffers(fn, global_size, overrides)
 
 
 def _frontend(args):
@@ -283,52 +277,100 @@ def _summaries_payload(source: str, args) -> List[dict]:
     return out
 
 
+def _spec_args(args) -> Dict[str, float]:
+    overrides = dict(kv.split("=", 1) for kv in (args.arg or []))
+    try:
+        return {k: float(v) for k, v in overrides.items()}
+    except ValueError:
+        raise CLIError("--arg values must be numbers") from None
+
+
+def _kernel_spec(args) -> dict:
+    """The serve-api request spec a predict/explore invocation means
+    (the CLI and the daemon share one payload layer,
+    :mod:`repro.serve.api`, so ``--json`` output is byte-identical to
+    the served response)."""
+    spec = {"kernel": args.kernel, "device": args.device,
+            "static_trace": args.static_trace, "args": _spec_args(args)}
+    if getattr(args, "workload", None):
+        if args.source:
+            raise CLIError("give either an OpenCL source file or "
+                           "--workload, not both")
+        spec["workload"] = args.workload
+        if args.global_size:
+            raise CLIError("--global-size is fixed by the catalog "
+                           "workload; omit it with --workload")
+    else:
+        if not args.source:
+            raise CLIError("an OpenCL source file (or --workload NAME) "
+                           "is required")
+        if not args.global_size:
+            raise CLIError("--global-size is required with a source "
+                           "file")
+        spec["source"] = Path(args.source).read_text()
+        spec["global_size"] = args.global_size
+    return spec
+
+
+def _predict_spec(args) -> dict:
+    spec = _kernel_spec(args)
+    spec.update(wg=args.wg, pe=args.pe, cu=args.cu,
+                vector=args.vector, mode=args.mode,
+                pipeline=not args.no_pipeline,
+                simulate=args.simulate)
+    return spec
+
+
 def cmd_predict(args) -> int:
     """Run the `predict` subcommand: model one design point."""
-    from repro.dse import Design, check_feasibility
-    from repro.model import FlexCL
-    from repro.model.area import estimate_area
+    from repro.serve import api as serve_api
 
+    spec = _predict_spec(args)
     cache = _open_cache(args)
-    fn, info, device = _analyze(args, cache=cache)
-    design = Design(work_group_size=args.wg,
-                    work_item_pipeline=not args.no_pipeline,
-                    num_pe=args.pe, num_cu=args.cu,
-                    vector_width=args.vector, comm_mode=args.mode)
-    reason = check_feasibility(info, design, device)
-    if reason is not None:
-        print(f"design {design} is infeasible: {reason}")
+    module_memo: Dict[str, object] = {}
+    try:
+        payload = serve_api.predict_payload(spec, cache=cache,
+                                            module_memo=module_memo)
+    except serve_api.ApiError as exc:
+        raise _cli_error(exc) from None
+    if args.json:
+        print(serve_api.canonical_json(payload))
+        return 0 if payload["feasible"] else 1
+    design = serve_api.spec_design(
+        serve_api.normalize_predict_spec(spec))
+    if not payload["feasible"]:
+        print(f"design {design} is infeasible: {payload['reason']}")
         return 1
-    prediction = FlexCL(device, cache=cache).predict(info, design)
-    area = estimate_area(info, design)
-    print(f"kernel   : {fn.name}")
+    pred = payload["prediction"]
+    print(f"kernel   : {payload['kernel']}")
+    if "workload" in payload:
+        print(f"workload : {payload['workload']}")
     print(f"design   : {design}")
-    print(f"device   : {device.name}")
-    if info.summary_verdict is not None:
-        provenance = ("synthesized" if info.static_trace_used
-                      else "interpreted")
-        print(f"traces   : {provenance} "
-              f"(summary: {info.summary_verdict})")
-    print(f"II       : {prediction.pe.ii:.0f} cycles "
-          f"(RecMII {prediction.pe.rec_mii:.0f}, "
-          f"ResMII {prediction.pe.res_mii:.0f})")
-    print(f"depth    : {prediction.pe.depth:.0f} cycles")
-    print(f"L_mem^wi : {prediction.memory.latency_per_wi:.1f} cycles")
-    print(f"cycles   : {prediction.cycles:,.0f} "
-          f"({prediction.seconds*1e3:.3f} ms at {device.clock_mhz:.0f} MHz)")
-    print(f"bottleneck: {prediction.bottleneck}")
-    util = area.utilisation(device)
-    print(f"area     : {area.dsp} DSP ({util['dsp']:.0%}), "
-          f"{area.bram_36k} BRAM ({util['bram']:.0%}), "
-          f"{area.luts:,} LUT ({util['lut']:.0%})")
-    if args.simulate:
-        from repro.simulator import SystemRun
-        actual = SystemRun(device).run(info, design)
-        err = abs(prediction.cycles - actual.cycles) / actual.cycles
-        print(f"simulated: {actual.cycles:,.0f} cycles "
-              f"(model error {err:.1%})")
+    print(f"device   : {payload['device']}")
+    if "traces" in payload:
+        print(f"traces   : {payload['traces']['provenance']} "
+              f"(summary: {payload['traces']['summary']})")
+    print(f"II       : {pred['ii']:.0f} cycles "
+          f"(RecMII {pred['rec_mii']:.0f}, "
+          f"ResMII {pred['res_mii']:.0f})")
+    print(f"depth    : {pred['depth']:.0f} cycles")
+    print(f"L_mem^wi : {pred['memory_latency_per_wi']:.1f} cycles")
+    print(f"cycles   : {pred['cycles']:,.0f} "
+          f"({pred['seconds']*1e3:.3f} ms at "
+          f"{pred['clock_mhz']:.0f} MHz)")
+    print(f"bottleneck: {pred['bottleneck']}")
+    area, util = payload["area"], payload["area"]["utilisation"]
+    print(f"area     : {area['dsp']} DSP ({util['dsp']:.0%}), "
+          f"{area['bram_36k']} BRAM ({util['bram']:.0%}), "
+          f"{area['luts']:,} LUT ({util['lut']:.0%})")
+    if "simulated" in payload:
+        print(f"simulated: {payload['simulated']['cycles']:,.0f} cycles "
+              f"(model error {payload['simulated']['model_error']:.1%})")
     _print_cache_line(cache)
-    _print_diagnostics(fn, args.source)
+    if spec.get("source"):
+        fn, _ = serve_api.resolve_kernel(
+            serve_api.normalize_predict_spec(spec), module_memo)
+        _print_diagnostics(fn, args.source)
     return 0
 
 
@@ -337,6 +379,8 @@ def cmd_explore(args) -> int:
     from repro.dse import DesignSpace, explore
     from repro.model import FlexCL
 
+    if args.json or getattr(args, "workload", None):
+        return _explore_via_api(args)
     # The frontend (lex/parse/lower) runs once; per work-group size only
     # the profile-dependent half of the analysis is re-run.
     fn, device, overrides = _frontend(args)
@@ -373,36 +417,36 @@ def cmd_explore(args) -> int:
     return 0
 
 
+def _explore_via_api(args) -> int:
+    """The serve-api explore path: ``--json`` (byte-identical to the
+    daemon's ``/explore`` response) and ``--workload`` sweeps."""
+    from repro.serve import api as serve_api
+
+    spec = _kernel_spec(args)
+    spec["top"] = args.top
+    cache = _open_cache(args)
+    try:
+        payload = serve_api.explore_payload(spec, cache=cache)
+    except serve_api.ApiError as exc:
+        raise _cli_error(exc) from None
+    if args.json:
+        print(serve_api.canonical_json(payload))
+        return 0
+    print(f"explored {payload['evaluated']} designs "
+          f"({payload['feasible']} feasible)")
+    print(f"\ntop {args.top}:")
+    for entry in payload["top"]:
+        print(f"  {entry['design']:<46} "
+              f"{entry['cycles']:>12,.0f} cycles")
+    _print_cache_line(cache)
+    return 0
+
+
 def _program_stage_infos(program, device, cache=None,
                          wg_override: Optional[int] = None):
-    """Analyse every stage of *program*: catalog stages run the normal
-    single-kernel analysis; pipe-only programs are co-executed once
-    under FIFO semantics and each stage is analysed from its recorded
-    launch."""
-    from repro.analysis import analyze_kernel
-    from repro.dse import Design
-
-    infos, designs = {}, {}
-    if program.stages:
-        for w in program.stages:
-            wg = wg_override or w.default_local_size
-            infos[w.kernel] = analyze_kernel(
-                w.function(), w.make_buffers(), dict(w.scalars),
-                w.ndrange(wg), device, cache=cache)
-            designs[w.kernel] = Design(work_group_size=wg)
-        return infos, designs
-    from repro.interp import ProgramExecutor
-    module = program.pipe_module()
-    stages = program.coexec_stages()
-    result = ProgramExecutor(module, stages).run()
-    for spec in stages:
-        name = spec.fn.name
-        infos[name] = analyze_kernel(
-            spec.fn, spec.buffers, spec.scalars, spec.ndrange, device,
-            launch=result.launches[name])
-        designs[name] = Design(
-            work_group_size=spec.ndrange.work_group_size)
-    return infos, designs
+    """Analyse every stage of a program (shared with the serve api)."""
+    from repro.serve.api import program_stage_infos
+    return program_stage_infos(program, device, cache, wg_override)
 
 
 def cmd_predict_graph(args) -> int:
@@ -416,6 +460,19 @@ def cmd_predict_graph(args) -> int:
             chain = " -> ".join(p.stage_order())
             tag = "  [pipes]" if p.has_pipes else ""
             print(f"{p.qualified_name:<20} {chain}{tag}")
+        return 0
+    if args.json:
+        from repro.serve import api as serve_api
+        spec = {"program": args.program,
+                "realization": args.realization,
+                "depth": args.depth, "device": args.device,
+                "wg": args.wg}
+        try:
+            payload = serve_api.predict_graph_payload(
+                spec, cache=_open_cache(args))
+        except serve_api.ApiError as exc:
+            raise _cli_error(exc) from None
+        print(serve_api.canonical_json(payload))
         return 0
     try:
         program = get_program(args.program)
@@ -477,6 +534,18 @@ def cmd_suite(args) -> int:
     from repro.evaluation import default_suite_workloads, run_suite
     from repro.devices import device_by_name
 
+    if args.json:
+        from repro.serve import api as serve_api
+        spec = {"suite": args.suite, "limit": args.limit,
+                "designs": args.designs, "device": args.device,
+                "static_trace": args.static_trace}
+        try:
+            payload = serve_api.suite_payload(spec,
+                                              cache=_open_cache(args))
+        except serve_api.ApiError as exc:
+            raise _cli_error(exc) from None
+        print(serve_api.canonical_json(payload))
+        return 0
     device = device_by_name(args.device)
     cache = _open_cache(args)
     try:
@@ -539,6 +608,15 @@ def cmd_cache(args) -> int:
         print(f"removed {removed} cached entr"
               f"{'y' if removed == 1 else 'ies'} from {root}")
         return 0
+    if args.json:
+        # The same formatter backs the serve daemon's /metrics "cache"
+        # section, so scripts can consume either interchangeably.
+        import json
+
+        from repro.cache import cache_payload
+        print(json.dumps(cache_payload(cache), indent=2,
+                         sort_keys=True))
+        return 0
     # stats
     counts = cache.layer_counts()
     total_mb = cache.size_bytes() / (1024 * 1024)
@@ -548,6 +626,36 @@ def cmd_cache(args) -> int:
     for layer in sorted(counts):
         print(f"  {layer:<9}: {counts[layer]}")
     print(f"size      : {total_mb:.1f} MiB (cap {cap_mb:.0f} MiB)")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the `serve` subcommand: the long-running prediction daemon
+    (see docs/SERVING.md)."""
+    import asyncio
+
+    from repro.serve.daemon import PredictionServer, ServerConfig
+
+    jobs = None if args.jobs in (None, "auto") else args.jobs
+    config = ServerConfig(host=args.host, port=args.port, jobs=jobs,
+                          executor=args.executor,
+                          queue_limit=args.queue_limit,
+                          hot_entries=args.hot_entries,
+                          cache_dir=args.cache_dir,
+                          no_cache=args.no_cache, quiet=False)
+
+    async def _run() -> None:
+        server = PredictionServer(config)
+        await server.start()
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -622,10 +730,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "(always), or always interpret (never)")
 
     def add_kernel_args(p):
-        p.add_argument("source", help="OpenCL .cl source file")
+        p.add_argument("source", nargs="?",
+                       help="OpenCL .cl source file (or use --workload)")
+        p.add_argument("--workload", metavar="NAME",
+                       help="a catalog workload instead of a source "
+                            "file, e.g. 'rodinia/nw/kernel1' "
+                            "(buffers, scalars, and NDRange come from "
+                            "the catalog)")
         p.add_argument("--kernel", help="kernel name "
                                         "(default: first kernel)")
-        p.add_argument("--global-size", type=int, required=True)
+        p.add_argument("--global-size", type=int, default=0,
+                       help="1-D NDRange size (required with a source "
+                            "file)")
         p.add_argument("--wg", type=int, default=64,
                        help="work-group size")
         p.add_argument("--device", default="virtex7",
@@ -634,6 +750,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override a scalar kernel argument")
         add_static_trace_arg(p)
         add_cache_args(p)
+
+    def add_json_arg(p):
+        p.add_argument("--json", action="store_true",
+                       help="canonical JSON output (byte-identical to "
+                            "the serve daemon's response)")
 
     p = sub.add_parser("predict", help="predict one design's cycles")
     add_kernel_args(p)
@@ -646,11 +767,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable work-item pipelining")
     p.add_argument("--simulate", action="store_true",
                    help="also run the System Run simulator")
+    add_json_arg(p)
     p.set_defaults(func=cmd_predict)
 
     p = sub.add_parser("explore", help="sweep the design space")
     add_kernel_args(p)
     p.add_argument("--top", type=int, default=5)
+    add_json_arg(p)
     p.add_argument("--jobs", "-j", type=_jobs_arg, default=None,
                    metavar="N",
                    help="worker processes for the sweep "
@@ -673,6 +796,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="FIFO depth for the pipe realization")
     p.add_argument("--wg", type=int, default=None,
                    help="override every stage's work-group size")
+    add_json_arg(p)
     add_cache_args(p)
     p.set_defaults(func=cmd_predict_graph)
 
@@ -724,6 +848,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--programs", action="store_true",
                    help="also evaluate every multi-kernel program "
                         "end-to-end (dram and pipe realizations)")
+    add_json_arg(p)
     add_static_trace_arg(p)
     add_cache_args(p)
     p.set_defaults(func=cmd_suite)
@@ -734,7 +859,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", metavar="DIR",
                    help="cache directory (default: $REPRO_CACHE_DIR or "
                         "~/.cache/repro-flexcl)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable stats (the same formatter "
+                        "backs the serve daemon's /metrics)")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser("serve",
+                       help="run the prediction daemon: HTTP/JSON "
+                            "endpoints with a hot cache, request "
+                            "coalescing, and backpressure")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8177,
+                   help="listen port (0 = ephemeral)")
+    p.add_argument("--jobs", "-j", type=_jobs_arg, default=None,
+                   metavar="N",
+                   help="worker pool size ('auto' = one per core "
+                        "minus one, the default)")
+    p.add_argument("--executor", default="auto",
+                   choices=["auto", "process", "thread"],
+                   help="worker pool kind (auto = forked processes "
+                        "when available)")
+    p.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                   help="max in-flight evaluations before new work is "
+                        "refused with 503 (cache hits and coalesced "
+                        "requests are always admitted)")
+    p.add_argument("--hot-entries", type=int, default=2048, metavar="N",
+                   help="in-memory hot-tier capacity (entries)")
+    add_cache_args(p)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("patterns", help="print Table 1 ΔT values")
     p.add_argument("--device", default="virtex7",

@@ -21,6 +21,7 @@ dead kernel analysis to a live one.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
@@ -112,6 +113,12 @@ class SubModelCache:
         self.stats = CacheStats()
         self._store = store
         self._salt = salt
+        #: guards the memo tables and stats counters — one FlexCL
+        #: instance may serve concurrent threads (serve worker pool),
+        #: and unguarded `count += 1` bumps lose increments.  Compute
+        #: runs *outside* the lock (a duplicate compute is harmless,
+        #: results are pure), so throughput is unaffected.
+        self._lock = threading.Lock()
         #: id(info) -> (info, {key: result}); the stored info reference
         #: pins the id so identity validation is exact.
         self._tables: Dict[int, Tuple[object, Dict[tuple, object]]] = {}
@@ -127,14 +134,15 @@ class SubModelCache:
             compute: Callable[[], object]):
         """Return the cached *sub_model* result for (*info*, *key*),
         computing and storing it on a miss."""
-        table = self._table(info)
         full_key = (sub_model,) + key
-        if full_key in table:
-            setattr(self.stats, f"{sub_model}_hits",
-                    getattr(self.stats, f"{sub_model}_hits") + 1)
-            return table[full_key]
-        setattr(self.stats, f"{sub_model}_misses",
-                getattr(self.stats, f"{sub_model}_misses") + 1)
+        with self._lock:
+            table = self._table(info)
+            if full_key in table:
+                setattr(self.stats, f"{sub_model}_hits",
+                        getattr(self.stats, f"{sub_model}_hits") + 1)
+                return table[full_key]
+            setattr(self.stats, f"{sub_model}_misses",
+                    getattr(self.stats, f"{sub_model}_misses") + 1)
         skey = None
         if self._store is not None \
                 and getattr(info, "fingerprint", None):
@@ -143,17 +151,21 @@ class SubModelCache:
                                 self._salt, key)
             found, value = self._store.get(sub_model, skey)
             if found:
-                table[full_key] = value
+                with self._lock:
+                    self._table(info)[full_key] = value
                 return value
         result = compute()
         if skey is not None:
             self._store.put(sub_model, skey, result)
-        table[full_key] = result
+        with self._lock:
+            self._table(info)[full_key] = result
         return result
 
     def clear(self) -> None:
         """Drop every memoized result (stats are kept)."""
-        self._tables.clear()
+        with self._lock:
+            self._tables.clear()
 
     def __len__(self) -> int:
-        return sum(len(t) for _, t in self._tables.values())
+        with self._lock:
+            return sum(len(t) for _, t in self._tables.values())

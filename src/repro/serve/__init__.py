@@ -1,0 +1,50 @@
+"""``repro serve``: a long-running prediction daemon (``repro.serve``).
+
+The CLI pays Python start-up, frontend compilation, and (on a cold
+cache) kernel profiling for every invocation.  This package keeps one
+warm process resident and answers the same questions over HTTP/JSON —
+with an in-memory hot tier above the persistent store, coalescing of
+concurrent identical requests, a bounded worker pool for cold
+evaluations, and backpressure instead of unbounded queueing.
+
+:mod:`repro.serve.api` is the shared payload layer: the CLI's
+``--json`` output and the daemon's responses are rendered from the
+same builders, which makes served responses byte-identical to the
+equivalent CLI invocation (see ``tests/test_serve_differential.py``).
+
+See ``docs/SERVING.md`` for the endpoint reference.
+"""
+
+from repro.serve.api import (
+    ApiError,
+    canonical_json,
+    encode_body,
+    explore_payload,
+    predict_graph_payload,
+    predict_payload,
+    request_key,
+    suite_payload,
+)
+from repro.serve.daemon import (
+    PredictionServer,
+    ServeHandle,
+    ServerConfig,
+    serve_in_thread,
+)
+from repro.serve.pool import WorkerPool
+
+__all__ = [
+    "ApiError",
+    "PredictionServer",
+    "ServeHandle",
+    "ServerConfig",
+    "WorkerPool",
+    "canonical_json",
+    "encode_body",
+    "explore_payload",
+    "predict_graph_payload",
+    "predict_payload",
+    "request_key",
+    "serve_in_thread",
+    "suite_payload",
+]

@@ -1,0 +1,113 @@
+"""The byte-identity contract: a served response equals the stdout of
+the equivalent ``repro <cmd> --json`` invocation, byte for byte.
+
+This is the differential guarantee the daemon is built around — both
+sides render the same :mod:`repro.serve.api` payload through the same
+canonical encoder, so clients can switch between the CLI and the
+server (or validate one against the other) without normalization.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.serve import ServerConfig, serve_in_thread
+
+SAXPY = """
+__kernel void saxpy(__global float *x, __global float *y,
+                    float a, int n) {
+    int i = get_global_id(0);
+    y[i] = a * x[i] + y[i];
+}
+"""
+
+
+@pytest.fixture(scope="class")
+def server():
+    handle = serve_in_thread(ServerConfig(port=0, executor="thread",
+                                          jobs=2))
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def saxpy_path(tmp_path):
+    path = tmp_path / "saxpy.cl"
+    path.write_text(SAXPY)
+    return str(path)
+
+
+def _served(server, path, spec):
+    req = urllib.request.Request(
+        server.url + path, data=json.dumps(spec).encode("utf-8"))
+    with urllib.request.urlopen(req, timeout=300) as resp:
+        assert resp.status == 200
+        return resp.read()
+
+
+def _cli(capsys, argv):
+    rc = main(argv)
+    assert rc == 0
+    return capsys.readouterr().out.encode("utf-8")
+
+
+class TestDifferential:
+    def test_predict_from_source(self, server, saxpy_path, capsys):
+        stdout = _cli(capsys, ["predict", saxpy_path,
+                               "--global-size", "128", "--wg", "32",
+                               "--pe", "2", "--json"])
+        body = _served(server, "/predict",
+                       {"source": SAXPY, "global_size": 128,
+                        "wg": 32, "pe": 2})
+        assert body == stdout
+
+    def test_predict_from_workload(self, server, capsys):
+        stdout = _cli(capsys, ["predict",
+                               "--workload", "rodinia/backprop/layer",
+                               "--wg", "64", "--json"])
+        body = _served(server, "/predict",
+                       {"workload": "rodinia/backprop/layer",
+                        "wg": 64})
+        assert body == stdout
+
+    def test_predict_graph(self, server, capsys):
+        stdout = _cli(capsys, ["predict-graph", "scale",
+                               "--depth", "4", "--json"])
+        body = _served(server, "/predict-graph",
+                       {"program": "scale", "depth": 4})
+        assert body == stdout
+
+    def test_suite_slice(self, server, capsys):
+        stdout = _cli(capsys, ["suite", "--limit", "1",
+                               "--designs", "2", "--json"])
+        body = _served(server, "/suite", {"limit": 1, "designs": 2})
+        assert body == stdout
+
+    def test_explore(self, server, saxpy_path, capsys):
+        stdout = _cli(capsys, ["explore", saxpy_path,
+                               "--global-size", "32", "--top", "3",
+                               "--json"])
+        body = _served(server, "/explore",
+                       {"source": SAXPY, "global_size": 32, "top": 3})
+        assert body == stdout
+
+    def test_repeat_request_stays_identical(self, server, capsys):
+        """Warm answers (hot tier) must be the same bytes as cold."""
+        spec = {"workload": "rodinia/backprop/layer", "wg": 64}
+        first = _served(server, "/predict", spec)
+        second = _served(server, "/predict", spec)
+        assert first == second
+
+    def test_infeasible_design_identical(self, server, saxpy_path,
+                                         capsys):
+        rc = main(["predict", saxpy_path, "--global-size", "128",
+                   "--wg", "48", "--json"])
+        assert rc == 1                    # infeasible → CLI exit 1
+        stdout = capsys.readouterr().out.encode("utf-8")
+        body = _served(server, "/predict",
+                       {"source": SAXPY, "global_size": 128,
+                        "wg": 48})
+        assert body == stdout
+        assert json.loads(body)["feasible"] is False
