@@ -10,20 +10,25 @@ Runs the workload-catalog batch evaluator
   now-populated store (new ``ArtifactCache`` instance, in-process
   pattern memo cleared) — every expensive stage loads from disk;
 
-All three runs use the static access-summary engine
-(``static_trace='auto'``): kernels proved STATIC have their traces
-synthesized analytically instead of interpreted.  A fourth run —
+All three runs use the full cold-path engine stack
+(``static_trace='auto'``, ``interp='auto'``): kernels proved STATIC
+have their traces synthesized analytically, and the data-dependent rest
+executes on the lane-vectorized interpreter.  A fourth run —
 
-- ``interp``  : uncached with ``static_trace='never'`` — the pre-static
-  interpreter-only cold path, the ISSUE-6 baseline;
+- ``interp``  : uncached with ``static_trace='never'`` and
+  ``interp='scalar'`` — the original work-item-at-a-time cold path;
 
-measures what synthesis buys on the cold path.  The script asserts all
-runs' predictions are row-for-row **bit-identical**, that the warm
-run's disk hit rate exceeds 0.9, and writes the wall times, speedups,
-and hit rates to ``BENCH_suite_cache.json``.  The full run additionally
-asserts the ISSUE-4 acceptance bar of a >= 5x warm-vs-cold speedup and
-the ISSUE-6 bar of a >= 10x interpreter-vs-synthesis cold-path speedup
-over the static subset.
+measures what the trace engines buy together.  The catalog is then
+split into its **static** and **dynamic** subsets and each is timed in
+isolation: synthesis owns the static subset's win (ISSUE-6), the
+vectorized executor owns the dynamic subset's (ISSUE-9).  The script
+asserts all runs' predictions are row-for-row **bit-identical**, that
+the warm run's disk hit rate exceeds 0.9, and writes the wall times,
+speedups, and hit rates to ``BENCH_suite_cache.json``.  The full run
+additionally asserts the ISSUE-4 acceptance bar of a >= 5x warm-vs-cold
+speedup, the ISSUE-6 bar of a >= 10x synthesis speedup over the static
+subset, and the ISSUE-9 bar of a >= 5x vectorized-vs-scalar speedup
+over the dynamic subset.
 
 Usage::
 
@@ -62,21 +67,26 @@ def _fresh_process_state() -> None:
     model_memory._PATTERN_CACHE.clear()
 
 
-def _run(workloads, jobs, designs, cache, static_trace="auto"):
+def _run(workloads, jobs, designs, cache, static_trace="auto",
+         interp="auto"):
     _fresh_process_state()
     t0 = time.perf_counter()
     result = run_suite(workloads, VIRTEX7, jobs=jobs, cache=cache,
                        designs_per_kernel=designs,
-                       static_trace=static_trace)
+                       static_trace=static_trace, interp=interp)
     return result, time.perf_counter() - t0
 
 
-def _static_subset(workloads):
-    """The workloads the summary engine proves STATIC (the ones trace
-    synthesis accelerates)."""
+def _split_subsets(workloads):
+    """Partition the catalog into the subset the summary engine proves
+    STATIC (trace synthesis applies) and the dynamic remainder (the
+    vectorized executor owns its cold path)."""
     from repro.lint.summary import VERDICT_STATIC, summarize_kernel
-    return [w for w in workloads
-            if summarize_kernel(w.function()).verdict == VERDICT_STATIC]
+    static, dynamic = [], []
+    for w in workloads:
+        verdict = summarize_kernel(w.function()).verdict
+        (static if verdict == VERDICT_STATIC else dynamic).append(w)
+    return static, dynamic
 
 
 def main() -> int:
@@ -99,12 +109,13 @@ def main() -> int:
 
     cache_root = Path(tempfile.mkdtemp(prefix="repro-suite-cache-"))
     try:
-        # 0. Interpreter-only cold path: the pre-static baseline.
+        # 0. Scalar-interpreter-only cold path: the original baseline
+        #    (no synthesis, no lane vectorization).
         interp, t_interp = _run(workloads, jobs, args.designs, None,
-                                static_trace="never")
+                                static_trace="never", interp="scalar")
         print(f"interp   : {t_interp:7.2f}s "
               f"({len(interp.predictions)} predictions, "
-              f"static_trace=never)")
+              f"static_trace=never, interp=scalar)")
 
         # 1. No cache at all: the reference behaviour and timings.
         uncached, t_uncached = _run(workloads, jobs, args.designs, None)
@@ -137,15 +148,17 @@ def main() -> int:
         print(f"warm-vs-cold speedup: {speedup:.1f}x "
               f"(vs uncached: {uncached_speedup:.1f}x), "
               f"hit rate {hit_rate:.1%}")
-        print(f"synthesis cold-path speedup (full catalog): "
-              f"{synth_speedup:.1f}x")
+        print(f"engine cold-path speedup (full catalog, synth + "
+              f"vectorized vs scalar): {synth_speedup:.1f}x")
 
-        # The static subset is where synthesis applies; measure its
-        # cold-path win in isolation (irregular kernels interpret in
-        # both modes and dilute the full-catalog ratio).
-        static_wl = _static_subset(workloads)
+        # Per-subset cold-path timings: the static subset is where
+        # synthesis applies, the dynamic remainder is where the
+        # vectorized executor applies; measuring each in isolation
+        # keeps one engine's win from diluting the other's ratio.
+        static_wl, dynamic_wl = _split_subsets(workloads)
         s_interp, t_s_interp = _run(static_wl, jobs, args.designs, None,
-                                    static_trace="never")
+                                    static_trace="never",
+                                    interp="scalar")
         s_auto, t_s_auto = _run(static_wl, jobs, args.designs, None)
         assert s_interp.rows() == s_auto.rows()
         static_speedup = (t_s_interp / t_s_auto if t_s_auto > 0
@@ -153,12 +166,33 @@ def main() -> int:
         print(f"synthesis cold-path speedup ({len(static_wl)} static "
               f"kernels): {static_speedup:.1f}x "
               f"({t_s_interp:.2f}s -> {t_s_auto:.2f}s)")
+
+        d_scalar, t_d_scalar = _run(dynamic_wl, jobs, args.designs,
+                                    None, static_trace="never",
+                                    interp="scalar")
+        d_vec, t_d_vec = _run(dynamic_wl, jobs, args.designs, None,
+                              static_trace="never",
+                              interp="vectorized")
+        assert d_scalar.rows() == d_vec.rows(), \
+            "vectorized predictions diverged from scalar on the " \
+            "dynamic subset"
+        assert d_vec.trace_sources() == \
+            {"vectorized": len(d_vec.predictions)}, \
+            "dynamic subset fell back off the vectorized engine"
+        dynamic_speedup = (t_d_scalar / t_d_vec if t_d_vec > 0
+                           else float("inf"))
+        print(f"vectorized cold-path speedup ({len(dynamic_wl)} "
+              f"dynamic kernels): {dynamic_speedup:.1f}x "
+              f"({t_d_scalar:.2f}s -> {t_d_vec:.2f}s)")
         if not args.small:
             assert speedup >= 5.0, \
                 f"warm speedup {speedup:.1f}x below the 5x acceptance bar"
             assert static_speedup >= 10.0, \
                 (f"static-subset synthesis speedup {static_speedup:.1f}x"
                  " below the 10x acceptance bar")
+            assert dynamic_speedup >= 5.0, \
+                (f"dynamic-subset vectorized speedup "
+                 f"{dynamic_speedup:.1f}x below the 5x acceptance bar")
 
         payload = {
             "benchmark": "suite_cache",
@@ -178,6 +212,11 @@ def main() -> int:
             "static_kernels": len(static_wl),
             "static_interp_seconds": round(t_s_interp, 3),
             "static_synth_seconds": round(t_s_auto, 3),
+            "dynamic_kernels": len(dynamic_wl),
+            "dynamic_scalar_seconds": round(t_d_scalar, 3),
+            "dynamic_vectorized_seconds": round(t_d_vec, 3),
+            "vectorized_speedup_dynamic_subset":
+                round(dynamic_speedup, 2),
             "warm_hit_rate": round(hit_rate, 4),
             "warm_store_stats": warm.store_stats.to_dict(),
             "cold_store_stats": cold.store_stats.to_dict(),

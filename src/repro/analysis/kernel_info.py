@@ -45,6 +45,14 @@ DEFAULT_PROFILE_GROUPS = 4
 #: ``static_trace`` modes accepted by :func:`analyze_kernel`.
 STATIC_TRACE_MODES = ("auto", "always", "never")
 
+#: ``interp`` modes accepted by :func:`analyze_kernel` — the dynamic
+#: (non-synthesized) trace producer.  ``"auto"`` vectorizes non-pipe
+#: kernels and falls back to the scalar interpreter on
+#: :class:`~repro.interp.vexec.VectorizationError`; ``"vectorized"``
+#: demands lane vectorization; ``"scalar"`` always interprets per
+#: work-item.
+INTERP_MODES = ("auto", "vectorized", "scalar")
+
 
 class StaticTraceUnavailable(RuntimeError):
     """Raised by ``static_trace='always'`` when the kernel's access
@@ -157,6 +165,10 @@ class KernelInfo:
     #: True when the traces came from the static synthesizer rather
     #: than the profiling interpreter
     static_trace_used: bool = False
+    #: which engine produced the traces: ``"synth"`` (static
+    #: synthesizer), ``"vectorized"`` (lane-vectorized interpreter),
+    #: or ``"scalar"`` (per-work-item interpreter)
+    trace_source: str = "scalar"
     #: access-summary verdict ("static" / "irregular"), when computed
     summary_verdict: Optional[str] = None
     summary_fingerprint: Optional[str] = None
@@ -192,15 +204,17 @@ def analysis_fingerprint(fn: Function, buffers: Dict[str, Buffer],
                          scalars: Dict[str, object], ndrange: NDRange,
                          device, table: OpLatencyTable,
                          profile_groups: int,
-                         summary_fingerprint: Optional[str] = None
-                         ) -> str:
+                         summary_fingerprint: Optional[str] = None,
+                         trace_engine: Optional[tuple] = None) -> str:
     """Content hash of one analysis run's inputs (the persistent cache
     key): kernel IR, buffer contents, scalars, NDRange, the full device
     configuration, the op-latency table, and the profiling depth.
 
     When the traces are synthesized statically, the summary engine's
     version and fingerprint join the key (pass *summary_fingerprint*),
-    so a summary-engine change invalidates only synthesized entries."""
+    so a summary-engine change invalidates only synthesized entries.
+    Likewise *trace_engine* (e.g. ``("vexec", VEXEC_ENGINE_VERSION)``)
+    keys vectorized-interpreter entries separately from scalar ones."""
     from repro.cache import analysis_key, digest
     table_part = digest(sorted((cls.name, lat) for cls, lat
                                in table.latencies.items()), table.scale)
@@ -209,6 +223,8 @@ def analysis_fingerprint(fn: Function, buffers: Dict[str, Buffer],
         from repro.lint.summary.engine import SUMMARY_ENGINE_VERSION
         extra = extra + ("static", SUMMARY_ENGINE_VERSION,
                          summary_fingerprint)
+    if trace_engine is not None:
+        extra = extra + tuple(trace_engine)
     return analysis_key(fn, buffers, scalars, ndrange, device, extra)
 
 
@@ -218,7 +234,8 @@ def analyze_kernel(fn: Function, buffers: Dict[str, Buffer],
                    profile_groups: int = DEFAULT_PROFILE_GROUPS,
                    cache=None, static_trace: str = "auto",
                    verify: bool = False,
-                   launch: Optional[LaunchResult] = None) -> KernelInfo:
+                   launch: Optional[LaunchResult] = None,
+                   interp: str = "auto") -> KernelInfo:
     """Run FlexCL kernel analysis.  *buffers* are consumed (the profiling
     run mutates them); pass fresh copies if the caller needs the data.
 
@@ -230,6 +247,16 @@ def analyze_kernel(fn: Function, buffers: Dict[str, Buffer],
     *verify* additionally interprets and cross-checks every synthesized
     trace address-for-address (:class:`StaticTraceMismatch` on any
     disagreement).
+
+    *interp* selects the dynamic trace producer used when synthesis is
+    off or unavailable: ``"auto"`` (default) runs the lane-vectorized
+    interpreter (:class:`repro.interp.vexec.VectorizedExecutor`) and
+    falls back to the scalar :class:`KernelExecutor` on
+    :class:`~repro.interp.vexec.VectorizationError`; ``"vectorized"``
+    demands vectorization (the error propagates); ``"scalar"`` always
+    uses the per-work-item interpreter.  All three produce bit-identical
+    launches and traces; with ``verify=True`` a vectorized profile is
+    additionally cross-checked against the scalar interpreter.
 
     With a :class:`repro.cache.ArtifactCache` as *cache*, the analysis
     is content-addressed: a prior run with the same kernel, inputs, and
@@ -248,6 +275,9 @@ def analyze_kernel(fn: Function, buffers: Dict[str, Buffer],
     if static_trace not in STATIC_TRACE_MODES:
         raise ValueError(f"static_trace must be one of "
                          f"{STATIC_TRACE_MODES}, got {static_trace!r}")
+    if interp not in INTERP_MODES:
+        raise ValueError(f"interp must be one of {INTERP_MODES}, "
+                         f"got {interp!r}")
     if table is None:
         table = OpLatencyTable.for_device(device)
 
@@ -304,6 +334,45 @@ def analyze_kernel(fn: Function, buffers: Dict[str, Buffer],
             _verify_against_interpreter(fn, buffers, scalars, ndrange,
                                         profile_groups, launch)
 
+    trace_source = "synth" if static_used else "scalar"
+    if launch is None:
+        if interp != "scalar":
+            from repro.interp.vexec import (
+                VEXEC_ENGINE_VERSION,
+                VectorizationError,
+                VectorizedExecutor,
+            )
+            fp_vec = analysis_fingerprint(
+                fn, buffers, scalars, ndrange, device, table,
+                profile_groups,
+                trace_engine=("vexec", VEXEC_ENGINE_VERSION))
+            if cache is not None:
+                found, cached = cache.get("analysis", fp_vec)
+                if found and isinstance(cached, KernelInfo):
+                    return cached
+            for i, inst in enumerate(fn.instructions()):
+                inst.site_id = i  # type: ignore[attr-defined]
+            snapshot = ({name: b.data.copy() for name, b in buffers.items()}
+                        if verify else None)
+            try:
+                executor = VectorizedExecutor(fn, buffers, scalars)
+                launch = executor.run(ndrange,
+                                      max_groups=max(profile_groups, 1))
+                fingerprint = fp_vec
+                trace_source = "vectorized"
+            except VectorizationError:
+                # The kernel (or this launch) left the vectorizable
+                # subset; the buffers were restored, so scalar
+                # interpretation reproduces canonical behaviour.
+                if interp == "vectorized":
+                    raise
+                launch = None
+            if launch is not None and verify:
+                for name, buf in buffers.items():
+                    buf.data[...] = snapshot[name]
+                _verify_against_interpreter(fn, buffers, scalars, ndrange,
+                                            profile_groups, launch)
+
     if launch is None:
         fingerprint = analysis_fingerprint(fn, buffers, scalars, ndrange,
                                            device, table, profile_groups)
@@ -321,7 +390,8 @@ def analyze_kernel(fn: Function, buffers: Dict[str, Buffer],
                                     ndrange.work_group_size)
 
     info = _build_info(fn, ndrange, device, table, launch,
-                       fingerprint, static_used, summary)
+                       fingerprint, static_used, summary,
+                       trace_source=trace_source)
     if cache is not None:
         cache.put("analysis", fingerprint, info)
     return info
@@ -338,13 +408,14 @@ def _analyze_from_launch(fn: Function, ndrange: NDRange, device,
         launch.traces = pack_traces(launch.traces,
                                     ndrange.work_group_size)
     return _build_info(fn, ndrange, device, table, launch,
-                       fingerprint=None, static_used=False, summary=None)
+                       fingerprint=None, static_used=False, summary=None,
+                       trace_source="scalar")
 
 
 def _build_info(fn: Function, ndrange: NDRange, device,
                 table: OpLatencyTable, launch: LaunchResult,
                 fingerprint: Optional[str], static_used: bool,
-                summary) -> KernelInfo:
+                summary, trace_source: str = "scalar") -> KernelInfo:
     loop_nest = find_loops(fn)
     items = max(launch.work_items_executed, 1)
     block_weights = {name: count / items
@@ -373,6 +444,7 @@ def _build_info(fn: Function, ndrange: NDRange, device,
         local_mem_bytes=_local_mem_bytes(fn),
         barriers_per_wi=launch.barriers_per_item,
         static_trace_used=static_used,
+        trace_source=trace_source,
         summary_verdict=(summary.verdict if summary is not None
                          else None),
         summary_fingerprint=(summary.fingerprint if summary is not None

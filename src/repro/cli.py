@@ -60,6 +60,7 @@ _SPEC_FIELD_FLAGS = {
     "'kernel'": "--kernel NAME",
     "'global_size'": "--global-size",
     "'static_trace'": "--static-trace",
+    "'interp'": "--interp",
     "'args'": "--arg",
 }
 
@@ -152,7 +153,8 @@ def _analyze_wg(fn, device, args, overrides, wg: int, cache=None):
                           NDRange(args.global_size, wg), device,
                           cache=cache,
                           static_trace=getattr(args, "static_trace",
-                                               "auto"))
+                                               "auto"),
+                          interp=getattr(args, "interp", "auto"))
 
 
 def _analyze(args, wg: Optional[int] = None, cache=None):
@@ -291,7 +293,9 @@ def _kernel_spec(args) -> dict:
     :mod:`repro.serve.api`, so ``--json`` output is byte-identical to
     the served response)."""
     spec = {"kernel": args.kernel, "device": args.device,
-            "static_trace": args.static_trace, "args": _spec_args(args)}
+            "static_trace": args.static_trace,
+            "interp": getattr(args, "interp", "auto"),
+            "args": _spec_args(args)}
     if getattr(args, "workload", None):
         if args.source:
             raise CLIError("give either an OpenCL source file or "
@@ -538,7 +542,8 @@ def cmd_suite(args) -> int:
         from repro.serve import api as serve_api
         spec = {"suite": args.suite, "limit": args.limit,
                 "designs": args.designs, "device": args.device,
-                "static_trace": args.static_trace}
+                "static_trace": args.static_trace,
+                "interp": args.interp}
         try:
             payload = serve_api.suite_payload(spec,
                                               cache=_open_cache(args))
@@ -555,7 +560,8 @@ def cmd_suite(args) -> int:
         return 2
     result = run_suite(catalog, device, jobs=args.jobs, cache=cache,
                        designs_per_kernel=args.designs,
-                       static_trace=args.static_trace)
+                       static_trace=args.static_trace,
+                       interp=args.interp)
     by_workload = result.by_workload()
     for name in sorted(by_workload):
         preds = by_workload[name]
@@ -566,6 +572,10 @@ def cmd_suite(args) -> int:
     print(f"\n{result.workloads_evaluated} workloads, "
           f"{len(result.predictions)} predictions in "
           f"{result.elapsed_seconds:.1f}s{workers}")
+    sources = result.trace_sources()
+    if sources:
+        print("trace paths: " + "  ".join(
+            f"{k}={sources[k]}" for k in sorted(sources)))
     if result.store_stats is not None and result.store_stats.lookups:
         print(result.store_stats.summary())
     if args.programs:
@@ -729,6 +739,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "STATIC (auto, default), require synthesis "
                             "(always), or always interpret (never)")
 
+    def add_interp_arg(p):
+        p.add_argument("--interp", default="auto",
+                       choices=["auto", "vectorized", "scalar"],
+                       help="dynamic trace producer when synthesis is "
+                            "off or unavailable: lane-vectorized "
+                            "work-group execution with scalar fallback "
+                            "(auto, default), require vectorization "
+                            "(vectorized), or per-work-item "
+                            "interpretation (scalar)")
+
     def add_kernel_args(p):
         p.add_argument("source", nargs="?",
                        help="OpenCL .cl source file (or use --workload)")
@@ -749,6 +769,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--arg", action="append", metavar="NAME=VALUE",
                        help="override a scalar kernel argument")
         add_static_trace_arg(p)
+        add_interp_arg(p)
         add_cache_args(p)
 
     def add_json_arg(p):
@@ -850,6 +871,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "end-to-end (dram and pipe realizations)")
     add_json_arg(p)
     add_static_trace_arg(p)
+    add_interp_arg(p)
     add_cache_args(p)
     p.set_defaults(func=cmd_suite)
 

@@ -35,6 +35,10 @@ class SuitePrediction:
     workload: str          # qualified name, e.g. 'rodinia/nw/kernel1'
     design: str            # design signature
     cycles: float
+    #: which engine produced the analysis traces ("synth" /
+    #: "vectorized" / "scalar"); provenance only — rows() stays a
+    #: 3-tuple so prediction equality checks are engine-agnostic
+    trace_source: str = "scalar"
 
     def row(self) -> Tuple[str, str, float]:
         return (self.workload, self.design, self.cycles)
@@ -63,14 +67,23 @@ class SuiteResult:
             out.setdefault(p.workload, []).append(p)
         return out
 
+    def trace_sources(self) -> Dict[str, int]:
+        """Prediction counts per trace engine, e.g.
+        ``{"synth": 410, "vectorized": 96}`` — how each analysis
+        behind each prediction got its traces."""
+        out: Dict[str, int] = {}
+        for p in self.predictions:
+            out[p.trace_source] = out.get(p.trace_source, 0) + 1
+        return out
+
 
 def _evaluate_workload(workload: Workload, device, cache,
                        designs_per_kernel: int,
-                       static_trace: str = "auto"
-                       ) -> List[SuitePrediction]:
+                       static_trace: str = "auto",
+                       interp: str = "auto") -> List[SuitePrediction]:
     """Analyse one workload and predict its sampled design points."""
     analyzer = make_analyzer(workload, device, cache=cache,
-                             static_trace=static_trace)
+                             static_trace=static_trace, interp=interp)
     space = DesignSpace.default_for(workload.global_size)
     designs = sample_designs(workload, device, space,
                              designs_per_kernel, analyzer)
@@ -83,7 +96,8 @@ def _evaluate_workload(workload: Workload, device, cache,
         out.append(SuitePrediction(
             workload=workload.qualified_name,
             design=design.signature(),
-            cycles=model.predict(info, design).cycles))
+            cycles=model.predict(info, design).cycles,
+            trace_source=getattr(info, "trace_source", "scalar")))
     return out
 
 
@@ -96,10 +110,11 @@ def _run_suite_shard(indices: List[int]
                      ) -> Tuple[List[Tuple[int, List[SuitePrediction]]],
                                 StoreStats]:
     (workloads, device, cache, designs_per_kernel,
-     static_trace) = _SUITE_STATE
+     static_trace, interp) = _SUITE_STATE
     before = cache.stats.copy() if cache is not None else StoreStats()
     out = [(i, _evaluate_workload(workloads[i], device, cache,
-                                  designs_per_kernel, static_trace))
+                                  designs_per_kernel, static_trace,
+                                  interp))
            for i in indices]
     after = cache.stats.copy() if cache is not None else StoreStats()
     return out, after - before
@@ -108,7 +123,8 @@ def _run_suite_shard(indices: List[int]
 def run_suite(workloads: Sequence[Workload], device,
               jobs=None, cache=None,
               designs_per_kernel: int = 8,
-              static_trace: str = "auto") -> SuiteResult:
+              static_trace: str = "auto",
+              interp: str = "auto") -> SuiteResult:
     """Predict *designs_per_kernel* sampled design points for every
     workload in *workloads* on *device*.
 
@@ -133,7 +149,7 @@ def run_suite(workloads: Sequence[Workload], device,
         shards = [list(range(s, len(workloads), n_jobs))
                   for s in range(n_jobs)]
         _SUITE_STATE = (workloads, device, cache, designs_per_kernel,
-                        static_trace)
+                        static_trace, interp)
         try:
             ctx = multiprocessing.get_context("fork")
             with concurrent.futures.ProcessPoolExecutor(
@@ -157,7 +173,8 @@ def run_suite(workloads: Sequence[Workload], device,
         for workload in workloads:
             result.predictions.extend(
                 _evaluate_workload(workload, device, cache,
-                                   designs_per_kernel, static_trace))
+                                   designs_per_kernel, static_trace,
+                                   interp))
         if before is not None:
             result.store_stats = cache.stats - before
 

@@ -21,6 +21,7 @@ from repro.interp.coexec import (
     ProgramExecutor,
     StageSpec,
 )
+from repro.interp.vexec import VectorizationError, VectorizedExecutor
 
 __all__ = [
     "Buffer",
@@ -35,4 +36,6 @@ __all__ = [
     "PointerValue",
     "ProgramExecutor",
     "StageSpec",
+    "VectorizationError",
+    "VectorizedExecutor",
 ]

@@ -413,6 +413,10 @@ class KernelExecutor:
         work-groups, as the paper's profiler does) and collect traces."""
         result = LaunchResult()
         self._ndrange = ndrange
+        # The state pool is sized to the largest work-group ever run;
+        # trim it so a large launch doesn't pin its states for the
+        # lifetime of an executor later driven at smaller sizes.
+        del self._state_pool[ndrange.work_group_size:]
         group_list = list(ndrange.group_ids())
         if max_groups is not None:
             group_list = group_list[:max_groups]

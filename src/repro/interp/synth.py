@@ -144,6 +144,82 @@ def _is_u64(t) -> bool:
         and t.bits >= 64
 
 
+def promote_slots(blocks) -> Tuple[Dict[int, Value], set, set]:
+    """mem2reg-lite over the Clang-O0-shaped lowering (shared by the
+    static synthesizer and the lane-vectorized interpreter).
+
+    Every source variable lives in a private entry-block stack slot
+    accessed only by direct loads and stores; the generic path pays
+    address computation, runtime space dispatch and a per-address
+    dictionary for each of them.  A slot whose register is never used
+    outside ``Load.pointer``/``Store.pointer`` positions cannot alias
+    anything, so:
+
+    - **single-store entry slots** whose store sits in the entry block
+      before every entry-block load forward the stored value straight
+      into the loads' operand getters — the alloca, the store and the
+      loads compile to nothing (the entry block runs first for all
+      lanes, so the value is defined wherever a load was);
+    - **other slots** (loop counters, inner-scope variables) are
+      *promoted*: loads and stores hit a per-slot value/init array keyed
+      by slot identity, skipping the address machinery entirely.  The
+      alloca compiles to an init-mask reset for the executing lanes, so
+      re-executing a non-entry alloca gives the executor's fresh-slot
+      semantics (a load before the activation's first store still
+      faults).
+
+    Private traffic is untraced, so the executor's observable outputs
+    are unchanged.  Returns ``(fwd, skip, promoted)``: forwarded load
+    results (register id -> forwarded Value), instruction ids that
+    compile to nothing, and promoted slot register ids.
+    """
+    fwd: Dict[int, Value] = {}
+    skip: set = set()
+    promoted: set = set()
+    if not blocks:
+        return fwd, skip, promoted
+    slots: Dict[int, dict] = {}
+    for bi, block in enumerate(blocks):
+        for inst in block.instructions:
+            if isinstance(inst, Alloca) and inst.result is not None \
+                    and inst.space != AddressSpace.LOCAL:
+                slots[id(inst.result)] = {
+                    "alloca": inst, "alloca_block": bi, "loads": [],
+                    "store": None, "stores": 0, "escaped": False}
+    if not slots:
+        return fwd, skip, promoted
+    for bi, block in enumerate(blocks):
+        for pos, inst in enumerate(block.instructions):
+            for oi, v in enumerate(inst.operands):
+                info = slots.get(id(v))
+                if info is None:
+                    continue
+                if isinstance(inst, Load) and oi == 0:
+                    info["loads"].append((bi, pos, inst))
+                elif isinstance(inst, Store) and oi == 1:
+                    # Store operands are [value, pointer]; a slot
+                    # register in value position escapes.
+                    info["stores"] += 1
+                    info["store"] = (bi, pos, inst)
+                else:
+                    info["escaped"] = True
+    for rid, info in slots.items():
+        if info["escaped"]:
+            continue
+        if info["stores"] == 1 and info["alloca_block"] == 0:
+            sb, sp, store = info["store"]
+            if sb == 0 and all(lb != 0 or lp > sp
+                               for lb, lp, _ in info["loads"]):
+                skip.add(id(info["alloca"]))
+                skip.add(id(store))
+                for _, _, load in info["loads"]:
+                    fwd[id(load.result)] = store.value
+                    skip.add(id(load))
+                continue
+        promoted.add(rid)
+    return fwd, skip, promoted
+
+
 class _Segment:
     """A run of instructions with no internal barrier.
 
@@ -406,72 +482,11 @@ class TraceSynthesizer:
     # -- slot promotion ----------------------------------------------------
 
     def _promote_slots(self) -> None:
-        """mem2reg-lite over the Clang-O0-shaped lowering.
-
-        Every source variable lives in a private entry-block stack slot
-        accessed only by direct loads and stores; the generic path pays
-        address computation, runtime space dispatch and a per-address
-        dictionary for each of them.  A slot whose register is never
-        used outside ``Load.pointer``/``Store.pointer`` positions cannot
-        alias anything, so:
-
-        - **single-store entry slots** whose store sits in the entry
-          block before every entry-block load forward the stored value
-          straight into the loads' operand getters — the alloca, the
-          store and the loads compile to nothing (the entry block runs
-          first for all lanes, so the value is defined wherever a load
-          was);
-        - **other slots** (loop counters, inner-scope variables) are
-          *promoted*: loads and stores hit a per-slot value/init array
-          keyed by slot identity, skipping the address machinery
-          entirely.  The alloca compiles to an init-mask reset for the
-          executing lanes, so re-executing a non-entry alloca gives the
-          executor's fresh-slot semantics (a load before the
-          activation's first store still faults).
-
-        Private traffic is untraced, so the executor's observable
-        outputs are unchanged."""
-        if not self._blocks:
-            return
-        slots: Dict[int, dict] = {}
-        for bi, block in enumerate(self._blocks):
-            for inst in block.instructions:
-                if isinstance(inst, Alloca) and inst.result is not None \
-                        and inst.space != AddressSpace.LOCAL:
-                    slots[id(inst.result)] = {
-                        "alloca": inst, "alloca_block": bi, "loads": [],
-                        "store": None, "stores": 0, "escaped": False}
-        if not slots:
-            return
-        for bi, block in enumerate(self._blocks):
-            for pos, inst in enumerate(block.instructions):
-                for oi, v in enumerate(inst.operands):
-                    info = slots.get(id(v))
-                    if info is None:
-                        continue
-                    if isinstance(inst, Load) and oi == 0:
-                        info["loads"].append((bi, pos, inst))
-                    elif isinstance(inst, Store) and oi == 1:
-                        # Store operands are [value, pointer]; a slot
-                        # register in value position escapes.
-                        info["stores"] += 1
-                        info["store"] = (bi, pos, inst)
-                    else:
-                        info["escaped"] = True
-        for rid, info in slots.items():
-            if info["escaped"]:
-                continue
-            if info["stores"] == 1 and info["alloca_block"] == 0:
-                sb, sp, store = info["store"]
-                if sb == 0 and all(lb != 0 or lp > sp
-                                   for lb, lp, _ in info["loads"]):
-                    self._skip.add(id(info["alloca"]))
-                    self._skip.add(id(store))
-                    for _, _, load in info["loads"]:
-                        self._fwd[id(load.result)] = store.value
-                        self._skip.add(id(load))
-                    continue
-            self._promoted.add(rid)
+        """See :func:`promote_slots` (shared with ``interp.vexec``)."""
+        fwd, skip, promoted = promote_slots(self._blocks)
+        self._fwd.update(fwd)
+        self._skip |= skip
+        self._promoted |= promoted
 
     def _resolve(self, v: Value) -> Value:
         hops = 0

@@ -52,8 +52,14 @@ from repro.cache import (
 
 #: design parameters shared by the predict spec and the CLI flags
 STATIC_TRACE_MODES = ("auto", "always", "never")
+INTERP_MODES = ("auto", "vectorized", "scalar")
 COMM_MODES = ("pipeline", "barrier")
 REALIZATION_MODES = ("dram", "pipe", "both")
+
+#: KernelInfo.trace_source -> the provenance string payloads report
+TRACE_PROVENANCE = {"synth": "synthesized",
+                    "vectorized": "vectorized",
+                    "scalar": "interpreted"}
 
 
 class ApiError(Exception):
@@ -122,6 +128,7 @@ def _kernel_fields(spec) -> Dict[str, object]:
         "device": _device_name(spec),
         "static_trace": _choice(spec, "static_trace", "auto",
                                 STATIC_TRACE_MODES),
+        "interp": _choice(spec, "interp", "auto", INTERP_MODES),
     }
     if source is not None:
         if not spec.get("global_size"):
@@ -202,6 +209,7 @@ def normalize_suite_spec(spec: dict) -> dict:
         "device": _device_name(spec),
         "static_trace": _choice(spec, "static_trace", "auto",
                                 STATIC_TRACE_MODES),
+        "interp": _choice(spec, "interp", "auto", INTERP_MODES),
     }
     if out["limit"] < 0:
         raise ApiError("'limit' must be >= 0")
@@ -406,7 +414,8 @@ def predict_payload(spec: dict, cache=None,
                                     spec["args"])
     info = analyze_kernel(fn, buffers, scalars,
                           NDRange(global_size, spec["wg"]), device,
-                          cache=cache, static_trace=spec["static_trace"])
+                          cache=cache, static_trace=spec["static_trace"],
+                          interp=spec["interp"])
     reason = check_feasibility(info, design, device)
     if reason is not None:
         payload["feasible"] = False
@@ -416,8 +425,8 @@ def predict_payload(spec: dict, cache=None,
     payload["feasible"] = True
     if info.summary_verdict is not None:
         payload["traces"] = {
-            "provenance": ("synthesized" if info.static_trace_used
-                           else "interpreted"),
+            "provenance": TRACE_PROVENANCE.get(
+                getattr(info, "trace_source", "scalar"), "interpreted"),
             "summary": info.summary_verdict,
         }
     prediction = FlexCL(device, cache=cache).predict(info, design)
@@ -475,7 +484,8 @@ def make_spec_analyzer(spec: dict, fn, workload, device, cache=None
                 memo[wg] = analyze_kernel(
                     fn, buffers, scalars, NDRange(global_size, wg),
                     device, cache=cache,
-                    static_trace=spec["static_trace"])
+                    static_trace=spec["static_trace"],
+                    interp=spec["interp"])
             except Exception:
                 memo[wg] = None
         return memo[wg]
@@ -678,9 +688,12 @@ def suite_shard_rows(spec: dict, cache=None,
     for i in indices:
         preds = _evaluate_workload(catalog[i], device, cache,
                                    spec["designs"],
-                                   spec["static_trace"])
+                                   spec["static_trace"],
+                                   spec["interp"])
         out.append((i, [{"workload": p.workload, "design": p.design,
-                         "cycles": p.cycles} for p in preds]))
+                         "cycles": p.cycles,
+                         "trace_source": p.trace_source}
+                        for p in preds]))
     return out
 
 
@@ -695,6 +708,10 @@ def suite_payload_from_rows(spec: dict,
     for index, rows in shards:
         merged[index] = rows
     all_rows = [row for rows in merged for row in (rows or [])]
+    trace_paths: Dict[str, int] = {}
+    for row in all_rows:
+        source = row.get("trace_source", "scalar")
+        trace_paths[source] = trace_paths.get(source, 0) + 1
     return {
         "suite": spec["suite"] or "all",
         "device": spec["device"],
@@ -702,6 +719,7 @@ def suite_payload_from_rows(spec: dict,
         "limit": spec["limit"],
         "workloads": len(catalog),
         "predictions": len(all_rows),
+        "trace_paths": trace_paths,
         "rows": all_rows,
     }
 
@@ -729,7 +747,8 @@ def request_key(endpoint: str, spec: dict,
             device_fingerprint(device_by_name(spec["device"])),
             _spec_global_size(spec, workload),
             spec_design(spec).signature(),
-            spec["static_trace"], sorted(spec["args"].items()),
+            spec["static_trace"], spec["interp"],
+            sorted(spec["args"].items()),
             spec["simulate"],
             spec["workload"] or "")
     if endpoint == "explore":
@@ -740,7 +759,8 @@ def request_key(endpoint: str, spec: dict,
             "serve-explore", function_fingerprint(fn),
             device_fingerprint(device_by_name(spec["device"])),
             _spec_global_size(spec, workload), spec["top"],
-            spec["static_trace"], sorted(spec["args"].items()),
+            spec["static_trace"], spec["interp"],
+            sorted(spec["args"].items()),
             spec["workload"] or "")
     if endpoint == "predict-graph":
         spec = normalize_graph_spec(spec)
@@ -755,7 +775,7 @@ def request_key(endpoint: str, spec: dict,
         from repro.devices import device_by_name
         return digest(
             "serve-suite", spec["suite"], spec["limit"],
-            spec["designs"], spec["static_trace"],
+            spec["designs"], spec["static_trace"], spec["interp"],
             device_fingerprint(device_by_name(spec["device"])))
     raise ApiError(f"unknown endpoint {endpoint!r}")
 

@@ -172,12 +172,31 @@ class PredictionServer:
             future.set_exception(exc)
             raise
         else:
+            self._harvest_trace_paths(payload)
             self.hot.put("response", key, body, write_through=False)
             future.set_result(body)
             return body, "evaluated"
         finally:
             self._active -= 1
             self._inflight.pop(key, None)
+
+    def _harvest_trace_paths(self, payload) -> None:
+        """Pull trace-engine provenance out of a freshly evaluated
+        payload into the /metrics counters: predict bodies carry
+        ``traces.provenance``, suite bodies a ``trace_paths`` map."""
+        if not isinstance(payload, dict):
+            return
+        counts: Dict[str, int] = {}
+        traces = payload.get("traces")
+        if isinstance(traces, dict):
+            label = traces.get("provenance")
+            for source, name in api.TRACE_PROVENANCE.items():
+                if name == label:
+                    counts[source] = counts.get(source, 0) + 1
+        for source, n in (payload.get("trace_paths") or {}).items():
+            counts[source] = counts.get(source, 0) + int(n)
+        if counts:
+            self.metrics.count_trace_paths(counts)
 
     # -- core: streaming endpoints -------------------------------------
 
@@ -233,6 +252,7 @@ class PredictionServer:
             else:
                 raise ApiError(
                     f"endpoint {endpoint!r} does not stream")
+            self._harvest_trace_paths(payload)
             await emit({"event": "result", "payload": payload})
         finally:
             self._active -= 1

@@ -93,6 +93,9 @@ class ServerMetrics:
         self._endpoints: Dict[str, EndpointMetrics] = {}
         self.rejected = 0             # 503 backpressure rejections
         self.responses: Dict[int, int] = {}
+        #: analyses per trace engine ("synth" / "vectorized" /
+        #: "scalar"), harvested from freshly evaluated payloads
+        self.trace_paths: Dict[str, int] = {}
 
     def endpoint(self, name: str) -> EndpointMetrics:
         with self._lock:
@@ -122,6 +125,15 @@ class ServerMetrics:
         ep.latency.observe(latency_ms)
         self.count_response(status)
 
+    def count_trace_paths(self, counts: Dict[str, int]) -> None:
+        """Accumulate per-engine trace provenance from one freshly
+        evaluated payload (hot hits and coalesced requests re-serve an
+        already-counted evaluation, so they don't count again)."""
+        with self._lock:
+            for source, n in counts.items():
+                self.trace_paths[source] = \
+                    self.trace_paths.get(source, 0) + n
+
     def coalescing_summary(self) -> Dict[str, object]:
         with self._lock:
             attached = sum(e.coalesced for e in self._endpoints.values())
@@ -143,10 +155,13 @@ class ServerMetrics:
             responses = {str(code): n
                          for code, n in sorted(self.responses.items())}
             rejected = self.rejected
+            trace_paths = {source: n for source, n
+                           in sorted(self.trace_paths.items())}
         return {
             "uptime_seconds": round(time.monotonic() - self.started, 3),
             "responses": responses,
             "rejected": rejected,
             "endpoints": endpoints,
             "coalescing": self.coalescing_summary(),
+            "trace_paths": trace_paths,
         }
