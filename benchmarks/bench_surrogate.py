@@ -1,0 +1,272 @@
+"""Surrogate fast-path benchmark: pre-ranked DSE + instant serve tier.
+
+Measures and asserts the three headline claims of the learned
+surrogate:
+
+- **ranking power**: pooled Spearman rank correlation >= 0.9 between
+  surrogate scores and exact model cycles on *held-out* kernels (whole
+  kernels excluded from training, grouped holdout);
+- **exact-work reduction**: ``explore(prefilter="surrogate")`` recovers
+  the exhaustive sweep's argmax on every checked workload while the
+  analytical model exactly evaluates >= 5x fewer points than the
+  960-point space;
+- **instant serve tier**: warm ``/predict`` answers at the
+  ``"tier": "instant"`` level have sub-millisecond p50 server-side
+  latency, reported under their own outcome in ``/metrics``.
+
+``--small`` keeps CI fast: a 16-designs-per-kernel training suite and a
+6-workload argmax check instead of the full catalog sweep.  Results
+land in ``BENCH_surrogate.json`` and ``benchmarks/results/surrogate.txt``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_surrogate.py           # full
+    PYTHONPATH=src python benchmarks/bench_surrogate.py --small   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from _common import write_result                           # noqa: E402
+
+from repro.cache import open_cache                         # noqa: E402
+from repro.devices import device_by_name                   # noqa: E402
+from repro.dse import DesignSpace                          # noqa: E402
+from repro.dse.explorer import explore                     # noqa: E402
+from repro.evaluation import (                             # noqa: E402
+    default_suite_workloads,
+    run_suite,
+)
+from repro.evaluation.harness import make_analyzer         # noqa: E402
+from repro.model import FlexCL                             # noqa: E402
+from repro.serve import ServerConfig, serve_in_thread      # noqa: E402
+from repro.surrogate import (                              # noqa: E402
+    save_model,
+    train_with_holdout,
+    training_rows,
+)
+
+OUT = ROOT / "BENCH_surrogate.json"
+
+SERVE_WORKLOAD = "rodinia/backprop/layer"
+SPEARMAN_BAR = 0.9
+REDUCTION_BAR = 5.0          # exact evals vs the 960-point space
+
+
+def _post(url: str, path: str, spec: dict, timeout: float = 300.0):
+    req = urllib.request.Request(
+        url + path, data=json.dumps(spec).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+def _metrics(url: str) -> dict:
+    with urllib.request.urlopen(url + "/metrics", timeout=30) as resp:
+        return json.loads(resp.read())
+
+
+def _check_dse(workloads, device, cache, surrogate):
+    """Exhaustive vs prefiltered explore per workload: argmax recovery
+    and exact-evaluation reduction."""
+    rows = []
+    for workload in workloads:
+        analyzer = make_analyzer(workload, device, cache=cache)
+        model = FlexCL(device, cache=cache)
+        space = DesignSpace.default_for(workload.global_size)
+
+        def evaluator(info, design):
+            return model.predict(info, design).cycles
+
+        exhaustive = explore(space, analyzer, evaluator, device)
+        fast = explore(space, analyzer, evaluator, device,
+                       prefilter="surrogate", surrogate=surrogate)
+        n_space = len(fast.evaluated)
+        rows.append({
+            "workload": workload.qualified_name,
+            "space": n_space,
+            "feasible": len(fast.feasible),
+            "exact_evaluations": fast.exact_evaluations,
+            "reduction_vs_space": n_space / fast.exact_evaluations,
+            "reduction_vs_feasible":
+                len(fast.feasible) / fast.exact_evaluations,
+            "argmax_match":
+                fast.best.design == exhaustive.best.design,
+            "best_cycles": exhaustive.best.cycles,
+        })
+    return rows
+
+
+def _bench_instant(cache_dir: str, n_requests: int):
+    """Warm instant-tier latency over distinct design points, measured
+    server-side by the daemon's own /metrics window."""
+    handle = serve_in_thread(ServerConfig(
+        port=0, executor="thread", jobs=2, cache_dir=cache_dir))
+    try:
+        # Warm the per-work-group analyses and the model memo first so
+        # the measured window is the steady state the tier exists for.
+        for wg in (16, 32, 64, 128, 256):
+            _post(handle.url, "/predict",
+                  {"workload": SERVE_WORKLOAD, "wg": wg,
+                   "tier": "instant"})
+        combos = itertools.cycle(itertools.product(
+            (16, 32, 64, 128, 256), (1, 2, 4, 8), (1, 2, 4), (1, 2)))
+        fired = 0
+        for wg, pe, cu, vw in combos:
+            if fired >= n_requests:
+                break
+            _post(handle.url, "/predict",
+                  {"workload": SERVE_WORKLOAD, "wg": wg, "pe": pe,
+                   "cu": cu, "vector": vw, "tier": "instant"})
+            fired += 1
+        metrics = _metrics(handle.url)
+    finally:
+        handle.stop()
+    predict = metrics["endpoints"]["predict"]
+    assert metrics["tiers"]["instant"] > 0, \
+        "/metrics carries no instant-tier provenance"
+    assert "instant_latency" in predict, \
+        "/metrics carries no instant latency window"
+    return predict["instant_latency"], metrics["tiers"]
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--small", action="store_true",
+                    help="CI smoke: lighter training suite and a "
+                         "6-workload argmax check")
+    args = ap.parse_args()
+
+    designs = 16 if args.small else 32
+    n_check = 6 if args.small else 0          # 0 = every workload
+    n_instant = 120 if args.small else 240
+    p50_bar_ms = 2.5 if args.small else 1.0   # CI runners are noisy
+
+    device = device_by_name("virtex7")
+    cache_root = Path(tempfile.mkdtemp(prefix="repro-surrogate-bench-"))
+    os.environ["REPRO_CACHE_DIR"] = str(cache_root)
+    try:
+        cache = open_cache(str(cache_root))
+        catalog = default_suite_workloads(None, 0)
+
+        t0 = time.perf_counter()
+        suite = run_suite(catalog, device, jobs="auto", cache=cache,
+                          designs_per_kernel=designs,
+                          collect_features=True)
+        t_suite = time.perf_counter() - t0
+        X, cycles, kernels = training_rows(suite)
+        t0 = time.perf_counter()
+        model, report = train_with_holdout(X, cycles, kernels)
+        t_train = time.perf_counter() - t0
+        save_model(cache, model, device)
+        print(f"training : {len(cycles)} rows / "
+              f"{len(set(kernels))} kernels "
+              f"(suite {t_suite:.1f}s, fit {t_train:.2f}s)")
+        print(f"held-out Spearman: {report.spearman_overall:.4f} "
+              f"({report.test_rows} rows, "
+              f"{len(report.held_out)} kernels held out)")
+        assert report.spearman_overall >= SPEARMAN_BAR, (
+            f"held-out Spearman {report.spearman_overall:.4f} below "
+            f"the {SPEARMAN_BAR} bar")
+
+        check_set = catalog[:n_check] if n_check else catalog
+        t0 = time.perf_counter()
+        dse_rows = _check_dse(check_set, device, cache, model)
+        t_dse = time.perf_counter() - t0
+        matches = sum(r["argmax_match"] for r in dse_rows)
+        mean_space = (sum(r["reduction_vs_space"] for r in dse_rows)
+                      / len(dse_rows))
+        mean_feasible = (sum(r["reduction_vs_feasible"]
+                             for r in dse_rows) / len(dse_rows))
+        mean_exact = (sum(r["exact_evaluations"] for r in dse_rows)
+                      / len(dse_rows))
+        print(f"dse check: {len(dse_rows)} workloads in {t_dse:.1f}s")
+        print(f"argmax agreement: {matches}/{len(dse_rows)}")
+        print(f"mean exact evaluations: {mean_exact:.1f} per "
+              f"960-point space")
+        print(f"exact-eval reduction vs space: {mean_space:.2f}x")
+        print(f"exact-eval reduction vs feasible: {mean_feasible:.2f}x")
+        assert matches == len(dse_rows), (
+            "prefiltered explore missed the exhaustive argmax on "
+            + ", ".join(r["workload"] for r in dse_rows
+                        if not r["argmax_match"]))
+        assert mean_space >= REDUCTION_BAR, (
+            f"exact-eval reduction {mean_space:.2f}x below the "
+            f"{REDUCTION_BAR}x bar")
+
+        instant_latency, tiers = _bench_instant(str(cache_root),
+                                                n_instant)
+        print(f"instant  : {instant_latency['count']} fresh answers, "
+              f"p50 {instant_latency['p50_ms']:.3f} ms, "
+              f"p90 {instant_latency['p90_ms']:.3f} ms")
+        print(f"instant p50: {instant_latency['p50_ms']} ms")
+        assert instant_latency["p50_ms"] < p50_bar_ms, (
+            f"instant p50 {instant_latency['p50_ms']}ms above the "
+            f"{p50_bar_ms}ms bar")
+
+        lines = [
+            "surrogate fast path "
+            f"({'small' if args.small else 'full'} mode)",
+            f"training rows: {len(cycles)} "
+            f"({designs} designs x {len(set(kernels))} kernels)",
+            f"held-out Spearman: {report.spearman_overall:.4f} "
+            f"(bar {SPEARMAN_BAR})",
+            f"argmax agreement: {matches}/{len(dse_rows)}",
+            f"mean exact evaluations: {mean_exact:.1f} "
+            "per 960-point space",
+            f"exact-eval reduction vs space: {mean_space:.2f}x "
+            f"(bar {REDUCTION_BAR}x)",
+            f"exact-eval reduction vs feasible: {mean_feasible:.2f}x",
+            f"instant p50: {instant_latency['p50_ms']} ms "
+            f"(bar {p50_bar_ms} ms)",
+        ]
+        write_result("surrogate", "\n".join(lines))
+
+        payload = {
+            "benchmark": "surrogate",
+            "small": args.small,
+            "designs_per_kernel": designs,
+            "training_rows": len(cycles),
+            "training_kernels": len(set(kernels)),
+            "suite_seconds": round(t_suite, 2),
+            "train_seconds": round(t_train, 3),
+            "spearman_held_out": round(report.spearman_overall, 4),
+            "spearman_bar": SPEARMAN_BAR,
+            "held_out_kernels": list(report.held_out),
+            "dse_workloads_checked": len(dse_rows),
+            "argmax_matches": matches,
+            "mean_exact_evaluations": round(mean_exact, 1),
+            "reduction_vs_space": round(mean_space, 2),
+            "reduction_vs_feasible": round(mean_feasible, 2),
+            "reduction_bar": REDUCTION_BAR,
+            "instant_latency_ms": instant_latency,
+            "instant_p50_bar_ms": p50_bar_ms,
+            "tiers": tiers,
+            "model": model.describe(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        }
+        OUT.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"[written to {OUT}]")
+        return 0
+    finally:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,7 @@ SCHEMA_VERSIONS: Dict[str, int] = {
     "pe": 1,         # PEModelResult rows spilled from repro.model.memo
     "memory": 1,     # MemoryModelResult rows spilled from repro.model.memo
     "table1": 1,     # per-device PatternLatencyTable (Table 1)
+    "surrogate": 1,  # trained surrogate model artefacts (repro.surrogate)
 }
 
 

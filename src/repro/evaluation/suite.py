@@ -39,6 +39,10 @@ class SuitePrediction:
     #: "vectorized" / "scalar"); provenance only — rows() stays a
     #: 3-tuple so prediction equality checks are engine-agnostic
     trace_source: str = "scalar"
+    #: architecture-independent feature vector of this (kernel, design)
+    #: point, in :data:`repro.surrogate.FEATURE_NAMES` order — only
+    #: populated by ``run_suite(..., collect_features=True)``
+    features: Optional[Tuple[float, ...]] = None
 
     def row(self) -> Tuple[str, str, float]:
         return (self.workload, self.design, self.cycles)
@@ -80,7 +84,9 @@ class SuiteResult:
 def _evaluate_workload(workload: Workload, device, cache,
                        designs_per_kernel: int,
                        static_trace: str = "auto",
-                       interp: str = "auto") -> List[SuitePrediction]:
+                       interp: str = "auto",
+                       collect_features: bool = False
+                       ) -> List[SuitePrediction]:
     """Analyse one workload and predict its sampled design points."""
     analyzer = make_analyzer(workload, device, cache=cache,
                              static_trace=static_trace, interp=interp)
@@ -93,11 +99,17 @@ def _evaluate_workload(workload: Workload, device, cache,
         info = analyzer(design.work_group_size)
         if info is None:
             continue
+        features: Optional[Tuple[float, ...]] = None
+        if collect_features:
+            from repro.surrogate.features import feature_vector
+            features = tuple(float(v)
+                             for v in feature_vector(info, design))
         out.append(SuitePrediction(
             workload=workload.qualified_name,
             design=design.signature(),
             cycles=model.predict(info, design).cycles,
-            trace_source=getattr(info, "trace_source", "scalar")))
+            trace_source=getattr(info, "trace_source", "scalar"),
+            features=features))
     return out
 
 
@@ -110,11 +122,11 @@ def _run_suite_shard(indices: List[int]
                      ) -> Tuple[List[Tuple[int, List[SuitePrediction]]],
                                 StoreStats]:
     (workloads, device, cache, designs_per_kernel,
-     static_trace, interp) = _SUITE_STATE
+     static_trace, interp, collect_features) = _SUITE_STATE
     before = cache.stats.copy() if cache is not None else StoreStats()
     out = [(i, _evaluate_workload(workloads[i], device, cache,
                                   designs_per_kernel, static_trace,
-                                  interp))
+                                  interp, collect_features))
            for i in indices]
     after = cache.stats.copy() if cache is not None else StoreStats()
     return out, after - before
@@ -124,19 +136,25 @@ def run_suite(workloads: Sequence[Workload], device,
               jobs=None, cache=None,
               designs_per_kernel: int = 8,
               static_trace: str = "auto",
-              interp: str = "auto") -> SuiteResult:
+              interp: str = "auto",
+              collect_features: bool = False) -> SuiteResult:
     """Predict *designs_per_kernel* sampled design points for every
     workload in *workloads* on *device*.
 
     *jobs* fans workloads out over forked worker processes (``'auto'``
-    = one per core); all workers read and write the shared persistent
-    *cache*, so parallel cold runs warm the store cooperatively and
-    warm runs are embarrassingly fast.  Results are returned in catalog
-    order and are identical for any *jobs* value and any cache state.
+    = one per core, capped at the workload count); all workers read and
+    write the shared persistent *cache*, so parallel cold runs warm the
+    store cooperatively and warm runs are embarrassingly fast.  Results
+    are returned in catalog order and are identical for any *jobs*
+    value and any cache state.
+
+    *collect_features* attaches the architecture-independent surrogate
+    feature vector to every prediction (see :mod:`repro.surrogate`) —
+    the training-data hook behind ``repro suite --export-features``.
     """
     start = time.perf_counter()
     workloads = list(workloads)
-    n_jobs = resolve_jobs(jobs)
+    n_jobs = resolve_jobs(jobs, limit=len(workloads))
     result = SuiteResult(workloads_evaluated=len(workloads))
 
     use_parallel = (n_jobs > 1 and len(workloads) > 1
@@ -149,7 +167,7 @@ def run_suite(workloads: Sequence[Workload], device,
         shards = [list(range(s, len(workloads), n_jobs))
                   for s in range(n_jobs)]
         _SUITE_STATE = (workloads, device, cache, designs_per_kernel,
-                        static_trace, interp)
+                        static_trace, interp, collect_features)
         try:
             ctx = multiprocessing.get_context("fork")
             with concurrent.futures.ProcessPoolExecutor(
@@ -174,7 +192,7 @@ def run_suite(workloads: Sequence[Workload], device,
             result.predictions.extend(
                 _evaluate_workload(workload, device, cache,
                                    designs_per_kernel, static_trace,
-                                   interp))
+                                   interp, collect_features))
         if before is not None:
             result.store_stats = cache.stats - before
 

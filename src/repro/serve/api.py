@@ -55,6 +55,12 @@ STATIC_TRACE_MODES = ("auto", "always", "never")
 INTERP_MODES = ("auto", "vectorized", "scalar")
 COMM_MODES = ("pipeline", "barrier")
 REALIZATION_MODES = ("dram", "pipe", "both")
+#: /predict answer tiers: the exact analytical model, or the learned
+#: surrogate's approximate-but-instant answer with confidence bounds
+PREDICT_TIERS = ("exact", "instant")
+#: /explore pre-filter modes (surrogate = exact-evaluate only the
+#: surrogate-ranked top slice; see repro.dse.explorer)
+EXPLORE_PREFILTERS = ("none", "surrogate")
 
 #: KernelInfo.trace_source -> the provenance string payloads report
 TRACE_PROVENANCE = {"synth": "synthesized",
@@ -163,9 +169,12 @@ def normalize_predict_spec(spec: dict) -> dict:
         pipeline=_as_bool(spec, "pipeline", True),
         wg_pipeline=_as_bool(spec, "wg_pipeline", False),
         simulate=_as_bool(spec, "simulate", False),
+        tier=_choice(spec, "tier", "exact", PREDICT_TIERS),
     )
     if min(out["wg"], out["pe"], out["cu"], out["vector"]) < 1:
         raise ApiError("design parameters must be positive")
+    if out["tier"] == "instant" and out["simulate"]:
+        raise ApiError("'simulate' requires the exact tier")
     return out
 
 
@@ -175,6 +184,11 @@ def normalize_explore_spec(spec: dict) -> dict:
     out["top"] = _as_int(spec, "top", 5)
     if out["top"] < 1:
         raise ApiError("'top' must be >= 1")
+    out["prefilter"] = _choice(spec, "prefilter", "none",
+                               EXPLORE_PREFILTERS)
+    out["top_k"] = _as_int(spec, "top_k", 0)
+    if out["top_k"] < 0:
+        raise ApiError("'top_k' must be >= 0 (0 = automatic)")
     return out
 
 
@@ -381,9 +395,12 @@ def spec_design(spec):
 
 
 def predict_payload(spec: dict, cache=None,
-                    module_memo: Optional[dict] = None) -> dict:
+                    module_memo: Optional[dict] = None,
+                    instant_memo: Optional[dict] = None) -> dict:
     """Model one design point; the payload behind ``predict --json``
-    and ``POST /predict``."""
+    and ``POST /predict``.  ``"tier": "instant"`` routes to the learned
+    surrogate (:func:`instant_predict_payload`) instead of the exact
+    analytical model."""
     from repro.analysis import analyze_kernel
     from repro.devices import device_by_name
     from repro.dse import check_feasibility
@@ -392,6 +409,10 @@ def predict_payload(spec: dict, cache=None,
     from repro.model.area import estimate_area
 
     spec = normalize_predict_spec(spec)
+    if spec["tier"] == "instant":
+        return instant_predict_payload(spec, cache=cache,
+                                       module_memo=module_memo,
+                                       instant_memo=instant_memo)
     device = device_by_name(spec["device"])
     fn, workload = resolve_kernel(spec, module_memo)
     global_size = _spec_global_size(spec, workload)
@@ -402,6 +423,7 @@ def predict_payload(spec: dict, cache=None,
         "device": device.name,
         "global_size": global_size,
         "design": _design_payload(design),
+        "tier": "exact",
     }
     if workload is not None:
         payload["workload"] = workload.qualified_name
@@ -458,6 +480,104 @@ def predict_payload(spec: dict, cache=None,
             "model_error": abs(prediction.cycles - actual.cycles)
             / actual.cycles,
         }
+    return payload
+
+
+def _require_surrogate(cache, device):
+    """The trained surrogate for *device*, or a client-facing error
+    telling the caller how to get one."""
+    from repro.surrogate import load_model
+    model = load_model(cache, device) if cache is not None else None
+    if model is None:
+        raise ApiError(
+            f"no trained surrogate for device '{device.name}' "
+            "(or the cache is disabled); run 'repro surrogate train' "
+            "first")
+    return model
+
+
+def instant_predict_payload(spec: dict, cache=None,
+                            module_memo: Optional[dict] = None,
+                            instant_memo: Optional[dict] = None) -> dict:
+    """Approximate /predict answer from the learned surrogate.
+
+    Mirrors the exact payload's skeleton (kernel/device/design/
+    feasibility) but the prediction carries surrogate cycles plus
+    lognormal confidence bounds instead of the analytical model's
+    breakdown.  *instant_memo* (a plain dict owned by the caller,
+    typically the serve daemon) memoizes the loaded model and the
+    per-work-group-size kernel analyses, which is what makes warm
+    repeat requests sub-millisecond.
+    """
+    from repro.analysis import analyze_kernel
+    from repro.devices import device_by_name
+    from repro.dse import check_feasibility
+    from repro.interp import NDRange
+    from repro.surrogate.features import feature_vector
+
+    spec = normalize_predict_spec(spec)
+    if spec["tier"] != "instant":
+        raise ApiError("instant_predict_payload needs tier='instant'")
+    device = device_by_name(spec["device"])
+    memo = instant_memo if instant_memo is not None else {}
+
+    model_slot = ("model", device.name)
+    model = memo.get(model_slot)
+    if model is None:
+        model = _require_surrogate(cache, device)
+        memo[model_slot] = model
+
+    fn, workload = resolve_kernel(spec, module_memo)
+    global_size = _spec_global_size(spec, workload)
+    design = spec_design(spec)
+    payload: dict = {
+        "kernel": fn.name,
+        "device": device.name,
+        "global_size": global_size,
+        "design": _design_payload(design),
+        "tier": "instant",
+    }
+    if workload is not None:
+        payload["workload"] = workload.qualified_name
+    if global_size % spec["wg"] != 0:
+        payload["feasible"] = False
+        payload["reason"] = "work-group size does not divide the NDRange"
+        return payload
+
+    info_slot = ("info", spec["workload"] or function_fingerprint(fn),
+                 device.name, global_size, spec["wg"],
+                 spec["static_trace"], spec["interp"],
+                 tuple(sorted(spec["args"].items())))
+    info = memo.get(info_slot)
+    if info is None:
+        buffers, scalars = _spec_inputs(fn, workload, global_size,
+                                        spec["args"])
+        info = analyze_kernel(fn, buffers, scalars,
+                              NDRange(global_size, spec["wg"]), device,
+                              cache=cache,
+                              static_trace=spec["static_trace"],
+                              interp=spec["interp"])
+        memo[info_slot] = info
+
+    reason = check_feasibility(info, design, device)
+    if reason is not None:
+        payload["feasible"] = False
+        payload["reason"] = reason
+        return payload
+
+    payload["feasible"] = True
+    x = np.asarray(feature_vector(info, design), dtype=np.float64)
+    cycles = float(model.predict_cycles(x[None, :])[0])
+    lo, hi = model.confidence(cycles)
+    payload["prediction"] = {
+        "cycles": cycles,
+        "cycles_lo": float(lo),
+        "cycles_hi": float(hi),
+        "sigma_log": float(model.sigma),
+        "seconds": cycles / (device.clock_mhz * 1e6),
+        "clock_mhz": device.clock_mhz,
+    }
+    payload["surrogate"] = model.describe()
     return payload
 
 
@@ -571,8 +691,57 @@ def explore_payload_from_rows(spec: dict, rows: List[dict]) -> dict:
     return payload
 
 
+def explore_prefiltered_payload(spec: dict, cache=None) -> dict:
+    """Surrogate-pre-ranked explore: score the whole space with the
+    trained surrogate, evaluate only the promising slice exactly.
+
+    The payload keeps the exhaustive shape (kernel/device/evaluated/
+    feasible/top) and adds the pre-filter provenance: which mode ran,
+    how many exact evaluations it took, which model scored the space,
+    and a per-row ``source`` ("model" or "surrogate")."""
+    from repro.devices import device_by_name
+    from repro.dse import DesignSpace
+    from repro.dse.explorer import explore
+    from repro.model import FlexCL
+
+    spec = normalize_explore_spec(spec)
+    device = device_by_name(spec["device"])
+    surrogate = _require_surrogate(cache, device)
+    fn, workload = resolve_kernel(spec)
+    analyze = make_spec_analyzer(spec, fn, workload, device, cache)
+    model = FlexCL(device, cache=cache)
+    space = DesignSpace.default_for(_spec_global_size(spec, workload))
+    result = explore(
+        space, analyze,
+        lambda info, design: model.predict(info, design).cycles,
+        device, prefilter="surrogate", surrogate=surrogate,
+        top_k=spec["top_k"] or None)
+
+    payload = {
+        "kernel": fn.name,
+        "device": spec["device"],
+        "global_size": _spec_global_size(spec, workload),
+        "evaluated": len(result.evaluated),
+        "feasible": len(result.feasible),
+        "prefilter": "surrogate",
+        "exact_evaluations": result.exact_evaluations,
+        "surrogate": surrogate.describe(),
+        "top": [{"design": e.design.signature(), "cycles": e.cycles,
+                 "work_group_size": e.design.work_group_size,
+                 "source": e.source}
+                for e in result.ranked()[:spec["top"]]],
+    }
+    if workload is not None:
+        payload["workload"] = workload.qualified_name
+    return payload
+
+
 def explore_payload(spec: dict, cache=None) -> dict:
-    """Serial reference: evaluate the whole space, then assemble."""
+    """Serial reference: evaluate the whole space, then assemble.
+    ``"prefilter": "surrogate"`` switches to the learned fast path."""
+    spec = normalize_explore_spec(spec)
+    if spec["prefilter"] == "surrogate":
+        return explore_prefiltered_payload(spec, cache)
     return explore_payload_from_rows(spec, explore_rows(spec, cache))
 
 
@@ -749,7 +918,7 @@ def request_key(endpoint: str, spec: dict,
             spec_design(spec).signature(),
             spec["static_trace"], spec["interp"],
             sorted(spec["args"].items()),
-            spec["simulate"],
+            spec["simulate"], spec["tier"],
             spec["workload"] or "")
     if endpoint == "explore":
         spec = normalize_explore_spec(spec)
@@ -761,6 +930,7 @@ def request_key(endpoint: str, spec: dict,
             _spec_global_size(spec, workload), spec["top"],
             spec["static_trace"], spec["interp"],
             sorted(spec["args"].items()),
+            spec["prefilter"], spec["top_k"],
             spec["workload"] or "")
     if endpoint == "predict-graph":
         spec = normalize_graph_spec(spec)

@@ -87,6 +87,9 @@ class PredictionServer:
         self.pool = WorkerPool(jobs=config.jobs, mode=config.executor,
                                shared_cache=shared)
         self._module_memo: Dict[str, object] = {}
+        #: instant-tier memo (loaded surrogate model + per-work-group
+        #: kernel analyses) — what makes warm instant answers sub-ms
+        self._instant_memo: Dict[object, object] = {}
         self._inflight: Dict[str, asyncio.Future] = {}
         self._active = 0              # evaluations admitted, not done
         self._conn_tasks: set = set()
@@ -134,12 +137,15 @@ class PredictionServer:
     async def answer(self, endpoint: str, spec: dict
                      ) -> Tuple[bytes, str]:
         """Answer one cacheable request: returns ``(body, outcome)``
-        with outcome 'hot' | 'coalesced' | 'evaluated'.
+        with outcome 'hot' | 'coalesced' | 'evaluated' | 'instant'.
 
         The fast path never enters the worker pool; only a genuinely
         new evaluation consumes an admission slot, so a loaded server
         keeps answering warm and duplicate requests while refusing new
-        work.
+        work.  Instant-tier predicts also bypass the pool: the
+        surrogate scores them on a helper thread against the server's
+        own memo, so a warm instant answer costs one feature vector and
+        one matrix product.
         """
         key = request_key(endpoint, spec, self._module_memo)
         found, body = self.hot.get("response", key)
@@ -154,6 +160,8 @@ class PredictionServer:
                 f"admission queue full "
                 f"({self._active}/{self.config.queue_limit} "
                 f"evaluations in flight)")
+        instant = (endpoint == "predict"
+                   and spec.get("tier", "exact") == "instant")
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         # Waiters with no reader left must not surface "exception never
@@ -163,8 +171,14 @@ class PredictionServer:
         self._inflight[key] = future
         self._active += 1
         try:
-            payload = await asyncio.wrap_future(
-                self.pool.submit(self._task_for(endpoint, spec)))
+            if instant:
+                cache = None if self.config.no_cache else self.hot
+                payload = await asyncio.to_thread(
+                    api.instant_predict_payload, spec, cache,
+                    self._module_memo, self._instant_memo)
+            else:
+                payload = await asyncio.wrap_future(
+                    self.pool.submit(self._task_for(endpoint, spec)))
             body = encode_body(payload)
         except BaseException as exc:
             # A failed computation is never cached; every coalesced
@@ -175,7 +189,7 @@ class PredictionServer:
             self._harvest_trace_paths(payload)
             self.hot.put("response", key, body, write_through=False)
             future.set_result(body)
-            return body, "evaluated"
+            return body, "instant" if instant else "evaluated"
         finally:
             self._active -= 1
             self._inflight.pop(key, None)
@@ -204,6 +218,11 @@ class PredictionServer:
         """Run a sharded explore/suite evaluation, calling ``await
         emit(event_dict)`` as shards complete; the last event carries
         the assembled payload (identical to the non-streamed body)."""
+        if (endpoint == "explore"
+                and spec.get("prefilter", "none") != "none"):
+            raise ApiError(
+                "streaming explore shards the exhaustive sweep; "
+                "drop 'stream' to use a surrogate prefilter")
         if self._active >= self.config.queue_limit:
             self.metrics.rejected += 1
             raise BusyError("admission queue full")

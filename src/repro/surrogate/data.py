@@ -1,0 +1,130 @@
+"""Training-data assembly and NDJSON export for the surrogate.
+
+The surrogate trains on rows the evaluation suite already produces:
+``run_suite(..., collect_features=True)`` attaches the architecture-
+independent feature vector to every :class:`SuitePrediction`, and this
+module turns those rows into the (X, cycles, kernels) triple the
+trainer consumes — or streams them to disk as NDJSON so training data
+can be regenerated offline without re-tracing anything.
+
+The NDJSON format is self-describing: the first record is a schema
+header carrying the feature names, the schema version, and the schema
+content hash; every later record is one (workload, design) row.  A
+reader rejects files whose schema hash differs from the running code's,
+so stale exports fail loudly instead of training a mis-shaped model.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.surrogate.features import (FEATURE_NAMES, FEATURE_SCHEMA_VERSION,
+                                      feature_schema_hash)
+
+
+class FeatureSchemaError(ValueError):
+    """An NDJSON feature file does not match the running schema."""
+
+
+def training_rows(suite_result) -> Tuple[np.ndarray, np.ndarray, List[str]]:
+    """(X, cycles, kernels) from a feature-collecting suite run.
+
+    Rows whose prediction carried no feature vector (collection was off,
+    or analysis failed) are skipped."""
+    feats: List[Sequence[float]] = []
+    cycles: List[float] = []
+    kernels: List[str] = []
+    for pred in suite_result.predictions:
+        if pred.features is None:
+            continue
+        feats.append(pred.features)
+        cycles.append(pred.cycles)
+        kernels.append(pred.workload)
+    if not feats:
+        return (np.empty((0, len(FEATURE_NAMES))), np.empty(0), [])
+    return (np.asarray(feats, dtype=np.float64),
+            np.asarray(cycles, dtype=np.float64), kernels)
+
+
+def schema_header() -> dict:
+    """The NDJSON header record describing the current feature schema."""
+    return {
+        "record": "schema",
+        "schema_version": FEATURE_SCHEMA_VERSION,
+        "schema_hash": feature_schema_hash(),
+        "feature_names": list(FEATURE_NAMES),
+    }
+
+
+def write_feature_rows(fh: IO[str], suite_result) -> int:
+    """Stream a suite result's feature rows to *fh* as NDJSON (header
+    first); returns the number of data rows written."""
+    fh.write(json.dumps(schema_header(), sort_keys=True) + "\n")
+    written = 0
+    for pred in suite_result.predictions:
+        if pred.features is None:
+            continue
+        row = {
+            "record": "row",
+            "workload": pred.workload,
+            "design": pred.design,
+            "cycles": pred.cycles,
+            "trace_source": pred.trace_source,
+            "features": list(pred.features),
+        }
+        fh.write(json.dumps(row, sort_keys=True) + "\n")
+        written += 1
+    return written
+
+
+def export_features(path: Union[str, "object"], suite_result) -> int:
+    """Write a suite result's feature rows to *path* (NDJSON)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        return write_feature_rows(fh, suite_result)
+
+
+def read_feature_rows(lines: Iterable[str]
+                      ) -> Tuple[np.ndarray, np.ndarray, List[str]]:
+    """Parse exported NDJSON back into (X, cycles, kernels); validates
+    the schema header against the running code."""
+    feats: List[Sequence[float]] = []
+    cycles: List[float] = []
+    kernels: List[str] = []
+    saw_header = False
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        kind = record.get("record")
+        if kind == "schema":
+            if record.get("schema_hash") != feature_schema_hash():
+                raise FeatureSchemaError(
+                    "feature file was exported under a different schema "
+                    f"(file {str(record.get('schema_hash'))[:16]}..., "
+                    f"code {feature_schema_hash()[:16]}...); re-export it")
+            saw_header = True
+        elif kind == "row":
+            values = record["features"]
+            if len(values) != len(FEATURE_NAMES):
+                raise FeatureSchemaError(
+                    f"row has {len(values)} features, schema has "
+                    f"{len(FEATURE_NAMES)}")
+            feats.append(values)
+            cycles.append(float(record["cycles"]))
+            kernels.append(str(record["workload"]))
+    if not saw_header:
+        raise FeatureSchemaError("feature file is missing its schema header")
+    if not feats:
+        return (np.empty((0, len(FEATURE_NAMES))), np.empty(0), [])
+    return (np.asarray(feats, dtype=np.float64),
+            np.asarray(cycles, dtype=np.float64), kernels)
+
+
+def load_feature_file(path) -> Tuple[np.ndarray, np.ndarray, List[str]]:
+    """Read an NDJSON feature export from *path*."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return read_feature_rows(fh)

@@ -1,0 +1,347 @@
+"""Dependency-free surrogate trainer: ridge + boosted stumps in numpy.
+
+The model predicts ``log1p(cycles)`` from the architecture-independent
+feature vectors of :mod:`repro.surrogate.features`: a closed-form ridge
+regression over standardized features captures the dominant log-linear
+structure (latency is roughly multiplicative in trip counts, memory
+volume, and parallelism), and a short round of gradient-boosted
+decision stumps fit on the ridge residuals picks up the non-linear
+remainder (feasibility cliffs, bandwidth saturation).  Everything is
+plain numpy with deterministic tie-breaking, so training the same rows
+twice — in any process — produces the bit-identical artifact.
+
+Model artifacts are versioned through the persistent
+:class:`~repro.cache.ArtifactCache` under the ``surrogate`` layer: the
+key folds the feature-schema hash, the trainer schema version, the
+device fingerprint, and a user tag, so a schema or device change makes
+old artifacts unreachable rather than silently mis-shaped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.surrogate.features import (FEATURE_NAMES, FEATURE_SCHEMA_VERSION,
+                                      feature_schema_hash)
+
+#: Default artifact tag — one trained model per (device, tag).
+DEFAULT_TAG = "default"
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Average ranks (ties share their mean rank), deterministic."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(len(values), dtype=np.float64)
+    sorted_vals = values[order]
+    i = 0
+    while i < len(values):
+        j = i
+        while j + 1 < len(values) and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        ranks[order[i:j + 1]] = 0.5 * (i + j)
+        i = j + 1
+    return ranks
+
+
+def spearman(a: Sequence[float], b: Sequence[float]) -> float:
+    """Spearman rank correlation (average-tie ranks); 0.0 when either
+    side is constant or fewer than two points are given."""
+    x = np.asarray(a, dtype=np.float64)
+    y = np.asarray(b, dtype=np.float64)
+    if len(x) < 2 or len(x) != len(y):
+        return 0.0
+    rx, ry = _ranks(x), _ranks(y)
+    sx, sy = rx.std(), ry.std()
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    return float(((rx - rx.mean()) * (ry - ry.mean())).mean() / (sx * sy))
+
+
+@dataclass
+class SurrogateModel:
+    """A trained latency surrogate (ridge + boosted stumps over
+    standardized features, target ``log1p(cycles)``)."""
+
+    schema_hash: str
+    feature_names: Tuple[str, ...]
+    schema_version: int
+    mean: np.ndarray           # (d,) feature standardization
+    scale: np.ndarray          # (d,)
+    weights: np.ndarray        # (d,) ridge coefficients
+    intercept: float
+    stump_features: np.ndarray     # (r,) int feature index per round
+    stump_thresholds: np.ndarray   # (r,) split point (standardized units)
+    stump_left: np.ndarray         # (r,) leaf value when z <= thr
+    stump_right: np.ndarray        # (r,) leaf value when z > thr
+    learning_rate: float
+    #: std-dev of training residuals in log space (confidence bounds)
+    sigma: float
+    n_rows: int
+    seed: int
+    alpha: float
+    #: qualified workload names the model was trained on
+    trained_on: Tuple[str, ...] = ()
+
+    def _standardize(self, X: np.ndarray) -> np.ndarray:
+        return (np.asarray(X, dtype=np.float64) - self.mean) / self.scale
+
+    def predict_log(self, X: np.ndarray) -> np.ndarray:
+        """Predicted ``log1p(cycles)`` for a (n, d) feature matrix."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.shape[1] != len(self.feature_names):
+            raise ValueError(
+                f"feature matrix has {X.shape[1]} columns, model expects "
+                f"{len(self.feature_names)}")
+        Z = self._standardize(X)
+        y = Z @ self.weights + self.intercept
+        if len(self.stump_features):
+            # All rounds at once: (n, r) gather of each round's split
+            # feature, compared against its threshold, selecting its
+            # leaf — the Python-loop equivalent is ~20x slower and
+            # would dominate the instant serve tier.
+            gathered = Z[:, self.stump_features]          # (n, r)
+            leaves = np.where(gathered <= self.stump_thresholds,
+                              self.stump_left, self.stump_right)
+            y = y + self.learning_rate * leaves.sum(axis=1)
+        return y
+
+    def predict_cycles(self, X: np.ndarray) -> np.ndarray:
+        """Predicted cycle counts (>= 0) for a (n, d) feature matrix."""
+        return np.maximum(np.expm1(self.predict_log(X)), 0.0)
+
+    def confidence(self, cycles: float, z: float = 2.0
+                   ) -> Tuple[float, float]:
+        """A (lo, hi) band around one predicted cycle count: +/- *z*
+        training sigmas in log space (roughly a 95% band at z=2)."""
+        log_pred = np.log1p(max(float(cycles), 0.0))
+        lo = max(float(np.expm1(log_pred - z * self.sigma)), 0.0)
+        hi = float(np.expm1(log_pred + z * self.sigma))
+        return lo, hi
+
+    def describe(self) -> Dict[str, object]:
+        """Artifact metadata for CLI / serve provenance."""
+        return {
+            "schema_hash": self.schema_hash[:16],
+            "schema_version": self.schema_version,
+            "features": len(self.feature_names),
+            "stumps": int(len(self.stump_features)),
+            "sigma_log": round(self.sigma, 6),
+            "rows": self.n_rows,
+            "kernels": len(self.trained_on),
+            "seed": self.seed,
+        }
+
+
+@dataclass
+class TrainReport:
+    """Held-out evaluation produced alongside a trained model."""
+
+    spearman_overall: float = 0.0
+    #: per-held-out-kernel Spearman across its design points
+    spearman_by_kernel: Dict[str, float] = field(default_factory=dict)
+    held_out: Tuple[str, ...] = ()
+    train_rows: int = 0
+    test_rows: int = 0
+
+    @property
+    def spearman_min(self) -> float:
+        if not self.spearman_by_kernel:
+            return self.spearman_overall
+        return min(self.spearman_by_kernel.values())
+
+
+def _fit_ridge(Z: np.ndarray, y: np.ndarray, alpha: float
+               ) -> Tuple[np.ndarray, float]:
+    d = Z.shape[1]
+    intercept = float(y.mean())
+    yc = y - intercept
+    gram = Z.T @ Z + alpha * np.eye(d)
+    weights = np.linalg.solve(gram, Z.T @ yc)
+    return weights, intercept
+
+
+def _fit_stumps(Z: np.ndarray, residual: np.ndarray, rounds: int,
+                learning_rate: float, n_thresholds: int
+                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Greedy gradient-boosted stumps on the ridge residual.
+
+    Candidate splits are per-feature quantiles (deterministic); each
+    round picks the (feature, threshold) pair with the largest SSE
+    reduction, with ties broken toward the lower candidate index."""
+    n, d = Z.shape
+    feats: List[int] = []
+    thrs: List[float] = []
+    lefts: List[float] = []
+    rights: List[float] = []
+    if rounds <= 0 or n < 4:
+        empty = np.empty(0, dtype=np.float64)
+        return np.empty(0, dtype=np.int64), empty, empty, empty
+
+    # candidate masks, built once: (n_candidates, n) float matrix
+    qs = np.linspace(0.05, 0.95, n_thresholds)
+    cand_feature: List[int] = []
+    cand_thr: List[float] = []
+    masks: List[np.ndarray] = []
+    for f in range(d):
+        col = Z[:, f]
+        if np.all(col == col[0]):
+            continue
+        thresholds = np.unique(np.quantile(col, qs))
+        for thr in thresholds:
+            mask = col <= thr
+            k = int(mask.sum())
+            if k == 0 or k == n:
+                continue
+            cand_feature.append(f)
+            cand_thr.append(float(thr))
+            masks.append(mask.astype(np.float64))
+    if not masks:
+        empty = np.empty(0, dtype=np.float64)
+        return np.empty(0, dtype=np.int64), empty, empty, empty
+    M = np.stack(masks)                       # (c, n)
+    left_cnt = M.sum(axis=1)                  # (c,)
+    right_cnt = n - left_cnt
+
+    r = residual.copy()
+    for _ in range(rounds):
+        total = float(r.sum())
+        left_sum = M @ r                      # (c,)
+        right_sum = total - left_sum
+        gain = left_sum**2 / left_cnt + right_sum**2 / right_cnt
+        best = int(np.argmax(gain))
+        f = cand_feature[best]
+        thr = cand_thr[best]
+        left_mask = M[best] > 0.5
+        left_val = float(r[left_mask].mean())
+        right_val = float(r[~left_mask].mean())
+        feats.append(f)
+        thrs.append(thr)
+        lefts.append(left_val)
+        rights.append(right_val)
+        step = np.where(left_mask, left_val, right_val)
+        r = r - learning_rate * step
+    return (np.asarray(feats, dtype=np.int64),
+            np.asarray(thrs, dtype=np.float64),
+            np.asarray(lefts, dtype=np.float64),
+            np.asarray(rights, dtype=np.float64))
+
+
+def train_surrogate(X: np.ndarray, cycles: np.ndarray,
+                    kernels: Optional[Sequence[str]] = None,
+                    alpha: float = 1.0, rounds: int = 400,
+                    learning_rate: float = 0.1, n_thresholds: int = 16,
+                    seed: int = 0) -> SurrogateModel:
+    """Fit a surrogate on (n, d) features and n measured cycle counts.
+
+    *kernels* (one qualified name per row) is recorded as provenance.
+    Training is fully deterministic for fixed inputs; *seed* is kept in
+    the artifact for bookkeeping (the pipeline has no random step, but
+    callers may subsample rows with it before calling)."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.log1p(np.maximum(np.asarray(cycles, dtype=np.float64), 0.0))
+    if X.ndim != 2 or X.shape[0] != len(y):
+        raise ValueError("X must be (n, d) with one cycles value per row")
+    if X.shape[1] != len(FEATURE_NAMES):
+        raise ValueError(
+            f"X has {X.shape[1]} features, schema has {len(FEATURE_NAMES)}")
+    mean = X.mean(axis=0)
+    scale = X.std(axis=0)
+    scale[scale == 0.0] = 1.0
+    Z = (X - mean) / scale
+
+    weights, intercept = _fit_ridge(Z, y, alpha)
+    residual = y - (Z @ weights + intercept)
+    feats, thrs, lefts, rights = _fit_stumps(
+        Z, residual, rounds, learning_rate, n_thresholds)
+
+    model = SurrogateModel(
+        schema_hash=feature_schema_hash(),
+        feature_names=FEATURE_NAMES,
+        schema_version=FEATURE_SCHEMA_VERSION,
+        mean=mean, scale=scale, weights=weights, intercept=intercept,
+        stump_features=feats, stump_thresholds=thrs,
+        stump_left=lefts, stump_right=rights,
+        learning_rate=learning_rate,
+        sigma=0.0, n_rows=int(X.shape[0]), seed=seed, alpha=alpha,
+        trained_on=tuple(sorted(set(kernels))) if kernels else ())
+    final_residual = y - model.predict_log(X)
+    model.sigma = float(final_residual.std())
+    return model
+
+
+def train_with_holdout(X: np.ndarray, cycles: np.ndarray,
+                       kernels: Sequence[str],
+                       holdout_fraction: float = 0.25,
+                       **train_kwargs) -> Tuple[SurrogateModel, TrainReport]:
+    """Grouped held-out evaluation + final fit on all rows.
+
+    Whole kernels are held out (every 1/fraction-th of the sorted
+    kernel list — deterministic), a model is fit on the remainder and
+    scored per held-out kernel, then the returned model is re-trained
+    on *all* rows so the persisted artifact sees every kernel."""
+    X = np.asarray(X, dtype=np.float64)
+    cycles = np.asarray(cycles, dtype=np.float64)
+    kernels = list(kernels)
+    names = sorted(set(kernels))
+    stride = max(int(round(1.0 / holdout_fraction)), 2)
+    held = set(names[stride - 1::stride])
+    report = TrainReport(held_out=tuple(sorted(held)))
+
+    if held and len(names) > len(held):
+        test_mask = np.asarray([k in held for k in kernels])
+        fit = train_surrogate(X[~test_mask], cycles[~test_mask],
+                              [k for k in kernels if k not in held],
+                              **train_kwargs)
+        pred = fit.predict_log(X[test_mask])
+        truth = np.log1p(cycles[test_mask])
+        report.spearman_overall = spearman(truth, pred)
+        test_kernels = [k for k in kernels if k in held]
+        for name in sorted(held):
+            idx = [i for i, k in enumerate(test_kernels) if k == name]
+            if len(idx) >= 2:
+                report.spearman_by_kernel[name] = spearman(
+                    truth[idx], pred[idx])
+        report.train_rows = int((~test_mask).sum())
+        report.test_rows = int(test_mask.sum())
+
+    model = train_surrogate(X, cycles, kernels, **train_kwargs)
+    return model, report
+
+
+# ---------------------------------------------------------------------------
+# Artifact persistence (ArtifactCache "surrogate" layer)
+# ---------------------------------------------------------------------------
+
+def model_key(device, tag: str = DEFAULT_TAG) -> str:
+    """Cache key of the trained artifact for (device, tag): folds the
+    surrogate layer schema version, the feature-schema hash, and the
+    full device fingerprint."""
+    from repro.cache import SCHEMA_VERSIONS, device_fingerprint, digest
+    return digest("surrogate-model", SCHEMA_VERSIONS["surrogate"],
+                  feature_schema_hash(), device_fingerprint(device), tag)
+
+
+def save_model(cache, model: SurrogateModel, device,
+               tag: str = DEFAULT_TAG) -> str:
+    """Persist *model* through the cache; returns the key."""
+    key = model_key(device, tag)
+    cache.put("surrogate", key, model)
+    return key
+
+
+def load_model(cache, device, tag: str = DEFAULT_TAG
+               ) -> Optional[SurrogateModel]:
+    """Load the trained artifact for (device, tag), or None if absent,
+    corrupt, or from a different feature schema."""
+    if cache is None:
+        return None
+    found, model = cache.get("surrogate", model_key(device, tag))
+    if not found or model is None:
+        return None
+    if (getattr(model, "schema_hash", None) != feature_schema_hash()
+            or tuple(getattr(model, "feature_names", ())) != FEATURE_NAMES):
+        return None
+    return model
